@@ -1,0 +1,193 @@
+// Command airbench regenerates the paper's evaluation (Figures 10-13):
+// expected access latency, index size, tuning time, and indexing efficiency
+// of the D-tree against the trian-tree, trap-tree and R*-tree over the
+// UNIFORM, HOSPITAL and PARK datasets.
+//
+// Usage:
+//
+//	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache] [-queries n]
+//	         [-capacities 64,128,...] [-datasets uniform,hospital,park]
+//	         [-theta 1.0] [-queries-by-area] [-csv] [-seed n]
+//
+// Besides the paper's figures, the extension experiments are available as
+// figures: "ablation" (D-tree design choices), "dist" ((1,m) vs distributed
+// indexing), "skew" (balanced vs access-weighted D-tree under Zipf access),
+// and "cache" (client-side pinning of hot index packets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"airindex/internal/dataset"
+	"airindex/internal/experiment"
+)
+
+func main() {
+	var (
+		figure     = flag.String("figure", "all", "figure to regenerate: 10, 11, 12, 13, all, ablation, skew or cache")
+		theta      = flag.Float64("theta", 1.0, "Zipf skew parameter (with -figure skew)")
+		queries    = flag.Int("queries", 100000, "Monte Carlo queries per cell (paper: 1000000)")
+		capacities = flag.String("capacities", "64,128,256,512,1024,2048", "packet capacities in bytes")
+		datasets   = flag.String("datasets", "uniform,hospital,park", "datasets to evaluate")
+		byArea     = flag.Bool("queries-by-area", false, "sample queries uniformly by area instead of by region")
+		csvOut     = flag.Bool("csv", false, "emit raw measurements as CSV")
+		seed       = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	caps, err := parseInts(*capacities)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := parseDatasets(*datasets)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiment.Config{Capacities: caps, Queries: *queries, Seed: *seed, ByArea: *byArea}
+
+	if *figure == "dist" {
+		for _, d := range ds {
+			ms, err := experiment.RunDistributed(d, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				fmt.Print(experiment.CSV(ms))
+				continue
+			}
+			fmt.Printf("=== (1,m) vs distributed indexing, %s ===\n", d.Name)
+			for _, metric := range []experiment.Metric{
+				experiment.MetricNormLatency, experiment.MetricTuneIndex, experiment.MetricEfficiency,
+			} {
+				fmt.Print(experiment.Table(ms, d.Name, metric))
+				fmt.Println()
+			}
+		}
+		return
+	}
+	if *figure == "skew" {
+		for _, d := range ds {
+			ms, err := experiment.RunSkewed(d, cfg, *theta)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				fmt.Print(experiment.CSV(ms))
+				continue
+			}
+			fmt.Printf("=== Skewed access, %s ===\n%s\n", d.Name, experiment.RenderSkew(ms, d.Name, *theta))
+		}
+		return
+	}
+	if *figure == "cache" {
+		sizes := []int{0, 1, 2, 4, 8, 16}
+		for _, d := range ds {
+			for _, capacity := range caps {
+				rs, err := experiment.RunCached(d, capacity, sizes, cfg)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(experiment.CacheTable(rs))
+			}
+		}
+		return
+	}
+	if *figure == "ablation" {
+		for _, d := range ds {
+			ms, err := experiment.RunAblation(d, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				fmt.Print(experiment.CSV(ms))
+				continue
+			}
+			fmt.Printf("=== D-tree ablations, %s ===\n", d.Name)
+			for _, metric := range []experiment.Metric{
+				experiment.MetricTuneIndex, experiment.MetricNormLatency, experiment.MetricNormIndexSize,
+			} {
+				fmt.Print(experiment.Table(ms, d.Name, metric))
+				fmt.Println()
+			}
+		}
+		return
+	}
+
+	ms, err := experiment.RunAll(ds, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *csvOut {
+		fmt.Print(experiment.CSV(ms))
+		return
+	}
+	figures := map[string]experiment.Metric{
+		"10": experiment.MetricNormLatency,
+		"11": experiment.MetricNormIndexSize,
+		"12": experiment.MetricTuneIndex,
+		"13": experiment.MetricEfficiency,
+	}
+	order := []string{"10", "11", "12", "13"}
+	if *figure != "all" {
+		if _, ok := figures[*figure]; !ok {
+			fatal(fmt.Errorf("unknown figure %q", *figure))
+		}
+		order = []string{*figure}
+	}
+	for i, f := range order {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== Figure %s ===\n", f)
+		fmt.Print(experiment.Figure(ms, figures[f]))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad capacity %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no capacities given")
+	}
+	return out, nil
+}
+
+func parseDatasets(s string) ([]dataset.Dataset, error) {
+	var out []dataset.Dataset
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "uniform":
+			out = append(out, dataset.Uniform(1000, 1000))
+		case "hospital":
+			out = append(out, dataset.Hospital())
+		case "park":
+			out = append(out, dataset.Park())
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown dataset %q (want uniform, hospital, park)", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no datasets given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "airbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("64, 128,2048")
+	if err != nil || len(got) != 3 || got[0] != 64 || got[2] != 2048 {
+		t.Fatalf("parseInts: %v %v", got, err)
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty list should fail")
+	}
+	if _, err := parseInts("64,abc"); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestParseDatasets(t *testing.T) {
+	ds, err := parseDatasets("uniform, hospital ,park")
+	if err != nil || len(ds) != 3 {
+		t.Fatalf("parseDatasets: %d %v", len(ds), err)
+	}
+	if ds[1].N() != 185 || ds[2].N() != 1102 {
+		t.Errorf("dataset sizes: %d %d", ds[1].N(), ds[2].N())
+	}
+	if _, err := parseDatasets("mars"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if _, err := parseDatasets(""); err == nil {
+		t.Error("empty should fail")
+	}
+}

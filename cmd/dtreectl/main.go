@@ -1,0 +1,132 @@
+// Command dtreectl builds a D-tree over a dataset and inspects it: summary
+// statistics, a per-level profile, the packet layout for a given capacity,
+// and interactive point queries.
+//
+// Usage:
+//
+//	dtreectl -dataset uniform [-n 1000] [-capacity 512] [-levels] [-query x,y]...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"airindex/internal/core"
+	"airindex/internal/dataset"
+	"airindex/internal/geom"
+	"airindex/internal/wire"
+)
+
+type queryList []geom.Point
+
+func (q *queryList) String() string { return fmt.Sprint(*q) }
+
+func (q *queryList) Set(s string) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("want x,y")
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return err
+	}
+	*q = append(*q, geom.Pt(x, y))
+	return nil
+}
+
+func main() {
+	var queries queryList
+	var (
+		name     = flag.String("dataset", "uniform", "uniform, hospital or park")
+		n        = flag.Int("n", 1000, "site count (uniform only)")
+		seed     = flag.Int64("seed", 1000, "seed (uniform only)")
+		capacity = flag.Int("capacity", 512, "packet capacity in bytes")
+		levels   = flag.Bool("levels", false, "print a per-level profile")
+	)
+	flag.Var(&queries, "query", "point query x,y (repeatable)")
+	flag.Parse()
+
+	var ds dataset.Dataset
+	switch strings.ToLower(*name) {
+	case "uniform":
+		ds = dataset.Uniform(*n, *seed)
+	case "hospital":
+		ds = dataset.Hospital()
+	case "park":
+		ds = dataset.Park()
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *name))
+	}
+	sub, err := ds.Subdivision()
+	if err != nil {
+		fatal(err)
+	}
+	tree, err := core.Build(sub)
+	if err != nil {
+		fatal(err)
+	}
+	st := tree.Stats()
+	fmt.Printf("%s: %d regions\n", ds.Name, sub.N())
+	fmt.Printf("D-tree: %d nodes, height %d, %d partition points total (max %d in one node)\n",
+		st.Nodes, st.Height, st.PartitionPoints, st.MaxNodePoints)
+
+	params := wire.DTreeParams(*capacity)
+	paged, err := tree.Page(params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("paged at %d B/packet: %d packets, %d bytes occupied (%.1f%% utilization)\n",
+		*capacity, paged.IndexPackets(), paged.Layout.SizeBytes(), 100*paged.Layout.Utilization())
+
+	if *levels {
+		printLevels(tree, params)
+	}
+	for _, q := range queries {
+		id, trace := paged.Locate(q)
+		fmt.Printf("query (%g, %g) -> region %d (site %v), %d packet accesses: %v\n",
+			q.X, q.Y, id, ds.Sites[id], len(trace), trace)
+	}
+}
+
+func printLevels(tree *core.Tree, params wire.Params) {
+	type agg struct{ n, pts, bytes int }
+	levels := map[int]*agg{}
+	deepest := 0
+	var walk func(c core.ChildRef, lvl int)
+	walk = func(c core.ChildRef, lvl int) {
+		if c.IsData() {
+			return
+		}
+		a := levels[lvl]
+		if a == nil {
+			a = &agg{}
+			levels[lvl] = a
+		}
+		a.n++
+		a.pts += c.Node.PartitionPoints()
+		a.bytes += core.NodeSize(c.Node, params)
+		if lvl > deepest {
+			deepest = lvl
+		}
+		walk(c.Node.Left, lvl+1)
+		walk(c.Node.Right, lvl+1)
+	}
+	walk(core.ChildRef{Node: tree.Root}, 0)
+	fmt.Println("level   nodes   avg points   avg bytes")
+	for l := 0; l <= deepest; l++ {
+		a := levels[l]
+		fmt.Printf("%5d %7d %12.1f %11.1f\n", l, a.n, float64(a.pts)/float64(a.n), float64(a.bytes)/float64(a.n))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtreectl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Indexshootout: a miniature of the paper's whole evaluation — build all
+// four index structures over one dataset, sweep packet capacities, and
+// print the four figure panels (latency, index size, tuning, efficiency)
+// for a quick visual comparison. The full reproduction lives in
+// cmd/airbench.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"airindex/internal/dataset"
+	"airindex/internal/experiment"
+)
+
+func main() {
+	ds := dataset.Uniform(300, 7)
+	cfg := experiment.Config{
+		Capacities: []int{128, 512, 2048},
+		Queries:    20000,
+		Seed:       7,
+	}
+	b, err := experiment.Build(ds, cfg.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := experiment.Run(b, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, metric := range []experiment.Metric{
+		experiment.MetricNormLatency,
+		experiment.MetricNormIndexSize,
+		experiment.MetricTuneIndex,
+		experiment.MetricEfficiency,
+	} {
+		fmt.Print(experiment.Figure(ms, metric))
+		fmt.Println()
+	}
+	fmt.Println("the D-tree should show the best efficiency row-for-row; see cmd/airbench for the paper's full sweep")
+}

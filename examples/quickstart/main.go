@@ -1,0 +1,53 @@
+// Quickstart: build a broadcast system over a handful of data instances,
+// answer location-dependent point queries with the D-tree air index, and
+// simulate the client access protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"airindex"
+)
+
+func main() {
+	// Ten information kiosks in a 10 km x 10 km service area; each kiosk's
+	// valid scope is its Voronoi cell ("the nearest kiosk answers").
+	sites := []airindex.Point{
+		airindex.Pt(1200, 3400), airindex.Pt(2500, 8100), airindex.Pt(4700, 1900),
+		airindex.Pt(5200, 6400), airindex.Pt(3300, 5100), airindex.Pt(8100, 2600),
+		airindex.Pt(7400, 7700), airindex.Pt(9100, 5400), airindex.Pt(6100, 4200),
+		airindex.Pt(1800, 6900),
+	}
+
+	sys, err := airindex.New(sites, airindex.Config{PacketCapacity: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("broadcast system: %d instances, %s index\n", st.N, st.Index)
+	fmt.Printf("  index: %d packets (%d bytes), data: %d packets, (1,m) with m=%d, cycle=%d packets\n",
+		st.IndexPackets, st.IndexBytes, st.DataPackets, st.M, st.CyclePackets)
+
+	// A mobile client asks "which kiosk serves my location?" at three spots.
+	queries := []airindex.Point{
+		airindex.Pt(2000, 4000), airindex.Pt(8000, 8000), airindex.Pt(5000, 5000),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, q := range queries {
+		id, err := sys.Locate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Issue the query at a random moment of the broadcast cycle.
+		t := rng.Float64() * float64(st.CyclePackets)
+		cost, err := sys.Access(q, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %6.0f,%-6.0f -> kiosk %d at %v   latency %.1f packets, tuned in for %d packets (%d during index search)\n",
+			q.X, q.Y, id, sites[id], cost.Latency, cost.TotalTuning(), cost.TuneIndex)
+	}
+}

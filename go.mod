@@ -1,0 +1,3 @@
+module airindex
+
+go 1.22

@@ -1,0 +1,101 @@
+package broadcast
+
+import "fmt"
+
+// SearchTrace is the output of one index search over a paged index: the
+// packet offsets (within the index segment, in visit order) the client must
+// download, and the data bucket the search resolves to.
+type SearchTrace struct {
+	Bucket       int
+	IndexOffsets []int
+}
+
+// AccessCost breaks down the cost of one query under the access protocol.
+// Latency is measured in packet slots from query issue to the end of the
+// last data packet. Tuning splits into the three protocol steps; the paper's
+// Figure 12 reports TuneIndex only, since probe and data-retrieval tuning
+// are identical across index structures.
+type AccessCost struct {
+	Latency   float64
+	TuneProbe int
+	TuneIndex int
+	TuneData  int
+}
+
+// TotalTuning returns the full tuning time across all protocol steps.
+func (c AccessCost) TotalTuning() int { return c.TuneProbe + c.TuneIndex + c.TuneData }
+
+// Access simulates the client access protocol for a query issued at
+// absolute time t (in packet slots; any non-negative value, typically
+// uniform over one cycle):
+//
+//  1. Initial probe: finish receiving the packet in flight to learn the
+//     offset of the next index copy, then doze.
+//  2. Index search: selectively tune in for each packet in the trace. A
+//     trace offset earlier than the client's current position within the
+//     index copy (possible for DAG-shaped indexes whose paging cannot make
+//     every pointer forward) is fetched from the next index copy.
+//  3. Data retrieval: doze until the bucket's next occurrence and download
+//     all its packets.
+func (s *Schedule) Access(t float64, trace SearchTrace) (AccessCost, error) {
+	if trace.Bucket < 0 || trace.Bucket >= s.NumBuckets {
+		return AccessCost{}, fmt.Errorf("broadcast: bucket %d out of range [0,%d)", trace.Bucket, s.NumBuckets)
+	}
+	var c AccessCost
+
+	// Initial probe: wait for the in-flight packet to end.
+	cur := float64(int(t) + 1)
+	c.TuneProbe = 1
+
+	if s.IndexPackets > 0 {
+		idxStart := float64(s.NextIndexStart(cur))
+		for _, off := range trace.IndexOffsets {
+			if off < 0 || off >= s.IndexPackets {
+				return AccessCost{}, fmt.Errorf("broadcast: index offset %d out of segment [0,%d)", off, s.IndexPackets)
+			}
+			target := idxStart + float64(off)
+			if target < cur {
+				// Already passed in this copy; wait for the next copy.
+				idxStart = float64(s.NextIndexStart(cur))
+				target = idxStart + float64(off)
+			}
+			cur = target + 1 // finish receiving the packet
+			c.TuneIndex++
+		}
+	}
+
+	dataStart := float64(s.NextBucketStart(trace.Bucket, cur))
+	end := dataStart + float64(s.BucketPackets)
+	c.TuneData = s.BucketPackets
+	c.Latency = end - t
+	return c, nil
+}
+
+// NoIndexAccess simulates the paper's non-indexing baseline on a data-only
+// cycle: the client tunes in at time t and reads every bucket as it arrives
+// until it reaches the target bucket (it cannot predict arrival, so it stays
+// active throughout). Latency equals tuning here.
+func NoIndexAccess(t float64, numBuckets, bucketPackets, target int) AccessCost {
+	cycle := float64(numBuckets * bucketPackets)
+	s := float64(target * bucketPackets)
+	// Smallest s + k*cycle >= t.
+	k := 0.0
+	if t > s {
+		k = (t - s) / cycle
+		k = float64(int(k))
+		if s+k*cycle < t {
+			k++
+		}
+	}
+	start := s + k*cycle
+	end := start + float64(bucketPackets)
+	// The client listens continuously from t to end (it cannot predict the
+	// target's arrival without an index).
+	tuning := int(end - float64(int(t))) // whole packets touched from the in-flight one
+	return AccessCost{
+		Latency:   end - t,
+		TuneProbe: 0,
+		TuneIndex: tuning - bucketPackets,
+		TuneData:  bucketPackets,
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"airindex/internal/region"
+)
+
+// buildOptions configures construction; the defaults implement the paper,
+// and the deviations (single style, no tie-break) exist for the ablation
+// experiments called out in DESIGN.md.
+type buildOptions struct {
+	dims          []Dimension
+	sortKeys      []bool // true = sort by canonical rightmost, false = leftmost
+	tieBreak      bool
+	pruneParallel bool
+	weights       []float64 // access frequencies; nil = cardinality balance
+}
+
+// BuildOption customizes D-tree construction.
+type BuildOption func(*buildOptions)
+
+// WithoutTieBreak disables the inter-prob tie-break between equal-size
+// partition styles (ablation).
+func WithoutTieBreak() BuildOption {
+	return func(o *buildOptions) { o.tieBreak = false }
+}
+
+// WithSingleStyle restricts the partition search to one dimension and one
+// sort key (ablation: the paper evaluates four/eight styles per node).
+func WithSingleStyle(dim Dimension, sortByMax bool) BuildOption {
+	return func(o *buildOptions) {
+		o.dims = []Dimension{dim}
+		o.sortKeys = []bool{sortByMax}
+	}
+}
+
+// WithoutParallelPrune keeps partition segments that run exactly parallel to
+// the query ray (ablation; such segments can never change crossing parity,
+// so the default prunes them).
+func WithoutParallelPrune() BuildOption {
+	return func(o *buildOptions) { o.pruneParallel = false }
+}
+
+// WithAccessWeights builds an access-weighted D-tree: instead of halving
+// the region count, every partition halves the query probability mass, so
+// frequently-queried regions sit near the root. Expected search depth drops
+// from log2(N) toward the entropy of the access distribution — the skewed-
+// access extension the paper defers to imbalanced-index work. weights[i] is
+// the (unnormalized, non-negative) access frequency of region i; the tree
+// keeps the paper's cardinality balance when weights is nil. Weighted trees
+// trade the height-balance property for expected tuning time.
+func WithAccessWeights(weights []float64) BuildOption {
+	return func(o *buildOptions) { o.weights = weights }
+}
+
+type builder struct {
+	sub   *region.Subdivision
+	spans []regionSpan
+	opts  buildOptions
+}
+
+// Build constructs the D-tree for a subdivision by recursively partitioning
+// the region set into complementary halves (Section 4.2). The resulting
+// tree is height-balanced with exactly two children per node.
+func Build(sub *region.Subdivision, opts ...BuildOption) (*Tree, error) {
+	o := buildOptions{
+		dims:          []Dimension{DimY, DimX},
+		sortKeys:      []bool{true, false},
+		tieBreak:      true,
+		pruneParallel: true,
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	if sub.N() == 0 {
+		return nil, fmt.Errorf("core: empty subdivision")
+	}
+	if o.weights != nil {
+		if len(o.weights) != sub.N() {
+			return nil, fmt.Errorf("core: %d access weights for %d regions", len(o.weights), sub.N())
+		}
+		for i, w := range o.weights {
+			if w < 0 {
+				return nil, fmt.Errorf("core: negative access weight %g for region %d", w, i)
+			}
+		}
+	}
+	b := &builder{sub: sub, opts: o, spans: make([]regionSpan, sub.N())}
+	for i := range sub.Regions {
+		bb := sub.Regions[i].Bounds()
+		b.spans[i] = regionSpan{id: i, minX: bb.MinX, maxX: bb.MaxX, minY: bb.MinY, maxY: bb.MaxY}
+	}
+
+	t := &Tree{Sub: sub, opts: o}
+	if sub.N() == 1 {
+		// Degenerate dataset: no partitions; Locate answers 0 directly.
+		return t, nil
+	}
+	ids := make([]int, sub.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	ref, err := b.split(ids)
+	if err != nil {
+		return nil, err
+	}
+	t.Root = ref.Node
+	t.assignIDs()
+	return t, nil
+}
+
+// split recursively partitions the region set and returns a reference to
+// the subtree (or a data pointer for a single region).
+func (b *builder) split(ids []int) (ChildRef, error) {
+	if len(ids) == 1 {
+		return ChildRef{Data: ids[0]}, nil
+	}
+	cand, err := b.choosePartition(ids)
+	if err != nil {
+		return ChildRef{}, err
+	}
+	left, err := b.split(cand.left)
+	if err != nil {
+		return ChildRef{}, err
+	}
+	right, err := b.split(cand.right)
+	if err != nil {
+		return ChildRef{}, err
+	}
+	return ChildRef{Node: &Node{
+		Dim:        cand.style.dim,
+		Polylines:  cand.polylines,
+		CutLo:      cand.cutLo,
+		CutHi:      cand.cutHi,
+		Left:       left,
+		Right:      right,
+		Pruned:     cand.pruned,
+		Truncated:  cand.truncated,
+		NumRegions: len(ids),
+		InterProb:  cand.interProb,
+	}}, nil
+}
+
+// assignIDs numbers nodes in breadth-first order and fills Tree.Nodes; the
+// broadcast organization pages and transmits the tree in this order.
+func (t *Tree) assignIDs() {
+	t.Nodes = t.Nodes[:0]
+	if t.Root == nil {
+		return
+	}
+	queue := []*Node{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		n.ID = len(t.Nodes)
+		t.Nodes = append(t.Nodes, n)
+		if !n.Left.IsData() {
+			queue = append(queue, n.Left.Node)
+		}
+		if !n.Right.IsData() {
+			queue = append(queue, n.Right.Node)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"airindex/internal/geom"
+	"airindex/internal/wire"
+)
+
+// This file implements the actual on-air byte format of the paged D-tree
+// (Figure 7 / Table 1) and a client-side decoder that answers point queries
+// from raw packets alone. Node layout, little-endian:
+//
+//	bid      uint16
+//	header   uint16  bit0 dim (0=y,1=x) · bit1 multi-packet · bit2 explicit
+//	                 LMC follows · bit3 truncated · bits4-15 polyline count
+//	left_ptr uint32  bit31 type (1=data): data -> bucket id in bits 0-30;
+//	right_ptr        node -> packet in bits 16-30, byte offset in bits 0-15
+//	[RMC float32]    only for multi-packet nodes (Section 4.4)
+//	[LMC float32]    when bit2 set: multi-packet nodes, and single-packet
+//	                 nodes whose pruning hid the CutLo line (the paper
+//	                 recovers LMC from the truncated partition's first
+//	                 point; storing it explicitly costs one coordinate and
+//	                 avoids re-ordering polylines)
+//	per polyline: count uint16, then count x (float32 x, float32 y)
+//
+// Queries land on data regions, so coordinates survive the float64->float32
+// narrowing except for points within ~1e-3 of a partition line (for the
+// 10^4-unit service areas used here), where either adjacent region is an
+// acceptable answer.
+
+const (
+	hdrDimX      = 1 << 0
+	hdrMulti     = 1 << 1
+	hdrLMC       = 1 << 2
+	hdrTruncated = 1 << 3
+	hdrCountShft = 4
+)
+
+// needsExplicitLMC reports whether the single-packet encoding of n must
+// carry CutLo: pruning removed extent pieces without any segment being cut
+// at the line, so the partition alone no longer reveals it.
+func needsExplicitLMC(n *Node) bool {
+	return n.Pruned && !n.Truncated
+}
+
+// NodeSize returns the serialized size of a node: bid + header + two
+// pointers + the partition coordinates with one 2-byte count per polyline,
+// plus the RMC and LMC coordinates of Section 4.4 when the node exceeds
+// one packet (and LMC alone in the rare pruned-but-untruncated case).
+func NodeSize(n *Node, p wire.Params) int {
+	base := p.BidSize + p.HeaderSize + 2*p.PointerSize
+	for _, pl := range n.Polylines {
+		base += 2 + len(pl)*p.PointSize()
+	}
+	if needsExplicitLMC(n) {
+		base += p.CoordSize // LMC
+	}
+	if base > p.PacketCapacity {
+		base += p.CoordSize // RMC
+		if !needsExplicitLMC(n) {
+			base += p.CoordSize // LMC, now needed for first-packet termination
+		}
+	}
+	return base
+}
+
+// EncodePackets serializes the paged tree into real fixed-size packets.
+// The root starts at byte 0 of packet 0.
+func (pg *Paged) EncodePackets() ([][]byte, error) {
+	capacity := pg.Params.PacketCapacity
+	out := make([][]byte, pg.Layout.PacketCount)
+	for k := range out {
+		out[k] = make([]byte, capacity)
+	}
+	if pg.Tree.Root == nil {
+		return out, nil
+	}
+	// Compute each node's (packet, offset) from the layout's byte order.
+	type pos struct{ packet, off int }
+	offsets := make(map[int]pos, len(pg.Tree.Nodes))
+	remaining := make(map[int]int, len(pg.Tree.Nodes))
+	for _, n := range pg.Tree.Nodes {
+		remaining[n.ID] = NodeSize(n, pg.Params)
+	}
+	for k, ids := range pg.Layout.PacketNodes {
+		cursor := 0
+		for _, id := range ids {
+			if _, seen := offsets[id]; !seen {
+				offsets[id] = pos{k, cursor}
+			}
+			take := min(remaining[id], capacity-cursor)
+			cursor += take
+			remaining[id] -= take
+		}
+	}
+	for id, r := range remaining {
+		if r != 0 {
+			return nil, fmt.Errorf("core: node %d has %d unplaced bytes", id, r)
+		}
+	}
+
+	ref := func(c ChildRef) (uint32, error) {
+		if c.IsData() {
+			if c.Data < 0 || c.Data >= 1<<31 {
+				return 0, fmt.Errorf("core: bucket id %d out of range", c.Data)
+			}
+			return 1<<31 | uint32(c.Data), nil
+		}
+		p := offsets[c.Node.ID]
+		if p.packet >= 1<<15 || p.off >= 1<<16 {
+			return 0, fmt.Errorf("core: pointer target (%d, %d) out of range", p.packet, p.off)
+		}
+		return uint32(p.packet)<<16 | uint32(p.off), nil
+	}
+
+	for _, n := range pg.Tree.Nodes {
+		buf, err := pg.encodeNode(n, ref)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) != NodeSize(n, pg.Params) {
+			return nil, fmt.Errorf("core: node %d encoded to %d bytes, size model says %d",
+				n.ID, len(buf), NodeSize(n, pg.Params))
+		}
+		// Copy across the node's packets.
+		p := offsets[n.ID]
+		pk, off := p.packet, p.off
+		for len(buf) > 0 {
+			nw := copy(out[pk][off:], buf)
+			buf = buf[nw:]
+			pk, off = pk+1, 0
+		}
+	}
+	return out, nil
+}
+
+func (pg *Paged) encodeNode(n *Node, ref func(ChildRef) (uint32, error)) ([]byte, error) {
+	if len(n.Polylines) >= 1<<12 {
+		return nil, fmt.Errorf("core: node %d has %d polylines (max 4095)", n.ID, len(n.Polylines))
+	}
+	multi := NodeSize(n, pg.Params) > pg.Params.PacketCapacity
+	explicitLMC := multi || needsExplicitLMC(n)
+
+	var hdr uint16
+	if n.Dim == DimX {
+		hdr |= hdrDimX
+	}
+	if multi {
+		hdr |= hdrMulti
+	}
+	if explicitLMC {
+		hdr |= hdrLMC
+	}
+	if n.Truncated {
+		hdr |= hdrTruncated
+	}
+	hdr |= uint16(len(n.Polylines)) << hdrCountShft
+
+	buf := make([]byte, 0, NodeSize(n, pg.Params))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(n.ID))
+	buf = binary.LittleEndian.AppendUint16(buf, hdr)
+	for _, c := range []ChildRef{n.Left, n.Right} {
+		v, err := ref(c)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	if multi {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(n.CutHi)))
+	}
+	if explicitLMC {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(n.CutLo)))
+	}
+	for _, pl := range n.Polylines {
+		if len(pl) >= 1<<16 {
+			return nil, fmt.Errorf("core: polyline with %d points", len(pl))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(pl)))
+		for _, p := range pl {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(p.X)))
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(p.Y)))
+		}
+	}
+	return buf, nil
+}
+
+// PacketProvider hands the client decoder index packets on demand. A slice
+// of pre-received packets satisfies it trivially; the streaming client in
+// internal/stream blocks until the broadcast delivers the requested packet.
+type PacketProvider func(k int) ([]byte, error)
+
+// packetReader reads a byte stream that continues across consecutive
+// packets, recording which packets were touched.
+type packetReader struct {
+	get      PacketProvider
+	pk, off  int
+	seen     map[int]bool
+	trace    *[]int
+	capacity int
+}
+
+func (r *packetReader) touch() {
+	if !r.seen[r.pk] {
+		r.seen[r.pk] = true
+		*r.trace = append(*r.trace, r.pk)
+	}
+}
+
+func (r *packetReader) read(n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		if r.off < 0 || r.off >= r.capacity {
+			return nil, fmt.Errorf("core: byte offset %d outside packet capacity %d", r.off, r.capacity)
+		}
+		pkt, err := r.get(r.pk)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkt) != r.capacity {
+			return nil, fmt.Errorf("core: packet %d has %d bytes, capacity %d", r.pk, len(pkt), r.capacity)
+		}
+		r.touch()
+		avail := r.capacity - r.off
+		take := min(avail, n)
+		out = append(out, pkt[r.off:r.off+take]...)
+		r.off += take
+		n -= take
+		if r.off == r.capacity {
+			r.pk, r.off = r.pk+1, 0
+		}
+	}
+	return out, nil
+}
+
+func (r *packetReader) u16() (uint16, error) {
+	b, err := r.read(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *packetReader) u32() (uint32, error) {
+	b, err := r.read(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *packetReader) f32() (float64, error) {
+	v, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	return float64(math.Float32frombits(v)), nil
+}
+
+// ClientLocate answers a point query from raw packets, exactly as a mobile
+// client would: it parses nodes straight off the byte stream, follows typed
+// pointers, applies the band tests (using the RMC/LMC of a multi-packet
+// node's first packet for early termination) and the ray-crossing parity
+// rule. It returns the data bucket id and the packet offsets downloaded.
+func ClientLocate(packets [][]byte, capacity int, p geom.Point) (int, []int, error) {
+	if len(packets) == 0 {
+		return 0, nil, nil // single-region system: no index on air
+	}
+	return ClientLocateFrom(func(k int) ([]byte, error) {
+		if k < 0 || k >= len(packets) {
+			return nil, fmt.Errorf("core: packet %d out of range [0,%d)", k, len(packets))
+		}
+		return packets[k], nil
+	}, capacity, p)
+}
+
+// ClientLocateFrom is ClientLocate over an arbitrary packet source, letting
+// a client that receives packets one by one from a live broadcast drive the
+// same decoder (the provider blocks until the packet arrives).
+func ClientLocateFrom(get PacketProvider, capacity int, p geom.Point) (int, []int, error) {
+	var trace []int
+	seen := make(map[int]bool, 8)
+	pk, off := 0, 0
+	for hops := 0; hops <= 64; hops++ {
+		r := &packetReader{get: get, pk: pk, off: off, seen: seen, trace: &trace, capacity: capacity}
+		if _, err := r.u16(); err != nil { // bid
+			return 0, nil, err
+		}
+		hdr, err := r.u16()
+		if err != nil {
+			return 0, nil, err
+		}
+		left, err := r.u32()
+		if err != nil {
+			return 0, nil, err
+		}
+		right, err := r.u32()
+		if err != nil {
+			return 0, nil, err
+		}
+		dim := DimY
+		if hdr&hdrDimX != 0 {
+			dim = DimX
+		}
+		nPoly := int(hdr >> hdrCountShft)
+		cx := canonX(dim, p)
+		cp := canon(dim, p)
+
+		hi, lo := math.Inf(1), math.Inf(-1)
+		haveHi := false
+		if hdr&hdrMulti != 0 {
+			if hi, err = r.f32(); err != nil {
+				return 0, nil, err
+			}
+			haveHi = true
+		}
+		if hdr&hdrLMC != 0 {
+			if lo, err = r.f32(); err != nil {
+				return 0, nil, err
+			}
+		}
+
+		next := uint32(0)
+		decided := false
+		if hdr&hdrLMC != 0 && cx <= lo {
+			next, decided = left, true
+		} else if haveHi && cx >= hi {
+			next, decided = right, true
+		}
+		if !decided {
+			// Parse the partition (crossing into the node's continuation
+			// packets as needed) and count ray crossings; track the
+			// partition extremes for single-packet threshold tests.
+			crossings := 0
+			partMin, partMax := math.Inf(1), math.Inf(-1)
+			var prev geom.Point
+			for i := 0; i < nPoly; i++ {
+				cnt, err := r.u16()
+				if err != nil {
+					return 0, nil, err
+				}
+				for j := 0; j < int(cnt); j++ {
+					x, err := r.f32()
+					if err != nil {
+						return 0, nil, err
+					}
+					y, err := r.f32()
+					if err != nil {
+						return 0, nil, err
+					}
+					pt := canon(dim, geom.Pt(x, y))
+					partMin = math.Min(partMin, pt.X)
+					partMax = math.Max(partMax, pt.X)
+					if j > 0 && (geom.Segment{A: prev, B: pt}).CrossesRightwardRay(cp) {
+						crossings++
+					}
+					prev = pt
+				}
+			}
+			if hdr&hdrLMC == 0 && hdr&hdrTruncated != 0 {
+				lo = partMin // the truncated partition starts at the CutLo line
+			}
+			if !haveHi {
+				hi = partMax
+			}
+			switch {
+			case nPoly > 0 && cx <= lo:
+				next = left
+			case nPoly > 0 && cx >= hi:
+				next = right
+			case nPoly == 0:
+				// Disjoint-extent node: the explicit LMC decides alone.
+				if cx <= lo {
+					next = left
+				} else {
+					next = right
+				}
+			case crossings%2 == 1:
+				next = left
+			default:
+				next = right
+			}
+		}
+
+		if next&(1<<31) != 0 {
+			return int(next &^ (1 << 31)), trace, nil
+		}
+		pk, off = int(next>>16), int(next&0xffff)
+	}
+	return 0, nil, fmt.Errorf("core: client walk exceeded 64 hops (corrupt index?)")
+}

@@ -1,0 +1,253 @@
+// Package core implements the D-tree, the paper's primary contribution: a
+// binary height-balanced index over a planar subdivision of data regions
+// that stores neither decompositions nor approximations of the regions, but
+// the divisions (polylines) between complementary halves of the region set.
+//
+// The package provides the recursive partition algorithm (Section 4.2,
+// Algorithm 1) with its four/eight partition styles and inter-prob
+// tie-breaking, point-query processing (Section 4.3, Algorithm 2), and the
+// top-down packet paging of Section 4.4 with the RMC/LMC arrangement that
+// lets queries outside a large node's interlocking band terminate after the
+// node's first packet.
+package core
+
+import (
+	"fmt"
+
+	"airindex/internal/geom"
+	"airindex/internal/region"
+)
+
+// Dimension is the overall orientation of a partition (Section 4.1): a
+// y-dimensional partition is a roughly vertical polyline separating a
+// lefthand from a righthand subspace (regions sorted on x-coordinates); an
+// x-dimensional partition is roughly horizontal, separating an upper from a
+// lower subspace (regions sorted on y-coordinates).
+type Dimension uint8
+
+const (
+	// DimY is a y-dimensional partition (left/right split).
+	DimY Dimension = iota
+	// DimX is an x-dimensional partition (upper/lower split).
+	DimX
+)
+
+func (d Dimension) String() string {
+	if d == DimX {
+		return "x"
+	}
+	return "y"
+}
+
+// canon maps a point into the canonical frame in which every partition is
+// y-dimensional: identity for DimY; the rotation (x, y) -> (-y, x) for DimX,
+// which sends the upper subspace to the canonical "left". The map is a
+// rigid rotation, so intersection parity and areas are preserved.
+func canon(d Dimension, p geom.Point) geom.Point {
+	if d == DimX {
+		return geom.Point{X: -p.Y, Y: p.X}
+	}
+	return p
+}
+
+// uncanon inverts canon.
+func uncanon(d Dimension, p geom.Point) geom.Point {
+	if d == DimX {
+		return geom.Point{X: p.Y, Y: -p.X}
+	}
+	return p
+}
+
+// canonX returns the canonical x-coordinate of p under dimension d.
+func canonX(d Dimension, p geom.Point) float64 {
+	if d == DimX {
+		return -p.Y
+	}
+	return p.X
+}
+
+// ChildRef points to either a child node or a data bucket (the paper's
+// pointer with a type flag, Table 1).
+type ChildRef struct {
+	Node *Node // nil when the reference is a data pointer
+	Data int   // region / data-bucket id, valid when Node is nil
+}
+
+// IsData reports whether the reference points to a data bucket.
+func (c ChildRef) IsData() bool { return c.Node == nil }
+
+// Node is one D-tree node: the partition dividing the node's space into two
+// complementary subspaces plus the two child references (Figure 7/Table 1).
+type Node struct {
+	ID  int // breadth-first id, assigned after construction
+	Dim Dimension
+
+	// Polylines is the partition: the pruned, truncated boundary of the
+	// canonical-left subspace, in real coordinates.
+	Polylines []geom.Polyline
+
+	// CutLo and CutHi delimit the interlocking band in canonical
+	// x-coordinates: CutLo is the canonical leftmost coordinate of the
+	// righthand subspace (Algorithm 1's right_lmc) and CutHi the canonical
+	// rightmost coordinate of the lefthand subspace (left_rmc). Queries at
+	// or below CutLo resolve left and at or above CutHi resolve right
+	// without consulting the partition — the early-termination information
+	// a large node's first packet carries (Section 4.4).
+	CutLo, CutHi float64
+
+	Left, Right ChildRef
+
+	// Pruned reports whether Algorithm 1 removed anything from the extent;
+	// Truncated whether some segment was cut at the CutLo line (in which
+	// case the partition's leftmost coordinate equals CutLo). Together they
+	// decide whether the wire format must carry CutLo explicitly: a pruned
+	// but untruncated partition no longer reveals CutLo (see codec.go).
+	Pruned, Truncated bool
+
+	// NumRegions is the number of data regions below this node.
+	NumRegions int
+	// InterProb is the fraction of the node's space inside the interlocking
+	// band (the tie-break quantity of Section 4.2).
+	InterProb float64
+}
+
+// PartitionPoints returns the total number of points across the partition's
+// polylines — the paper's partition-size measure.
+func (n *Node) PartitionPoints() int {
+	var s int
+	for _, pl := range n.Polylines {
+		s += len(pl)
+	}
+	return s
+}
+
+// Tree is a built D-tree over a subdivision.
+type Tree struct {
+	Root *Node
+	Sub  *region.Subdivision
+	// Nodes lists all nodes in breadth-first order; Nodes[i].ID == i.
+	Nodes []*Node
+
+	opts buildOptions
+}
+
+// Stats summarizes structural properties of a tree.
+type Stats struct {
+	Nodes           int
+	Height          int // levels of internal nodes; single-region trees have 0
+	PartitionPoints int
+	MaxNodePoints   int
+}
+
+// Height returns the maximum number of nodes on a root-to-leaf path.
+func (t *Tree) Height() int {
+	var h func(c ChildRef) int
+	h = func(c ChildRef) int {
+		if c.IsData() {
+			return 0
+		}
+		l, r := h(c.Node.Left), h(c.Node.Right)
+		return 1 + max(l, r)
+	}
+	return h(ChildRef{Node: t.Root})
+}
+
+// Stats computes summary statistics.
+func (t *Tree) Stats() Stats {
+	st := Stats{Nodes: len(t.Nodes), Height: t.Height()}
+	for _, n := range t.Nodes {
+		p := n.PartitionPoints()
+		st.PartitionPoints += p
+		if p > st.MaxNodePoints {
+			st.MaxNodePoints = p
+		}
+	}
+	return st
+}
+
+// CheckInvariants verifies the four structural properties of Section 4.1:
+// every node has two children, left/right spatial separation (checked via
+// region membership), height balance, and consistent region counts.
+func (t *Tree) CheckInvariants() error {
+	if t.Root == nil {
+		if t.Sub.N() != 1 {
+			return fmt.Errorf("core: nil root with %d regions", t.Sub.N())
+		}
+		return nil
+	}
+	var walk func(c ChildRef) (depthMin, depthMax, regions int, err error)
+	walk = func(c ChildRef) (int, int, int, error) {
+		if c.IsData() {
+			if c.Data < 0 || c.Data >= t.Sub.N() {
+				return 0, 0, 0, fmt.Errorf("core: data pointer %d out of range", c.Data)
+			}
+			return 0, 0, 1, nil
+		}
+		n := c.Node
+		if len(n.Polylines) == 0 && n.CutHi > n.CutLo+geom.Eps {
+			return 0, 0, 0, fmt.Errorf("core: node %d has empty partition but a non-empty interlocking band", n.ID)
+		}
+		lMin, lMax, lN, err := walk(n.Left)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		rMin, rMax, rN, err := walk(n.Right)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if lN+rN != n.NumRegions {
+			return 0, 0, 0, fmt.Errorf("core: node %d region count %d != %d+%d", n.ID, n.NumRegions, lN, rN)
+		}
+		if diff := lN - rN; t.opts.weights == nil && (diff < -1 || diff > 1) {
+			return 0, 0, 0, fmt.Errorf("core: node %d unbalanced split %d/%d", n.ID, lN, rN)
+		}
+		return 1 + min(lMin, rMin), 1 + max(lMax, rMax), lN + rN, nil
+	}
+	dMin, dMax, n, err := walk(ChildRef{Node: t.Root})
+	if err != nil {
+		return err
+	}
+	if n != t.Sub.N() {
+		return fmt.Errorf("core: tree covers %d of %d regions", n, t.Sub.N())
+	}
+	// Weighted trees intentionally trade height balance for expected depth.
+	if t.opts.weights == nil && dMax-dMin > 1 {
+		return fmt.Errorf("core: leaf levels differ by %d (> 1)", dMax-dMin)
+	}
+	return nil
+}
+
+// ExpectedDepth returns the expected number of nodes visited by a point
+// query when region r is queried with probability weights[r] (normalized
+// internally). With nil weights the access distribution is uniform over
+// regions.
+func (t *Tree) ExpectedDepth(weights []float64) float64 {
+	if t.Root == nil {
+		return 0
+	}
+	var total float64
+	w := func(r int) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[r]
+	}
+	for r := 0; r < t.Sub.N(); r++ {
+		total += w(r)
+	}
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	var walk func(c ChildRef, depth int)
+	walk = func(c ChildRef, depth int) {
+		if c.IsData() {
+			sum += w(c.Data) * float64(depth)
+			return
+		}
+		walk(c.Node.Left, depth+1)
+		walk(c.Node.Right, depth+1)
+	}
+	walk(ChildRef{Node: t.Root}, 0)
+	return sum / total
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/wire"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the tree decoder: it must reject
+// or accept without panicking, and anything accepted must pass the
+// invariant checks (Unmarshal runs them itself).
+func FuzzUnmarshal(f *testing.F) {
+	tree, _, _ := buildVoronoiTree(f, 12, 601)
+	img, err := tree.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add(img[:len(img)/2])
+	f.Add([]byte("DTRE"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Unmarshal(data, tree.Sub)
+		if err != nil {
+			return
+		}
+		// Accepted images must answer queries without panicking.
+		loaded.Locate(geom.Pt(5000, 5000))
+	})
+}
+
+// FuzzClientLocate decodes point queries from mutated packet bytes: the
+// client must never panic or loop, whatever the corruption.
+func FuzzClientLocate(f *testing.F) {
+	tree, _, _ := buildVoronoiTree(f, 15, 602)
+	paged, err := tree.Page(wire.DTreeParams(128))
+	if err != nil {
+		f.Fatal(err)
+	}
+	packets, err := paged.EncodePackets()
+	if err != nil {
+		f.Fatal(err)
+	}
+	flat := make([]byte, 0, len(packets)*128)
+	for _, pkt := range packets {
+		flat = append(flat, pkt...)
+	}
+	f.Add(flat, 5000.0, 5000.0)
+	f.Add(flat[:128], 100.0, 100.0)
+	f.Fuzz(func(t *testing.T, data []byte, x, y float64) {
+		if len(data) == 0 {
+			return
+		}
+		n := len(data) / 128
+		if n == 0 {
+			return
+		}
+		pks := make([][]byte, n)
+		for i := range pks {
+			pks[i] = data[i*128 : (i+1)*128]
+		}
+		_, _, _ = ClientLocate(pks, 128, geom.Pt(x, y)) // must not panic or hang
+	})
+}

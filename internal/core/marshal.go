@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"airindex/internal/geom"
+	"airindex/internal/region"
+)
+
+// Tree persistence: a compact, self-describing binary encoding of the
+// built D-tree (topology, partitions, band limits), so a broadcast server
+// can ship or reload an index without re-running the partition search.
+// The subdivision is not embedded — it derives from the data — and Load
+// verifies the region count against the provided one.
+//
+// Layout (little endian): magic "DTRE", version u16, region count u32,
+// node count u32, then nodes in breadth-first order:
+//
+//	dim u8 · flags u8 (bit0 pruned, bit1 truncated) ·
+//	cutLo f64 · cutHi f64 · interProb f64 · numRegions u32 ·
+//	left u32 · right u32 (bit31 = data pointer; else node id) ·
+//	polyline count u16 · per polyline: point count u16 + f64 x,y pairs
+
+const (
+	marshalMagic   = "DTRE"
+	marshalVersion = 1
+)
+
+// Marshal encodes the tree.
+func (t *Tree) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(marshalMagic)
+	le := binary.LittleEndian
+	w := func(v interface{}) { binary.Write(&buf, le, v) } //nolint:errcheck
+	w(uint16(marshalVersion))
+	var treeFlags uint8
+	if t.opts.weights != nil {
+		treeFlags |= 1 // unbalanced (access-weighted) tree
+	}
+	w(treeFlags)
+	w(uint32(t.Sub.N()))
+	w(uint32(len(t.Nodes)))
+	ref := func(c ChildRef) uint32 {
+		if c.IsData() {
+			return 1<<31 | uint32(c.Data)
+		}
+		return uint32(c.Node.ID)
+	}
+	for _, n := range t.Nodes {
+		w(uint8(n.Dim))
+		var flags uint8
+		if n.Pruned {
+			flags |= 1
+		}
+		if n.Truncated {
+			flags |= 2
+		}
+		w(flags)
+		w(n.CutLo)
+		w(n.CutHi)
+		w(n.InterProb)
+		w(uint32(n.NumRegions))
+		w(ref(n.Left))
+		w(ref(n.Right))
+		if len(n.Polylines) >= 1<<16 {
+			return nil, fmt.Errorf("core: node %d has %d polylines", n.ID, len(n.Polylines))
+		}
+		w(uint16(len(n.Polylines)))
+		for _, pl := range n.Polylines {
+			if len(pl) >= 1<<16 {
+				return nil, fmt.Errorf("core: polyline with %d points", len(pl))
+			}
+			w(uint16(len(pl)))
+			for _, p := range pl {
+				w(p.X)
+				w(p.Y)
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a tree over the given subdivision (which must have the
+// same region count it was built for).
+func Unmarshal(data []byte, sub *region.Subdivision) (*Tree, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := r.Read(magic); err != nil || string(magic) != marshalMagic {
+		return nil, fmt.Errorf("core: not a D-tree image")
+	}
+	le := binary.LittleEndian
+	var fail error
+	rd := func(v interface{}) {
+		if fail == nil {
+			fail = binary.Read(r, le, v)
+		}
+	}
+	var version uint16
+	var treeFlags uint8
+	var nRegions, nNodes uint32
+	rd(&version)
+	rd(&treeFlags)
+	rd(&nRegions)
+	rd(&nNodes)
+	if fail != nil {
+		return nil, fmt.Errorf("core: truncated D-tree image: %w", fail)
+	}
+	if version != marshalVersion {
+		return nil, fmt.Errorf("core: D-tree image version %d, want %d", version, marshalVersion)
+	}
+	if int(nRegions) != sub.N() {
+		return nil, fmt.Errorf("core: image built for %d regions, subdivision has %d", nRegions, sub.N())
+	}
+	// A D-tree over N regions has exactly N-1 nodes (two children each);
+	// this also bounds allocations when decoding hostile images.
+	if wantNodes := uint32(0); nRegions > 1 {
+		wantNodes = nRegions - 1
+		if nNodes != wantNodes {
+			return nil, fmt.Errorf("core: image has %d nodes for %d regions, want %d", nNodes, nRegions, wantNodes)
+		}
+	} else if nNodes != 0 {
+		return nil, fmt.Errorf("core: image has %d nodes for a single region", nNodes)
+	}
+
+	t := &Tree{Sub: sub}
+	if treeFlags&1 != 0 {
+		// Mark the tree as access-weighted so invariant checks skip the
+		// balance properties it intentionally trades away.
+		t.opts.weights = []float64{}
+	}
+	if nNodes == 0 {
+		if sub.N() != 1 {
+			return nil, fmt.Errorf("core: empty tree image for %d regions", sub.N())
+		}
+		return t, nil
+	}
+	nodes := make([]*Node, nNodes)
+	for i := range nodes {
+		nodes[i] = &Node{ID: i}
+	}
+	type pendingRef struct {
+		node  *Node
+		right bool
+		v     uint32
+	}
+	var pend []pendingRef
+	for i := uint32(0); i < nNodes; i++ {
+		n := nodes[i]
+		var dim, flags uint8
+		var numRegions, left, right uint32
+		var nPoly uint16
+		rd(&dim)
+		rd(&flags)
+		rd(&n.CutLo)
+		rd(&n.CutHi)
+		rd(&n.InterProb)
+		rd(&numRegions)
+		rd(&left)
+		rd(&right)
+		rd(&nPoly)
+		if fail != nil {
+			return nil, fmt.Errorf("core: truncated D-tree image at node %d: %w", i, fail)
+		}
+		if dim > uint8(DimX) {
+			return nil, fmt.Errorf("core: node %d has dimension %d", i, dim)
+		}
+		n.Dim = Dimension(dim)
+		n.Pruned = flags&1 != 0
+		n.Truncated = flags&2 != 0
+		n.NumRegions = int(numRegions)
+		if math.IsNaN(n.CutLo) || math.IsNaN(n.CutHi) {
+			return nil, fmt.Errorf("core: node %d has NaN band limits", i)
+		}
+		n.Polylines = make([]geom.Polyline, nPoly)
+		for j := range n.Polylines {
+			var cnt uint16
+			rd(&cnt)
+			pl := make(geom.Polyline, cnt)
+			for k := range pl {
+				rd(&pl[k].X)
+				rd(&pl[k].Y)
+			}
+			n.Polylines[j] = pl
+		}
+		if fail != nil {
+			return nil, fmt.Errorf("core: truncated D-tree image in node %d partition: %w", i, fail)
+		}
+		pend = append(pend,
+			pendingRef{node: n, right: false, v: left},
+			pendingRef{node: n, right: true, v: right})
+	}
+	resolve := func(v uint32) (ChildRef, error) {
+		if v&(1<<31) != 0 {
+			d := int(v &^ (1 << 31))
+			if d >= sub.N() {
+				return ChildRef{}, fmt.Errorf("core: data pointer %d out of range", d)
+			}
+			return ChildRef{Data: d}, nil
+		}
+		if v >= nNodes {
+			return ChildRef{}, fmt.Errorf("core: node pointer %d out of range", v)
+		}
+		if v == 0 {
+			return ChildRef{}, fmt.Errorf("core: child pointer to the root")
+		}
+		return ChildRef{Node: nodes[v]}, nil
+	}
+	for _, p := range pend {
+		c, err := resolve(p.v)
+		if err != nil {
+			return nil, err
+		}
+		if p.right {
+			p.node.Right = c
+		} else {
+			p.node.Left = c
+		}
+	}
+	t.Root = nodes[0]
+	t.Nodes = nodes
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: decoded tree invalid: %w", err)
+	}
+	return t, nil
+}

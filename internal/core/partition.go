@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"airindex/internal/geom"
+)
+
+// style is one of the paper's partition styles: a dimension, a sort key
+// (canonical leftmost vs rightmost coordinate of each region), and the
+// number of regions assigned to the canonical-left subspace (N/2, or
+// (N±1)/2 when N is odd) — four styles for even N, eight for odd.
+type style struct {
+	dim       Dimension
+	sortByMax bool // sort regions by canonical rightmost (max) coordinate; else leftmost
+	leftCount int
+}
+
+// candidate is an evaluated partition for one style (Algorithm 1's output
+// plus the bookkeeping the builder needs).
+type candidate struct {
+	style       style
+	left, right []int // region ids of the two subspaces
+	polylines   []geom.Polyline
+	points      int // partition size in points (2 points = 4 coordinates)
+	cutLo       float64
+	cutHi       float64
+	interProb   float64
+	pruned      bool // Algorithm 1 removed extent segments
+	truncated   bool // some segment was cut at the CutLo line
+}
+
+// regionSpan caches a region's canonical extremes for both dimensions.
+type regionSpan struct {
+	id                     int
+	minX, maxX, minY, maxY float64
+}
+
+func (r regionSpan) canonMin(d Dimension) float64 {
+	if d == DimX {
+		return -r.maxY
+	}
+	return r.minX
+}
+
+func (r regionSpan) canonMax(d Dimension) float64 {
+	if d == DimX {
+		return -r.minY
+	}
+	return r.maxX
+}
+
+// evaluate runs Algorithm 1 (PartitionSize) for one style over the given
+// region ids of the current space.
+func (b *builder) evaluate(ids []int, st style) (candidate, error) {
+	spans := make([]regionSpan, len(ids))
+	for i, id := range ids {
+		spans[i] = b.spans[id]
+	}
+	key := func(r regionSpan) float64 {
+		if st.sortByMax {
+			return r.canonMax(st.dim)
+		}
+		return r.canonMin(st.dim)
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return key(spans[i]) < key(spans[j]) })
+
+	k := st.leftCount
+	if k == weightedSplit {
+		// Access-weighted build: cut at the weighted median of the sorted
+		// order so both subspaces carry about half the query mass.
+		var total float64
+		for _, sp := range spans {
+			total += b.opts.weights[sp.id]
+		}
+		var acc float64
+		k = len(spans) - 1
+		for i, sp := range spans[:len(spans)-1] {
+			acc += b.opts.weights[sp.id]
+			if acc >= total/2 {
+				k = i + 1
+				break
+			}
+		}
+	}
+	if k <= 0 || k >= len(ids) {
+		return candidate{}, fmt.Errorf("core: left count %d out of range for %d regions", k, len(ids))
+	}
+	left := make([]int, 0, k)
+	right := make([]int, 0, len(ids)-k)
+	for i, sp := range spans {
+		if i < k {
+			left = append(left, sp.id)
+		} else {
+			right = append(right, sp.id)
+		}
+	}
+
+	// right_lmc: canonical leftmost coordinate of the righthand subspace;
+	// left_rmc: canonical rightmost coordinate of the lefthand subspace.
+	cutLo := math.Inf(1)
+	for _, sp := range spans[k:] {
+		cutLo = math.Min(cutLo, sp.canonMin(st.dim))
+	}
+	cutHi := math.Inf(-1)
+	for _, sp := range spans[:k] {
+		cutHi = math.Max(cutHi, sp.canonMax(st.dim))
+	}
+
+	// Construct the extent of the lefthand subspace and prune/truncate it
+	// against the vertical line x = right_lmc (Algorithm 1, lines 4-16).
+	extent := b.sub.BoundarySegments(left)
+	var kept []geom.Segment
+	var pruned, truncated bool
+	const tol = geom.Eps
+	for _, s := range extent {
+		a, c := canon(st.dim, s.A), canon(st.dim, s.B)
+		if a.X <= cutLo+tol && c.X <= cutLo+tol {
+			pruned = true
+			continue // entirely to the left of (or on) the line: prune
+		}
+		if b.opts.pruneParallel && a.Y == c.Y {
+			// Exactly parallel to the query ray (an axis-aligned service-
+			// border piece): the crossing test can never count it, so it is
+			// dead weight in the partition.
+			pruned = true
+			continue
+		}
+		if a.X < cutLo-tol || c.X < cutLo-tol {
+			truncated = true
+			// Crosses the line: truncate, identifying right_lmc in the
+			// partition (Section 4.4's LMC point).
+			if a.X > c.X {
+				a, c = c, a
+			}
+			t := (cutLo - a.X) / (c.X - a.X)
+			a = geom.Lerp(a, c, t)
+			a.X = cutLo
+		}
+		kept = append(kept, geom.Segment{A: a, B: c})
+	}
+	if len(kept) == 0 {
+		if cutHi <= cutLo+tol {
+			// The two subspaces have disjoint canonical extents: every
+			// query resolves by the band test alone and the node stores no
+			// partition at all.
+			return candidate{
+				style: st, left: left, right: right,
+				cutLo: cutLo, cutHi: cutHi,
+				pruned: true, // the whole extent fell left of the line
+			}, nil
+		}
+		return candidate{}, fmt.Errorf("core: empty partition for style %+v over %d regions", st, len(ids))
+	}
+
+	chains := geom.ChainSegments(kept)
+	points := 0
+	polylines := make([]geom.Polyline, len(chains))
+	for i, ch := range chains {
+		points += len(ch)
+		real := make(geom.Polyline, len(ch))
+		for j, p := range ch {
+			real[j] = uncanon(st.dim, p)
+		}
+		polylines[i] = real
+	}
+
+	return candidate{
+		style: st, left: left, right: right,
+		polylines: polylines, points: points,
+		cutLo: cutLo, cutHi: cutHi,
+		interProb: b.interProb(ids, st.dim, cutLo, cutHi),
+		pruned:    pruned,
+		truncated: truncated,
+	}, nil
+}
+
+// interProb returns the probability (under uniform queries) that a query in
+// the current space falls in the interlocking band [cutLo, cutHi] shared by
+// both subspaces.
+func (b *builder) interProb(ids []int, d Dimension, cutLo, cutHi float64) float64 {
+	if cutHi <= cutLo {
+		return 0
+	}
+	var total, band float64
+	for _, id := range ids {
+		poly := b.sub.Regions[id].Poly
+		total += poly.Area()
+		cp := make(geom.Polygon, len(poly))
+		for i, p := range poly {
+			cp[i] = canon(d, p)
+		}
+		band += geom.ClipAreaVerticalBand(cp.EnsureCCW(), cutLo, cutHi)
+	}
+	if total <= 0 {
+		return 0
+	}
+	return band / total
+}
+
+// weightedSplit is the leftCount sentinel selecting the weighted-median
+// cut computed per style inside evaluate.
+const weightedSplit = -1
+
+// choosePartition evaluates every enabled style for the current space and
+// picks the one with the smallest partition size, breaking ties by the
+// lowest inter-prob (Section 4.2).
+func (b *builder) choosePartition(ids []int) (candidate, error) {
+	n := len(ids)
+	half := n / 2
+	counts := []int{half}
+	if n%2 == 1 {
+		counts = []int{(n + 1) / 2, (n - 1) / 2}
+	}
+	if b.opts.weights != nil {
+		counts = []int{weightedSplit}
+	}
+	var styles []style
+	for _, dim := range b.opts.dims {
+		for _, byMax := range b.opts.sortKeys {
+			for _, k := range counts {
+				styles = append(styles, style{dim: dim, sortByMax: byMax, leftCount: k})
+			}
+		}
+	}
+
+	var best candidate
+	found := false
+	var firstErr error
+	for _, st := range styles {
+		cand, err := b.evaluate(ids, st)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !found {
+			best, found = cand, true
+			continue
+		}
+		if cand.points < best.points ||
+			(cand.points == best.points && b.opts.tieBreak && cand.interProb < best.interProb-1e-12) {
+			best = cand
+		}
+	}
+	if !found {
+		return candidate{}, fmt.Errorf("core: no valid partition for %d regions: %w", n, firstErr)
+	}
+	return best, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import "airindex/internal/geom"
+
+// side decides which subspace of node n the query point belongs to
+// (Algorithm 2, lines 4-26): the canonical x-coordinate against the band
+// limits first, then the rightward-ray crossing parity against the
+// partition polylines for points inside the interlocking band.
+func (n *Node) side(p geom.Point) ChildRef {
+	cx := canonX(n.Dim, p)
+	if cx <= n.CutLo {
+		return n.Left
+	}
+	if cx >= n.CutHi {
+		return n.Right
+	}
+	if n.rayParityLeft(p) {
+		return n.Left
+	}
+	return n.Right
+}
+
+// InBand reports whether the query point falls inside the node's
+// interlocking band, i.e. whether deciding its side requires the full
+// partition rather than the band limits available in a multi-packet node's
+// first packet. Broadcast organizations use it to charge packet reads.
+func (n *Node) InBand(p geom.Point) bool {
+	cx := canonX(n.Dim, p)
+	return cx > n.CutLo && cx < n.CutHi
+}
+
+// rayParityLeft reports whether a rightward ray (in the canonical frame)
+// from p crosses the partition an odd number of times, i.e. whether p lies
+// inside the lefthand subspace's extent.
+func (n *Node) rayParityLeft(p geom.Point) bool {
+	cp := canon(n.Dim, p)
+	num := 0
+	for _, pl := range n.Polylines {
+		for i := 0; i+1 < len(pl); i++ {
+			s := geom.Segment{A: canon(n.Dim, pl[i]), B: canon(n.Dim, pl[i+1])}
+			if s.CrossesRightwardRay(cp) {
+				num++
+			}
+		}
+	}
+	return num%2 == 1
+}
+
+// Locate returns the id of the data region containing p by descending the
+// binary D-tree from the root (Algorithm 2). The search visits Θ(log N)
+// nodes.
+func (t *Tree) Locate(p geom.Point) int {
+	if t.Root == nil {
+		return 0 // single-region subdivision
+	}
+	ref := ChildRef{Node: t.Root}
+	for !ref.IsData() {
+		ref = ref.Node.side(p)
+	}
+	return ref.Data
+}
+
+// LocatePath returns the region id along with the sequence of node IDs
+// visited; the paged query and the tests use it to reason about the search
+// path.
+func (t *Tree) LocatePath(p geom.Point) (int, []*Node) {
+	if t.Root == nil {
+		return 0, nil
+	}
+	var path []*Node
+	ref := ChildRef{Node: t.Root}
+	for !ref.IsData() {
+		path = append(path, ref.Node)
+		ref = ref.Node.side(p)
+	}
+	return ref.Data, path
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/voronoi"
+	"airindex/internal/wire"
+)
+
+// buildVoronoiTree builds a D-tree over the Voronoi subdivision of n random
+// sites (shared helper for this package's tests).
+func buildVoronoiTree(t testing.TB, n int, seed int64) (*Tree, []geom.Point, geom.Rect) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000}
+	sites := make([]geom.Point, n)
+	for i := range sites {
+		sites[i] = geom.Pt(area.MinX+rng.Float64()*area.W(), area.MinY+rng.Float64()*area.H())
+	}
+	sub, err := voronoi.Subdivision(area, sites)
+	if err != nil {
+		t.Fatalf("voronoi subdivision: %v", err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subdivision invalid: %v", err)
+	}
+	tree, err := Build(sub)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return tree, sites, area
+}
+
+func TestSmokeVoronoiDTree(t *testing.T) {
+	tree, sites, area := buildVoronoiTree(t, 60, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		p := geom.Pt(area.MinX+rng.Float64()*area.W(), area.MinY+rng.Float64()*area.H())
+		got := tree.Locate(p)
+		want := voronoi.NearestSite(sites, p)
+		if got != want {
+			// Accept boundary ties: the located region must still contain p.
+			if !tree.Sub.Regions[got].Poly.Contains(p) {
+				t.Fatalf("query %v: located region %d does not contain it (nearest site %d)", p, got, want)
+			}
+		}
+	}
+}
+
+func TestSmokePagedLocate(t *testing.T) {
+	tree, _, area := buildVoronoiTree(t, 60, 3)
+	for _, capacity := range []int{64, 256, 2048} {
+		paged, err := tree.Page(wire.DTreeParams(capacity))
+		if err != nil {
+			t.Fatalf("page(%d): %v", capacity, err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 2000; i++ {
+			p := geom.Pt(area.MinX+rng.Float64()*area.W(), area.MinY+rng.Float64()*area.H())
+			got, trace := paged.Locate(p)
+			want := tree.Locate(p)
+			if got != want {
+				t.Fatalf("capacity %d, query %v: paged=%d binary=%d", capacity, p, got, want)
+			}
+			if len(trace) == 0 {
+				t.Fatalf("capacity %d: empty packet trace", capacity)
+			}
+		}
+	}
+}
+
+// wireDTreeParams is a local alias so weighted tests avoid repeating the
+// import.
+func wireDTreeParams(capacity int) wire.Params { return wire.DTreeParams(capacity) }

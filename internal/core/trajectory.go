@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"airindex/internal/geom"
+)
+
+// Continuous (trajectory) queries: a moving client wants to know which data
+// region is valid along a straight path and exactly where the answer
+// changes — the primitive behind location-dependent cache invalidation
+// (the paper's companion problem in reference [23]). Each boundary crossing
+// is found geometrically against the current region's ring and the next
+// region resolved with the D-tree itself, so a K-crossing trajectory costs
+// O(K log N) plus the crossing tests.
+
+// Crossing is one leg of a trajectory: Region is valid from parameter T
+// (0 at the start point) until the next leg's T (or 1.0 for the last leg).
+type Crossing struct {
+	Region int
+	T      float64
+	At     geom.Point // entry location (the start point for the first leg)
+}
+
+// CrossedRegions returns the sequence of regions a straight trajectory from
+// a to b visits, in order, with entry parameters. Both endpoints must lie
+// inside the service area.
+func (t *Tree) CrossedRegions(a, b geom.Point) ([]Crossing, error) {
+	if !t.Sub.Area.Contains(a) || !t.Sub.Area.Contains(b) {
+		return nil, fmt.Errorf("core: trajectory endpoints must lie in the service area")
+	}
+	const eps = 1e-9
+	cur := t.Locate(a)
+	out := []Crossing{{Region: cur, T: 0, At: a}}
+	if a == b {
+		return out, nil
+	}
+	tcur := 0.0
+	for steps := 0; steps <= t.Sub.N()*4+16; steps++ {
+		// The first exit from the current region strictly after tcur.
+		tNext, ok := exitParam(t.Sub.Regions[cur].Poly, a, b, tcur+eps)
+		if !ok || tNext >= 1 {
+			return out, nil
+		}
+		// Resolve the region just beyond the crossing; nudge forward past
+		// the boundary (and past any vertex-grazing ambiguity).
+		probe := tNext + eps*10
+		var next int
+		for {
+			if probe >= 1 {
+				return out, nil // the crossing grazes the very end
+			}
+			next = t.Locate(geom.Lerp(a, b, probe))
+			if next != cur {
+				break
+			}
+			probe += (1 - tNext) / 1024 // grazing contact; push further
+			if probe > tNext+(1-tNext)/8 {
+				// The path only touched the boundary and stayed inside.
+				break
+			}
+		}
+		if next == cur {
+			tcur = probe
+			continue
+		}
+		out = append(out, Crossing{Region: next, T: tNext, At: geom.Lerp(a, b, tNext)})
+		cur = next
+		tcur = tNext
+	}
+	return nil, fmt.Errorf("core: trajectory did not terminate after %d crossings", len(out))
+}
+
+// exitParam returns the smallest parameter >= tMin at which the segment
+// a->b crosses the polygon's boundary, and whether one exists.
+func exitParam(pg geom.Polygon, a, b geom.Point, tMin float64) (float64, bool) {
+	seg := geom.Segment{A: a, B: b}
+	best, found := 0.0, false
+	dir := b.Sub(a)
+	d2 := dir.Dot(dir)
+	for _, e := range pg.Edges() {
+		p, ok := seg.Intersection(e)
+		if !ok {
+			continue
+		}
+		tt := p.Sub(a).Dot(dir) / d2
+		if tt < tMin || tt > 1 {
+			continue
+		}
+		if !found || tt < best {
+			best, found = tt, true
+		}
+	}
+	return best, found
+}

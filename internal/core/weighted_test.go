@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/testutil"
+)
+
+// zipfWeights returns Zipf(theta) access weights over n regions, assigned
+// in a random permutation so hot regions are spatially scattered.
+func zipfWeights(n int, theta float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	w := make([]float64, n)
+	for rank, r := range perm {
+		w[r] = 1 / math.Pow(float64(rank+1), theta)
+	}
+	return w
+}
+
+func TestWeightedTreeAnswersCorrectly(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 120, 111)
+	w := zipfWeights(120, 1.0, 112)
+	tree, err := Build(sub, WithAccessWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(113))
+	for i := 0; i < 4000; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		got := tree.Locate(p)
+		if got < 0 || !sub.Regions[got].Poly.Contains(p) {
+			t.Fatalf("query %v: region %d (brute force %d)", p, got, sub.Locate(p))
+		}
+	}
+}
+
+func TestWeightedTreeReducesExpectedDepth(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 300, 114)
+	w := zipfWeights(300, 1.2, 115)
+	balanced, err := Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Build(sub, WithAccessWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := balanced.ExpectedDepth(w)
+	wd := weighted.ExpectedDepth(w)
+	if wd >= bd {
+		t.Errorf("weighted tree expected depth %.3f not below balanced %.3f under Zipf(1.2)", wd, bd)
+	}
+	// Under a uniform distribution the balanced tree must win (or tie).
+	if bu, wu := balanced.ExpectedDepth(nil), weighted.ExpectedDepth(nil); wu < bu-1e-9 {
+		t.Errorf("weighted tree beat balanced under uniform access: %.3f < %.3f", wu, bu)
+	}
+}
+
+func TestWeightedHotRegionNearRoot(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 64, 116)
+	// One region carries 90% of the mass.
+	w := make([]float64, 64)
+	for i := range w {
+		w[i] = 0.1 / 63
+	}
+	hot := 17
+	w[hot] = 0.9
+	tree, err := Build(sub, WithAccessWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := regionDepth(tree, hot)
+	if depth > 4 {
+		t.Errorf("90%%-hot region at depth %d, want near the root", depth)
+	}
+	balanced, err := Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd := regionDepth(balanced, hot); depth >= bd {
+		t.Errorf("weighted depth %d not below balanced depth %d", depth, bd)
+	}
+}
+
+func regionDepth(t *Tree, r int) int {
+	var find func(c ChildRef, d int) int
+	find = func(c ChildRef, d int) int {
+		if c.IsData() {
+			if c.Data == r {
+				return d
+			}
+			return -1
+		}
+		if got := find(c.Node.Left, d+1); got >= 0 {
+			return got
+		}
+		return find(c.Node.Right, d+1)
+	}
+	return find(ChildRef{Node: t.Root}, 0)
+}
+
+func TestWeightedValidation(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 10, 117)
+	if _, err := Build(sub, WithAccessWeights([]float64{1, 2})); err == nil {
+		t.Error("wrong weight count should fail")
+	}
+	if _, err := Build(sub, WithAccessWeights(make([]float64, 10))); err != nil {
+		t.Errorf("all-zero weights should degrade gracefully: %v", err)
+	}
+	neg := make([]float64, 10)
+	neg[3] = -1
+	if _, err := Build(sub, WithAccessWeights(neg)); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestWeightedTreePagesAndEncodes(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 90, 118)
+	tree, err := Build(sub, WithAccessWeights(zipfWeights(90, 1.0, 119)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err := tree.Page(wireDTreeParams(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets, err := paged.EncodePackets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(120))
+	for i := 0; i < 1000; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		want, _ := paged.Locate(p)
+		got, _, err := ClientLocate(packets, 128, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want && !nearRegionBoundary(tree, p, got, 0.05) {
+			t.Fatalf("client %d, paged %d at %v", got, want, p)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"airindex/internal/geom"
+)
+
+func TestSearchRectMatchesBruteForce(t *testing.T) {
+	tree, _, area := buildVoronoiTree(t, 150, 101)
+	rng := rand.New(rand.NewSource(102))
+	for q := 0; q < 800; q++ {
+		x := area.MinX + rng.Float64()*area.W()
+		y := area.MinY + rng.Float64()*area.H()
+		w := geom.Rect{
+			MinX: x, MinY: y,
+			MaxX: x + rng.Float64()*3000, MaxY: y + rng.Float64()*3000,
+		}
+		got := tree.SearchRect(w)
+		var want []int
+		for i := range tree.Sub.Regions {
+			if regionIntersectsRect(tree.Sub.Regions[i].Poly, w) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("window %+v: got %d regions, want %d\n got %v\nwant %v", w, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("window %+v: got %v want %v", w, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchRectWholeAreaReturnsAll(t *testing.T) {
+	tree, _, area := buildVoronoiTree(t, 60, 103)
+	got := tree.SearchRect(area)
+	if len(got) != 60 {
+		t.Fatalf("whole-area window returned %d of 60", len(got))
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("ids not dense ascending: %v", got)
+		}
+	}
+}
+
+func TestSearchRectTinyWindowEqualsLocate(t *testing.T) {
+	tree, _, area := buildVoronoiTree(t, 120, 104)
+	rng := rand.New(rand.NewSource(105))
+	for q := 0; q < 500; q++ {
+		p := geom.Pt(area.MinX+rng.Float64()*area.W(), area.MinY+rng.Float64()*area.H())
+		w := geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+		got := tree.SearchRect(w)
+		want := tree.Locate(p)
+		found := false
+		for _, id := range got {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("point-window at %v missed Locate's region %d (got %v)", p, want, got)
+		}
+	}
+}
+
+func TestSearchRectEmptyAndOutside(t *testing.T) {
+	tree, _, _ := buildVoronoiTree(t, 30, 106)
+	if got := tree.SearchRect(geom.EmptyRect()); got != nil {
+		t.Errorf("empty window returned %v", got)
+	}
+	outside := geom.Rect{MinX: 20000, MinY: 20000, MaxX: 30000, MaxY: 30000}
+	if got := tree.SearchRect(outside); len(got) != 0 {
+		t.Errorf("outside window returned %v", got)
+	}
+}
+
+func TestSearchRectSingleRegion(t *testing.T) {
+	tree, _, area := buildVoronoiTree(t, 1, 107)
+	if got := tree.SearchRect(area); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single-region window = %v", got)
+	}
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperDatasets(t *testing.T) {
+	ds := Paper()
+	if len(ds) != 3 {
+		t.Fatalf("paper datasets = %d", len(ds))
+	}
+	wantN := []int{1000, 185, 1102}
+	for i, d := range ds {
+		if d.N() != wantN[i] {
+			t.Errorf("%s: N = %d, want %d", d.Name, d.N(), wantN[i])
+		}
+		for _, p := range d.Sites {
+			if !d.Area.Contains(p) {
+				t.Fatalf("%s: site %v outside area", d.Name, p)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := Uniform(100, 7), Uniform(100, 7)
+	for i := range a.Sites {
+		if a.Sites[i] != b.Sites[i] {
+			t.Fatalf("uniform not deterministic at %d", i)
+		}
+	}
+	h1, h2 := Hospital(), Hospital()
+	for i := range h1.Sites {
+		if h1.Sites[i] != h2.Sites[i] {
+			t.Fatalf("hospital not deterministic at %d", i)
+		}
+	}
+	if c := Uniform(100, 8); c.Sites[0] == a.Sites[0] {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMinSeparation(t *testing.T) {
+	d := Park()
+	for i := 0; i < d.N(); i++ {
+		for j := i + 1; j < d.N(); j++ {
+			if d.Sites[i].Dist(d.Sites[j]) < minSeparation {
+				t.Fatalf("sites %d and %d are %.3g apart", i, j, d.Sites[i].Dist(d.Sites[j]))
+			}
+		}
+	}
+}
+
+// clusteringScore is the mean nearest-neighbor distance relative to the
+// expected value for a uniform point set (~0.5/sqrt(n/A)); clustered sets
+// score well below 1.
+func clusteringScore(d Dataset) float64 {
+	var sum float64
+	for i, p := range d.Sites {
+		best := math.Inf(1)
+		for j, q := range d.Sites {
+			if i != j {
+				if dd := p.Dist2(q); dd < best {
+					best = dd
+				}
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	mean := sum / float64(d.N())
+	expected := 0.5 / math.Sqrt(float64(d.N())/d.Area.Area())
+	return mean / expected
+}
+
+func TestClusteredAreClustered(t *testing.T) {
+	if s := clusteringScore(Uniform(500, 3)); s < 0.85 || s > 1.15 {
+		t.Errorf("uniform clustering score %v, want about 1", s)
+	}
+	if s := clusteringScore(Hospital()); s > 0.7 {
+		t.Errorf("hospital clustering score %v, want well below 1", s)
+	}
+	if s := clusteringScore(Park()); s > 0.6 {
+		t.Errorf("park clustering score %v, want well below 1", s)
+	}
+}
+
+func TestSubdivisionBuilds(t *testing.T) {
+	for _, d := range []Dataset{Uniform(150, 2), Hospital()} {
+		sub, err := d.Subdivision()
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if sub.N() != d.N() {
+			t.Fatalf("%s: regions %d != sites %d", d.Name, sub.N(), d.N())
+		}
+	}
+}
+
+func TestClusteredCustomSpec(t *testing.T) {
+	d := Clustered("X", ClusterSpec{N: 50, Clusters: 3, Sigma: 200, UniformShare: 0.5, Seed: 5})
+	if d.N() != 50 {
+		t.Fatalf("N = %d", d.N())
+	}
+	for _, p := range d.Sites {
+		if !Area.Contains(p) {
+			t.Fatalf("site %v outside", p)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+
+	"airindex/internal/core"
+	"airindex/internal/dataset"
+	"airindex/internal/geom"
+	"airindex/internal/wire"
+)
+
+// Ablation variants of the D-tree, isolating the design choices DESIGN.md
+// calls out: partition-style search, inter-prob tie-breaking, top-down
+// paging, and RMC/LMC early termination.
+var AblationVariants = []string{
+	"D-tree",               // the full design
+	"single-style",         // one fixed partition style per node
+	"no-tiebreak",          // first minimal-size style, no inter-prob
+	"greedy-paging",        // BFS greedy packing instead of Algorithm 3
+	"no-early-termination", // read whole multi-packet nodes always
+}
+
+type ablationIndex struct {
+	name   string
+	pg     *core.Paged
+	locate func(geom.Point) (int, []int)
+}
+
+func (a ablationIndex) Name() string                     { return a.name }
+func (a ablationIndex) IndexPackets() int                { return a.pg.IndexPackets() }
+func (a ablationIndex) SizeBytes() int                   { return a.pg.Layout.SizeBytes() }
+func (a ablationIndex) Locate(p geom.Point) (int, []int) { return a.locate(p) }
+
+// RunAblation measures the D-tree variants over one dataset, reusing the
+// standard measurement pipeline (the variant name appears as the index
+// name).
+func RunAblation(ds dataset.Dataset, cfg Config) ([]Measurement, error) {
+	cfg = cfg.withDefaults()
+	sub, err := ds.Subdivision()
+	if err != nil {
+		return nil, err
+	}
+	full, err := core.Build(sub)
+	if err != nil {
+		return nil, err
+	}
+	single, err := core.Build(sub, core.WithSingleStyle(core.DimY, true))
+	if err != nil {
+		return nil, err
+	}
+	noTie, err := core.Build(sub, core.WithoutTieBreak())
+	if err != nil {
+		return nil, err
+	}
+
+	sampler := NewSampler(sub)
+	sampler.ByArea = cfg.ByArea
+	b := &Built{Data: ds, Sub: sub, DTree: full}
+
+	var out []Measurement
+	for _, capacity := range cfg.Capacities {
+		params := wire.DTreeParams(capacity)
+		fullPg, err := full.Page(params)
+		if err != nil {
+			return nil, err
+		}
+		singlePg, err := single.Page(params)
+		if err != nil {
+			return nil, err
+		}
+		noTiePg, err := noTie.Page(params)
+		if err != nil {
+			return nil, err
+		}
+		greedyPg, err := full.PageGreedy(params)
+		if err != nil {
+			return nil, err
+		}
+		indexes := []Index{
+			ablationIndex{"D-tree", fullPg, fullPg.Locate},
+			ablationIndex{"single-style", singlePg, singlePg.Locate},
+			ablationIndex{"no-tiebreak", noTiePg, noTiePg.Locate},
+			ablationIndex{"greedy-paging", greedyPg, greedyPg.Locate},
+			ablationIndex{"no-early-termination", fullPg, fullPg.LocateWithoutEarlyTermination},
+		}
+		ms, err := measureIndexes(b, sampler, indexes, capacity, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation at %d bytes: %w", capacity, err)
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+// Package experiment is the paper's evaluation harness (Section 5): it
+// builds the four index structures over the three datasets, interleaves
+// each with the data under the (1, m) broadcast organization with the
+// optimal m, drives Monte Carlo point queries through the client access
+// protocol, and reports the access-latency, tuning-time and
+// indexing-efficiency series of Figures 10-13.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"airindex/internal/core"
+	"airindex/internal/dataset"
+	"airindex/internal/geom"
+	"airindex/internal/region"
+	"airindex/internal/rstar"
+	"airindex/internal/traptree"
+	"airindex/internal/triantree"
+	"airindex/internal/wire"
+)
+
+// Index is the uniform view the harness takes of a paged air index.
+type Index interface {
+	// Name is the curve label ("D-tree", "R*-tree", ...).
+	Name() string
+	// IndexPackets is the broadcast size of the index segment in packets.
+	IndexPackets() int
+	// SizeBytes is the occupied (pre-padding) index size in bytes.
+	SizeBytes() int
+	// Locate resolves a point query, returning the data region id and the
+	// index-segment packet offsets downloaded, in access order.
+	Locate(p geom.Point) (int, []int)
+}
+
+// Built bundles the packet-size-independent structures for one dataset so
+// sweeps over packet capacities reuse them.
+type Built struct {
+	Data  dataset.Dataset
+	Sub   *region.Subdivision
+	DTree *core.Tree
+	Trian *triantree.Tree
+	Trap  *traptree.Map
+}
+
+// Build constructs the subdivision and the packet-independent index
+// structures for a dataset. The trap-tree's random insertion order derives
+// from seed.
+func Build(ds dataset.Dataset, seed int64) (*Built, error) {
+	sub, err := ds.Subdivision()
+	if err != nil {
+		return nil, err
+	}
+	dt, err := core.Build(sub)
+	if err != nil {
+		return nil, fmt.Errorf("%s: d-tree: %w", ds.Name, err)
+	}
+	tr, err := triantree.Build(sub)
+	if err != nil {
+		return nil, fmt.Errorf("%s: trian-tree: %w", ds.Name, err)
+	}
+	tp, err := traptree.Build(sub, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("%s: trap-tree: %w", ds.Name, err)
+	}
+	return &Built{Data: ds, Sub: sub, DTree: dt, Trian: tr, Trap: tp}, nil
+}
+
+// Indexes pages the structures for one packet capacity (and builds the
+// capacity-dependent R*-tree), in the paper's comparison order.
+func (b *Built) Indexes(capacity int) ([]Index, error) {
+	dp, err := b.DTree.Page(wire.DTreeParams(capacity))
+	if err != nil {
+		return nil, fmt.Errorf("d-tree page(%d): %w", capacity, err)
+	}
+	trp, err := b.Trian.Page(wire.DecompositionParams(capacity))
+	if err != nil {
+		return nil, fmt.Errorf("trian-tree page(%d): %w", capacity, err)
+	}
+	tpp, err := b.Trap.Page(wire.DecompositionParams(capacity))
+	if err != nil {
+		return nil, fmt.Errorf("trap-tree page(%d): %w", capacity, err)
+	}
+	ra, err := rstar.BuildAir(b.Sub, wire.RStarParams(capacity))
+	if err != nil {
+		return nil, fmt.Errorf("r*-tree(%d): %w", capacity, err)
+	}
+	return []Index{
+		dtreeIndex{dp},
+		trianIndex{trp},
+		trapIndex{tpp},
+		rstarIndex{ra},
+	}, nil
+}
+
+type dtreeIndex struct{ pg *core.Paged }
+
+func (d dtreeIndex) Name() string                     { return "D-tree" }
+func (d dtreeIndex) IndexPackets() int                { return d.pg.IndexPackets() }
+func (d dtreeIndex) SizeBytes() int                   { return d.pg.Layout.SizeBytes() }
+func (d dtreeIndex) Locate(p geom.Point) (int, []int) { return d.pg.Locate(p) }
+
+type trianIndex struct{ pg *triantree.Paged }
+
+func (t trianIndex) Name() string                     { return "trian-tree" }
+func (t trianIndex) IndexPackets() int                { return t.pg.IndexPackets() }
+func (t trianIndex) SizeBytes() int                   { return t.pg.Layout.SizeBytes() }
+func (t trianIndex) Locate(p geom.Point) (int, []int) { return t.pg.Locate(p) }
+
+type trapIndex struct{ pg *traptree.Paged }
+
+func (t trapIndex) Name() string                     { return "trap-tree" }
+func (t trapIndex) IndexPackets() int                { return t.pg.IndexPackets() }
+func (t trapIndex) SizeBytes() int                   { return t.pg.Layout.SizeBytes() }
+func (t trapIndex) Locate(p geom.Point) (int, []int) { return t.pg.Locate(p) }
+
+type rstarIndex struct{ a *rstar.AirIndex }
+
+func (r rstarIndex) Name() string                     { return "R*-tree" }
+func (r rstarIndex) IndexPackets() int                { return r.a.IndexPackets() }
+func (r rstarIndex) SizeBytes() int                   { return r.a.SizeBytes() }
+func (r rstarIndex) Locate(p geom.Point) (int, []int) { return r.a.Locate(p) }

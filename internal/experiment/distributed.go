@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"airindex/internal/broadcast"
+	"airindex/internal/core"
+	"airindex/internal/dataset"
+	"airindex/internal/distidx"
+	"airindex/internal/wire"
+)
+
+// RunDistributed compares the paper's (1, m) broadcast organization against
+// distributed indexing (Imielinski et al.) for the same D-tree, across the
+// configured packet capacities. Index names in the result: "D-tree (1,m)"
+// and "D-tree (dist)".
+func RunDistributed(ds dataset.Dataset, cfg Config) ([]Measurement, error) {
+	cfg = cfg.withDefaults()
+	sub, err := ds.Subdivision()
+	if err != nil {
+		return nil, err
+	}
+	tree, err := core.Build(sub)
+	if err != nil {
+		return nil, err
+	}
+	sampler := NewSampler(sub)
+	sampler.ByArea = cfg.ByArea
+
+	var out []Measurement
+	for _, capacity := range cfg.Capacities {
+		params := wire.DTreeParams(capacity)
+		bp := params.DataBucketPackets()
+		dataPackets := sub.N() * bp
+		optLatency := float64(dataPackets) / 2
+
+		// Shared non-indexing baseline.
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		var noIdxTune float64
+		for q := 0; q < cfg.Queries; q++ {
+			_, want := sampler.Query(rng)
+			tm := rng.Float64() * float64(dataPackets)
+			noIdxTune += float64(broadcast.NoIndexAccess(tm, sub.N(), bp, want).TotalTuning())
+		}
+		noIdxTune /= float64(cfg.Queries)
+
+		// (1, m).
+		paged, err := tree.Page(params)
+		if err != nil {
+			return nil, err
+		}
+		m := broadcast.OptimalM(paged.IndexPackets(), dataPackets)
+		sched, err := broadcast.NewSchedule(paged.IndexPackets(), sub.N(), bp, m)
+		if err != nil {
+			return nil, err
+		}
+		qrng := rand.New(rand.NewSource(cfg.Seed + 1))
+		var lat, tuneIdx, tuneTotal float64
+		for q := 0; q < cfg.Queries; q++ {
+			p, _ := sampler.Query(qrng)
+			bucket, trace := paged.Locate(p)
+			c, err := sched.Access(qrng.Float64()*float64(sched.CycleLen()),
+				broadcast.SearchTrace{Bucket: bucket, IndexOffsets: trace})
+			if err != nil {
+				return nil, err
+			}
+			lat += c.Latency
+			tuneIdx += float64(c.TuneIndex)
+			tuneTotal += float64(c.TotalTuning())
+		}
+		qf := float64(cfg.Queries)
+		out = append(out, distMeasurement(ds.Name, "D-tree (1,m)", capacity,
+			m*paged.IndexPackets(), dataPackets, m,
+			lat/qf, tuneIdx/qf, tuneTotal/qf, optLatency, noIdxTune))
+
+		// Distributed indexing.
+		dist, err := distidx.New(tree, params)
+		if err != nil {
+			return nil, fmt.Errorf("distributed at %d bytes: %w", capacity, err)
+		}
+		qrng = rand.New(rand.NewSource(cfg.Seed + 1))
+		lat, tuneIdx, tuneTotal = 0, 0, 0
+		for q := 0; q < cfg.Queries; q++ {
+			p, _ := sampler.Query(qrng)
+			c, err := dist.Access(p, qrng.Float64()*float64(dist.CycleLen()))
+			if err != nil {
+				return nil, err
+			}
+			lat += c.Latency
+			tuneIdx += float64(c.TuneIndex)
+			tuneTotal += float64(c.TotalTuning())
+		}
+		out = append(out, distMeasurement(ds.Name, "D-tree (dist)", capacity,
+			dist.TotalIndexPackets(), dataPackets, dist.Segments(),
+			lat/qf, tuneIdx/qf, tuneTotal/qf, optLatency, noIdxTune))
+	}
+	return out, nil
+}
+
+func distMeasurement(dsName, idxName string, capacity, idxPackets, dataPackets, m int,
+	lat, tuneIdx, tuneTotal, optLatency, noIdxTune float64) Measurement {
+	eff := 0.0
+	if overhead := lat - optLatency; overhead > 0 {
+		eff = (noIdxTune - tuneTotal) / overhead
+	}
+	return Measurement{
+		Dataset: dsName, Index: idxName, Packet: capacity,
+		IndexPackets: idxPackets, DataPackets: dataPackets, M: m,
+		AvgLatency: lat, NormLatency: lat / optLatency,
+		AvgTuneIndex: tuneIdx, AvgTuneTotal: tuneTotal,
+		NormIndexSize: float64(idxPackets) / float64(dataPackets),
+		Efficiency:    eff,
+		NoIndexTuning: noIdxTune,
+	}
+}

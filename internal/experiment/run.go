@@ -1,0 +1,184 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"airindex/internal/broadcast"
+	"airindex/internal/dataset"
+	"airindex/internal/wire"
+)
+
+// Config drives a measurement sweep.
+type Config struct {
+	// Capacities lists the packet sizes to sweep (defaults to the paper's
+	// 64 B - 2 KB).
+	Capacities []int
+	// Queries is the number of Monte Carlo queries per (dataset, capacity,
+	// index) cell; the paper uses 1,000,000.
+	Queries int
+	// Seed makes the query stream reproducible.
+	Seed int64
+	// ByArea samples queries uniformly over the service area instead of
+	// uniformly over data regions.
+	ByArea bool
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Capacities) == 0 {
+		c.Capacities = append([]int(nil), wire.PaperPacketCapacities...)
+	}
+	if c.Queries <= 0 {
+		c.Queries = 100000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Measurement is one point of one curve in Figures 10-13.
+type Measurement struct {
+	Dataset string
+	Index   string
+	Packet  int // packet capacity in bytes
+
+	IndexPackets int
+	IndexBytes   int // occupied index bytes
+	DataPackets  int
+	M            int // (1, m) replication factor
+
+	AvgLatency    float64 // packets, via the access protocol
+	NormLatency   float64 // / (DataPackets/2), Figure 10
+	AvgTuneIndex  float64 // packets, index-search step only, Figure 12
+	AvgTuneTotal  float64 // probe + index search + data retrieval
+	NormIndexSize float64 // on-air index bytes / on-air data bytes, Figure 11
+	Efficiency    float64 // Figure 13
+
+	NoIndexLatency float64 // packets, non-indexing baseline
+	NoIndexTuning  float64
+}
+
+// Run measures every index over one built dataset across the configured
+// packet capacities.
+func Run(b *Built, cfg Config) ([]Measurement, error) {
+	cfg = cfg.withDefaults()
+	sampler := NewSampler(b.Sub)
+	sampler.ByArea = cfg.ByArea
+	var out []Measurement
+	for _, capacity := range cfg.Capacities {
+		ms, err := runCapacity(b, sampler, capacity, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+func runCapacity(b *Built, sampler *Sampler, capacity int, cfg Config) ([]Measurement, error) {
+	indexes, err := b.Indexes(capacity)
+	if err != nil {
+		return nil, err
+	}
+	return measureIndexes(b, sampler, indexes, capacity, cfg)
+}
+
+// measureIndexes runs the Monte Carlo protocol simulation for a set of
+// already-built indexes at one packet capacity.
+func measureIndexes(b *Built, sampler *Sampler, indexes []Index, capacity int, cfg Config) ([]Measurement, error) {
+	params := wire.DTreeParams(capacity) // data-side parameters are shared
+	bucketPackets := params.DataBucketPackets()
+	n := b.Sub.N()
+	dataPackets := n * bucketPackets
+
+	// Non-indexing baseline (shared by every index at this capacity).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var noIdxLat, noIdxTune float64
+	for q := 0; q < cfg.Queries; q++ {
+		p, want := sampler.Query(rng)
+		_ = p
+		t := rng.Float64() * float64(dataPackets)
+		c := broadcast.NoIndexAccess(t, n, bucketPackets, want)
+		noIdxLat += c.Latency
+		noIdxTune += float64(c.TotalTuning())
+	}
+	noIdxLat /= float64(cfg.Queries)
+	noIdxTune /= float64(cfg.Queries)
+	optLatency := float64(dataPackets) / 2
+
+	var out []Measurement
+	for _, idx := range indexes {
+		m := broadcast.OptimalM(idx.IndexPackets(), dataPackets)
+		sched, err := broadcast.NewSchedule(idx.IndexPackets(), n, bucketPackets, m)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s(%d): %w", b.Data.Name, idx.Name(), capacity, err)
+		}
+		qrng := rand.New(rand.NewSource(cfg.Seed + 1))
+		var lat, tuneIdx, tuneTotal float64
+		for q := 0; q < cfg.Queries; q++ {
+			p, _ := sampler.Query(qrng)
+			bucket, trace := idx.Locate(p)
+			if bucket < 0 {
+				return nil, fmt.Errorf("%s/%s(%d): query %v unresolved", b.Data.Name, idx.Name(), capacity, p)
+			}
+			t := qrng.Float64() * float64(sched.CycleLen())
+			c, err := sched.Access(t, broadcast.SearchTrace{Bucket: bucket, IndexOffsets: trace})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s(%d): %w", b.Data.Name, idx.Name(), capacity, err)
+			}
+			lat += c.Latency
+			tuneIdx += float64(c.TuneIndex)
+			tuneTotal += float64(c.TotalTuning())
+		}
+		qf := float64(cfg.Queries)
+		lat, tuneIdx, tuneTotal = lat/qf, tuneIdx/qf, tuneTotal/qf
+
+		overhead := lat - optLatency
+		eff := 0.0
+		if overhead > 0 {
+			eff = (noIdxTune - tuneTotal) / overhead
+		}
+		out = append(out, Measurement{
+			Dataset:      b.Data.Name,
+			Index:        idx.Name(),
+			Packet:       capacity,
+			IndexPackets: idx.IndexPackets(),
+			IndexBytes:   idx.SizeBytes(),
+			DataPackets:  dataPackets,
+			M:            sched.M,
+			AvgLatency:   lat,
+			NormLatency:  lat / optLatency,
+			AvgTuneIndex: tuneIdx,
+			AvgTuneTotal: tuneTotal,
+			NormIndexSize: float64(idx.IndexPackets()*capacity) /
+				float64(dataPackets*capacity),
+			Efficiency:     eff,
+			NoIndexLatency: noIdxLat,
+			NoIndexTuning:  noIdxTune,
+		})
+	}
+	return out, nil
+}
+
+// RunAll builds and measures a set of datasets (defaults to the paper's
+// three when ds is nil).
+func RunAll(ds []dataset.Dataset, cfg Config) ([]Measurement, error) {
+	if ds == nil {
+		ds = dataset.Paper()
+	}
+	cfg = cfg.withDefaults()
+	var out []Measurement
+	for _, d := range ds {
+		b, err := Build(d, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := Run(b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+
+	"airindex/internal/geom"
+	"airindex/internal/region"
+)
+
+// Sampler draws query points. The paper assumes a uniform access
+// distribution over the data regions, so the default mode picks a region
+// uniformly at random and then a point uniformly within it; uniform-by-area
+// sampling is available for sensitivity checks.
+type Sampler struct {
+	sub      *region.Subdivision
+	tris     [][]geom.Triangle // per region
+	cum      [][]float64       // per region: cumulative triangle areas
+	weighted []float64         // cumulative region weights (SetWeights)
+	ByArea   bool
+}
+
+// NewSampler prepares the per-region triangulations used for uniform
+// sampling inside polygons.
+func NewSampler(sub *region.Subdivision) *Sampler {
+	s := &Sampler{
+		sub:  sub,
+		tris: make([][]geom.Triangle, sub.N()),
+		cum:  make([][]float64, sub.N()),
+	}
+	for i := range sub.Regions {
+		tris := geom.Triangulate(sub.Regions[i].Poly)
+		cum := make([]float64, len(tris))
+		var acc float64
+		for j, t := range tris {
+			acc += t.Area()
+			cum[j] = acc
+		}
+		s.tris[i], s.cum[i] = tris, cum
+	}
+	return s
+}
+
+// Query returns a query point together with the region it was drawn from
+// (the data instance the query must resolve to).
+func (s *Sampler) Query(rng *rand.Rand) (geom.Point, int) {
+	if s.weighted != nil {
+		return s.queryWeighted(rng)
+	}
+	if s.ByArea {
+		a := s.sub.Area
+		for {
+			p := geom.Pt(a.MinX+rng.Float64()*a.W(), a.MinY+rng.Float64()*a.H())
+			if r := s.sub.Locate(p); r >= 0 {
+				return p, r
+			}
+		}
+	}
+	r := rng.Intn(s.sub.N())
+	return s.PointIn(rng, r), r
+}
+
+// PointIn samples a point uniformly inside region r via its triangulation.
+func (s *Sampler) PointIn(rng *rand.Rand, r int) geom.Point {
+	tris, cum := s.tris[r], s.cum[r]
+	total := cum[len(cum)-1]
+	x := rng.Float64() * total
+	k := 0
+	for k < len(cum)-1 && cum[k] < x {
+		k++
+	}
+	t := tris[k]
+	// Uniform point in a triangle via the square-root trick.
+	u, v := rng.Float64(), rng.Float64()
+	su := math.Sqrt(u)
+	return geom.Pt(
+		(1-su)*t.A.X+su*(1-v)*t.B.X+su*v*t.C.X,
+		(1-su)*t.A.Y+su*(1-v)*t.B.Y+su*v*t.C.Y,
+	)
+}

@@ -1,0 +1,91 @@
+// Package geom provides the planar computational-geometry primitives used by
+// every index structure in this repository: points, segments, rectangles,
+// polygons and polylines, together with the predicates (orientation, ray
+// crossing, containment) and constructions (clipping, triangulation) the
+// D-tree, trian-tree, trap-tree and R*-tree are built from.
+//
+// All coordinates are float64 in memory. Predicates use a small absolute
+// epsilon (Eps) appropriate for the coordinate magnitudes used throughout the
+// repository (service areas on the order of 10^4 units).
+package geom
+
+import "math"
+
+// Eps is the absolute tolerance used by geometric predicates.
+const Eps = 1e-9
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q, component-wise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q, component-wise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and q as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the 2D cross product (z-component) of p and q as vectors.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Eq reports whether p and q coincide within Eps in both coordinates.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// Less orders points lexicographically by (X, Y). It is the comparison used
+// to simulate the sheared coordinate system in the trapezoidal map, where no
+// two distinct endpoints may share an x-coordinate.
+func (p Point) Less(q Point) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	return p.Y < q.Y
+}
+
+// Orient returns twice the signed area of triangle (a, b, c): positive when
+// c lies to the left of the directed line a->b (counter-clockwise turn),
+// negative when to the right, and near zero when collinear.
+func Orient(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// OrientSign classifies Orient(a, b, c) into -1, 0, +1 using Eps scaled by
+// the magnitude of the operands, so that long nearly-collinear edges are
+// still recognized as collinear.
+func OrientSign(a, b, c Point) int {
+	v := Orient(a, b, c)
+	scale := math.Abs(b.X-a.X) + math.Abs(b.Y-a.Y) + math.Abs(c.X-a.X) + math.Abs(c.Y-a.Y)
+	tol := Eps * (1 + scale)
+	switch {
+	case v > tol:
+		return 1
+	case v < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Lerp returns the point a + t*(b-a).
+func Lerp(a, b Point, t float64) Point {
+	return Point{a.X + t*(b.X-a.X), a.Y + t*(b.Y-a.Y)}
+}

@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(3, 4), Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != -3+8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 3*2-4*(-1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := Pt(0, 0).Dist(p); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := Pt(0, 0).Dist2(p); got != 25 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestPointLess(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Pt(1, 5), Pt(2, 0), true},
+		{Pt(2, 0), Pt(1, 5), false},
+		{Pt(1, 1), Pt(1, 2), true},
+		{Pt(1, 2), Pt(1, 1), false},
+		{Pt(1, 1), Pt(1, 1), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("Less(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrientBasics(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 0)
+	if s := OrientSign(a, b, Pt(5, 1)); s != 1 {
+		t.Errorf("left point: sign %d", s)
+	}
+	if s := OrientSign(a, b, Pt(5, -1)); s != -1 {
+		t.Errorf("right point: sign %d", s)
+	}
+	if s := OrientSign(a, b, Pt(20, 0)); s != 0 {
+		t.Errorf("collinear point: sign %d", s)
+	}
+}
+
+func TestOrientAntisymmetry(t *testing.T) {
+	// Bound the coordinate magnitudes: quick's raw float64 generator
+	// produces values near ±1e308 that overflow the determinant.
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Rand:     rand.New(rand.NewSource(1)),
+		Values: func(vs []reflect.Value, rng *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(rng.Float64()*2e4 - 1e4)
+			}
+		},
+	}
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		return math.Abs(Orient(a, b, c)+Orient(b, a, c)) <= 1e-6*(1+math.Abs(Orient(a, b, c)))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientRotationInvariance(t *testing.T) {
+	// The canonical-frame rotation (x,y) -> (-y,x) must preserve
+	// orientation signs (the D-tree relies on this).
+	rng := rand.New(rand.NewSource(2))
+	rot := func(p Point) Point { return Pt(-p.Y, p.X) }
+	for i := 0; i < 1000; i++ {
+		a := Pt(rng.Float64()*100, rng.Float64()*100)
+		b := Pt(rng.Float64()*100, rng.Float64()*100)
+		c := Pt(rng.Float64()*100, rng.Float64()*100)
+		if OrientSign(a, b, c) != OrientSign(rot(a), rot(b), rot(c)) {
+			t.Fatalf("rotation changed orientation of %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := Lerp(a, b, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestEq(t *testing.T) {
+	if !Pt(1, 1).Eq(Pt(1+Eps/2, 1-Eps/2)) {
+		t.Error("points within Eps should be equal")
+	}
+	if Pt(1, 1).Eq(Pt(1+3*Eps, 1)) {
+		t.Error("points beyond Eps should differ")
+	}
+}

@@ -1,0 +1,126 @@
+package geom
+
+// Polyline is an open chain of vertices. D-tree partitions are stored as one
+// or more polylines; the chain representation lets shared interior vertices
+// be counted (and serialized) once rather than per segment.
+type Polyline []Point
+
+// Segments returns the consecutive segments of the chain.
+func (pl Polyline) Segments() []Segment {
+	if len(pl) < 2 {
+		return nil
+	}
+	out := make([]Segment, 0, len(pl)-1)
+	for i := 0; i+1 < len(pl); i++ {
+		out = append(out, Segment{pl[i], pl[i+1]})
+	}
+	return out
+}
+
+// Bounds returns the bounding rectangle of the chain.
+func (pl Polyline) Bounds() Rect { return RectFromPoints(pl...) }
+
+// Len returns the total Euclidean length of the chain.
+func (pl Polyline) Len() float64 {
+	var s float64
+	for i := 0; i+1 < len(pl); i++ {
+		s += pl[i].Dist(pl[i+1])
+	}
+	return s
+}
+
+// Clone returns a deep copy of the polyline.
+func (pl Polyline) Clone() Polyline {
+	out := make(Polyline, len(pl))
+	copy(out, pl)
+	return out
+}
+
+// ChainSegments stitches an unordered set of segments into maximal polylines.
+// Segments are joined wherever endpoints coincide (within Eps) and each
+// vertex joins exactly two segments; junction vertices of degree > 2 act as
+// chain breaks, and closed loops are returned with the first vertex repeated
+// at the end. The D-tree partition builder uses this to turn the pruned
+// boundary-edge set into the polylines stored in tree nodes.
+func ChainSegments(segs []Segment) []Polyline {
+	if len(segs) == 0 {
+		return nil
+	}
+	type key struct{ x, y int64 }
+	quant := func(p Point) key {
+		const q = 1 / (4 * Eps)
+		return key{int64(p.X*q + 0.5*signOf(p.X)), int64(p.Y*q + 0.5*signOf(p.Y))}
+	}
+	// Adjacency from quantized endpoint to incident segment indices.
+	adj := make(map[key][]int, len(segs)*2)
+	for i, s := range segs {
+		adj[quant(s.A)] = append(adj[quant(s.A)], i)
+		adj[quant(s.B)] = append(adj[quant(s.B)], i)
+	}
+	used := make([]bool, len(segs))
+	var out []Polyline
+
+	// other returns the far endpoint of segment i as seen from point p.
+	other := func(i int, p Point) Point {
+		if quant(segs[i].A) == quant(p) {
+			return segs[i].B
+		}
+		return segs[i].A
+	}
+	// extend walks from point p along unused degree-2 vertices, appending
+	// vertices to the chain, and returns the extended chain.
+	extend := func(chain Polyline, p Point) Polyline {
+		for {
+			k := quant(p)
+			next := -1
+			for _, i := range adj[k] {
+				if !used[i] {
+					next = i
+					break
+				}
+			}
+			if next == -1 || len(adj[k]) != 2 {
+				return chain
+			}
+			used[next] = true
+			p = other(next, p)
+			chain = append(chain, p)
+		}
+	}
+
+	// First grow chains from junction/terminal vertices so that maximal
+	// chains terminate at natural break points.
+	for i, s := range segs {
+		if used[i] {
+			continue
+		}
+		da, db := len(adj[quant(s.A)]), len(adj[quant(s.B)])
+		if da == 2 && db == 2 {
+			continue // interior of a chain or loop; handled below
+		}
+		start, end := s.A, s.B
+		if da == 2 { // grow from the terminal end
+			start, end = s.B, s.A
+		}
+		used[i] = true
+		chain := extend(Polyline{start, end}, end)
+		out = append(out, chain)
+	}
+	// Remaining unused segments form closed loops of degree-2 vertices.
+	for i, s := range segs {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		chain := extend(Polyline{s.A, s.B}, s.B)
+		out = append(out, chain)
+	}
+	return out
+}
+
+func signOf(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

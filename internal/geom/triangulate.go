@@ -1,0 +1,180 @@
+package geom
+
+// Triangle is an oriented triangle; the canonical orientation is
+// counter-clockwise.
+type Triangle struct {
+	A, B, C Point
+}
+
+// Contains reports whether p lies inside the triangle or on its boundary.
+func (t Triangle) Contains(p Point) bool {
+	d1 := OrientSign(t.A, t.B, p)
+	d2 := OrientSign(t.B, t.C, p)
+	d3 := OrientSign(t.C, t.A, p)
+	neg := d1 < 0 || d2 < 0 || d3 < 0
+	pos := d1 > 0 || d2 > 0 || d3 > 0
+	return !(neg && pos)
+}
+
+// Area returns the absolute area of the triangle.
+func (t Triangle) Area() float64 {
+	a := Orient(t.A, t.B, t.C) / 2
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Bounds returns the bounding rectangle of the triangle.
+func (t Triangle) Bounds() Rect { return RectFromPoints(t.A, t.B, t.C) }
+
+// Centroid returns the centroid of the triangle.
+func (t Triangle) Centroid() Point {
+	return Point{(t.A.X + t.B.X + t.C.X) / 3, (t.A.Y + t.B.Y + t.C.Y) / 3}
+}
+
+// Vertices returns the three vertices in order.
+func (t Triangle) Vertices() [3]Point { return [3]Point{t.A, t.B, t.C} }
+
+// IntersectsTriangle reports whether triangles t and u share any point.
+// Used when linking coarse re-triangulation triangles to the finer triangles
+// they cover in Kirkpatrick's hierarchy.
+func (t Triangle) IntersectsTriangle(u Triangle) bool {
+	if !t.Bounds().Intersects(u.Bounds()) {
+		return false
+	}
+	tv, uv := t.Vertices(), u.Vertices()
+	for _, p := range tv {
+		if u.Contains(p) {
+			return true
+		}
+	}
+	for _, p := range uv {
+		if t.Contains(p) {
+			return true
+		}
+	}
+	for i := 0; i < 3; i++ {
+		et := Segment{tv[i], tv[(i+1)%3]}
+		for j := 0; j < 3; j++ {
+			eu := Segment{uv[j], uv[(j+1)%3]}
+			if et.Intersects(eu) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OverlapsInterior reports whether the interiors of t and u intersect in a
+// region of positive area, as opposed to merely touching along edges or at
+// vertices. Kirkpatrick's hierarchy links a coarse triangle only to the
+// finer triangles it properly overlaps.
+func (t Triangle) OverlapsInterior(u Triangle) bool {
+	if !t.IntersectsTriangle(u) {
+		return false
+	}
+	// The intersection of two convex shapes is convex; sample its centroid by
+	// clipping one triangle by the other's edges and measuring the area left.
+	poly := Polygon{t.A, t.B, t.C}.EnsureCCW()
+	uu := Polygon{u.A, u.B, u.C}.EnsureCCW()
+	for i := 0; i < 3; i++ {
+		a, b := uu[i], uu[(i+1)%3]
+		// Inside of a CCW triangle = left of each directed edge:
+		// Orient(a,b,p) >= 0, i.e. (b.Y-a.Y)x - (b.X-a.X)y <= a.X*b.Y - a.Y*b.X.
+		h := HalfPlane{A: b.Y - a.Y, B: -(b.X - a.X), C: a.X*b.Y - a.Y*b.X}
+		poly = ClipHalfPlane(poly, h)
+		if poly == nil {
+			return false
+		}
+	}
+	return poly.Area() > 100*Eps
+}
+
+// Triangulate decomposes a simple polygon into triangles by ear clipping,
+// with a fan-decomposition fast path for convex polygons (every Voronoi cell
+// is convex). The result triangles are counter-clockwise and cover the
+// polygon exactly. Returns nil for degenerate inputs with fewer than three
+// effective vertices.
+func Triangulate(pg Polygon) []Triangle {
+	pg = pg.Clone().Dedup().EnsureCCW()
+	n := len(pg)
+	if n < 3 {
+		return nil
+	}
+	if pg.IsConvex() {
+		out := make([]Triangle, 0, n-2)
+		for i := 1; i+1 < n; i++ {
+			t := Triangle{pg[0], pg[i], pg[i+1]}
+			if t.Area() > Eps {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	// Ear clipping on the index ring.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var out []Triangle
+	guard := 0
+	for len(idx) > 3 && guard < n*n+16 {
+		guard++
+		clipped := false
+		m := len(idx)
+		for i := 0; i < m; i++ {
+			ia, ib, ic := idx[(i+m-1)%m], idx[i], idx[(i+1)%m]
+			a, b, c := pg[ia], pg[ib], pg[ic]
+			if OrientSign(a, b, c) <= 0 {
+				continue // reflex or collinear corner; not an ear
+			}
+			ear := Triangle{a, b, c}
+			ok := true
+			for _, j := range idx {
+				if j == ia || j == ib || j == ic {
+					continue
+				}
+				if ear.Contains(pg[j]) && !onTriangleBoundary(ear, pg[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			out = append(out, ear)
+			idx = append(idx[:i], idx[i+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			// Numerically stuck (e.g. collinear runs); drop the most collinear
+			// vertex and continue. This only triggers on degenerate rings.
+			worst, worstVal := 0, 1e300
+			m := len(idx)
+			for i := 0; i < m; i++ {
+				a, b, c := pg[idx[(i+m-1)%m]], pg[idx[i]], pg[idx[(i+1)%m]]
+				v := Orient(a, b, c)
+				if v < 0 {
+					v = -v
+				}
+				if v < worstVal {
+					worstVal, worst = v, i
+				}
+			}
+			idx = append(idx[:worst], idx[worst+1:]...)
+		}
+	}
+	if len(idx) == 3 {
+		t := Triangle{pg[idx[0]], pg[idx[1]], pg[idx[2]]}
+		if t.Area() > Eps {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func onTriangleBoundary(t Triangle, p Point) bool {
+	return Segment{t.A, t.B}.Contains(p) || Segment{t.B, t.C}.Contains(p) || Segment{t.C, t.A}.Contains(p)
+}

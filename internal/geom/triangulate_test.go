@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTriangleBasics(t *testing.T) {
+	tr := Triangle{Pt(0, 0), Pt(10, 0), Pt(0, 10)}
+	if tr.Area() != 50 {
+		t.Errorf("Area = %v", tr.Area())
+	}
+	if !tr.Contains(Pt(1, 1)) || !tr.Contains(Pt(0, 0)) || !tr.Contains(Pt(5, 5)) {
+		t.Error("containment")
+	}
+	if tr.Contains(Pt(6, 6)) {
+		t.Error("outside point contained")
+	}
+	if tr.Centroid() != Pt(10.0/3, 10.0/3) {
+		t.Errorf("Centroid = %v", tr.Centroid())
+	}
+}
+
+func TestTriangleOverlap(t *testing.T) {
+	a := Triangle{Pt(0, 0), Pt(10, 0), Pt(0, 10)}
+	b := Triangle{Pt(1, 1), Pt(4, 1), Pt(1, 4)}       // inside a
+	c := Triangle{Pt(10, 10), Pt(20, 10), Pt(10, 20)} // touches a at nothing
+	d := Triangle{Pt(5, 5), Pt(15, 5), Pt(5, 15)}     // edge-adjacent to a's hypotenuse
+	if !a.IntersectsTriangle(b) || !a.OverlapsInterior(b) {
+		t.Error("nested triangles must overlap")
+	}
+	if a.IntersectsTriangle(c) {
+		t.Error("far triangles must not intersect")
+	}
+	if !a.IntersectsTriangle(d) {
+		t.Error("edge-touching triangles intersect")
+	}
+	if a.OverlapsInterior(d) {
+		t.Error("edge touch is not interior overlap")
+	}
+}
+
+func TestTriangulateConvex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		pg := randConvex(rng, 3+rng.Intn(9))
+		if len(pg) < 3 {
+			continue
+		}
+		tris := Triangulate(pg)
+		checkTriangulation(t, pg, tris)
+	}
+}
+
+func TestTriangulateNonConvex(t *testing.T) {
+	shapes := []Polygon{
+		// L-shape.
+		{Pt(0, 0), Pt(10, 0), Pt(10, 4), Pt(4, 4), Pt(4, 10), Pt(0, 10)},
+		// U-shape.
+		{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(7, 10), Pt(7, 3), Pt(3, 3), Pt(3, 10), Pt(0, 10)},
+		// Spiky star-ish simple polygon.
+		{Pt(0, 0), Pt(5, 2), Pt(10, 0), Pt(8, 5), Pt(10, 10), Pt(5, 8), Pt(0, 10), Pt(2, 5)},
+		// Ring with collinear run on one edge.
+		{Pt(0, 0), Pt(5, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)},
+	}
+	for i, pg := range shapes {
+		tris := Triangulate(pg)
+		checkTriangulation(t, pg, tris)
+		if t.Failed() {
+			t.Fatalf("shape %d failed", i)
+		}
+	}
+}
+
+func TestTriangulateDegenerate(t *testing.T) {
+	if Triangulate(Polygon{Pt(0, 0), Pt(1, 1)}) != nil {
+		t.Error("two points should not triangulate")
+	}
+	if tris := Triangulate(Polygon{Pt(0, 0), Pt(1, 1), Pt(2, 2)}); len(tris) != 0 {
+		t.Errorf("collinear triangle should vanish, got %v", tris)
+	}
+}
+
+// checkTriangulation verifies area preservation, coverage of interior
+// sample points, and mutual non-overlap.
+func checkTriangulation(t *testing.T, pg Polygon, tris []Triangle) {
+	t.Helper()
+	var sum float64
+	for _, tr := range tris {
+		sum += tr.Area()
+	}
+	if math.Abs(sum-pg.Area()) > 1e-6*(1+pg.Area()) {
+		t.Errorf("triangle areas %v != polygon area %v for %v", sum, pg.Area(), pg)
+		return
+	}
+	rng := rand.New(rand.NewSource(12))
+	b := pg.Bounds()
+	for i := 0; i < 300; i++ {
+		p := Pt(b.MinX+rng.Float64()*b.W(), b.MinY+rng.Float64()*b.H())
+		in := 0
+		for _, tr := range tris {
+			if tr.Contains(p) {
+				in++
+			}
+		}
+		strict := pg.ContainsStrict(p)
+		if strict && in == 0 {
+			t.Errorf("interior point %v covered by no triangle of %v", p, pg)
+			return
+		}
+		if !pg.Contains(p) && in > 0 {
+			t.Errorf("exterior point %v covered by %d triangles", p, in)
+			return
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package region
+
+import "airindex/internal/geom"
+
+// BoundarySegments returns the boundary edges of the union of the given
+// regions: every edge owned by a region in the set whose twin either does
+// not exist (service-area border) or belongs to a region outside the set.
+// This is the "extent" of a subspace in the D-tree partition algorithm
+// (Algorithm 1, line 3); the extent may consist of several closed loops.
+func (s *Subdivision) BoundarySegments(ids []int) []geom.Segment {
+	inSet := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		inSet[id] = true
+	}
+	var out []geom.Segment
+	for _, id := range ids {
+		ring := s.rings[id]
+		n := len(ring)
+		for j := 0; j < n; j++ {
+			u, v := ring[j], ring[(j+1)%n]
+			if nb := s.Neighbor(u, v); nb >= 0 && inSet[nb] {
+				continue
+			}
+			out = append(out, geom.Segment{A: s.Verts[u], B: s.Verts[v]})
+		}
+	}
+	return out
+}
+
+// SharedBorder returns the segments separating the two given region sets:
+// edges owned by a region in left whose twin belongs to a region in right.
+func (s *Subdivision) SharedBorder(left, right []int) []geom.Segment {
+	inRight := make(map[int]bool, len(right))
+	for _, id := range right {
+		inRight[id] = true
+	}
+	var out []geom.Segment
+	for _, id := range left {
+		ring := s.rings[id]
+		n := len(ring)
+		for j := 0; j < n; j++ {
+			u, v := ring[j], ring[(j+1)%n]
+			if nb := s.Neighbor(u, v); nb >= 0 && inRight[nb] {
+				out = append(out, geom.Segment{A: s.Verts[u], B: s.Verts[v]})
+			}
+		}
+	}
+	return out
+}
+
+// UniqueEdges returns every undirected edge of the subdivision exactly once,
+// together with the regions above/below resolution needed by the trapezoidal
+// map: for each returned edge, owner is the region owning the lexicographically
+// forward direction and neighbor the region on the other side (-1 outside).
+type UniqueEdge struct {
+	A, B     geom.Point // A < B lexicographically
+	Forward  int        // region owning directed edge A->B (on its left), -1 if none
+	Backward int        // region owning directed edge B->A, -1 if none
+}
+
+// UniqueEdges enumerates the undirected edges of the subdivision in a
+// deterministic order (ring order over regions), so randomized consumers
+// that shuffle the result are reproducible given their seed.
+func (s *Subdivision) UniqueEdges() []UniqueEdge {
+	seen := make(map[[2]int]bool, len(s.twin))
+	var out []UniqueEdge
+	for _, ring := range s.rings {
+		n := len(ring)
+		for j := 0; j < n; j++ {
+			u, v := ring[j], ring[(j+1)%n]
+			key := [2]int{min(u, v), max(u, v)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			a, b := s.Verts[key[0]], s.Verts[key[1]]
+			if b.Less(a) {
+				a, b = b, a
+				key[0], key[1] = key[1], key[0]
+			}
+			out = append(out, UniqueEdge{
+				A:        a,
+				B:        b,
+				Forward:  s.EdgeOwner(key[0], key[1]),
+				Backward: s.EdgeOwner(key[1], key[0]),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package region models the location-dependent dataset of the paper: a set
+// of data regions (polygonal valid scopes) that exactly tile a rectangular
+// service area (Definition 1). It provides the canonical, vertex-welded
+// subdivision representation every index structure consumes, the shared-edge
+// adjacency map the D-tree partition algorithm needs to extract subspace
+// extents, and a brute-force locator used as ground truth in tests.
+package region
+
+import (
+	"fmt"
+	"math"
+
+	"airindex/internal/geom"
+)
+
+// Region is one data instance's valid scope. ID is the data instance
+// identifier (the index of its data bucket on the broadcast channel).
+type Region struct {
+	ID   int
+	Poly geom.Polygon
+}
+
+// Bounds returns the MBR of the region.
+func (r Region) Bounds() geom.Rect { return r.Poly.Bounds() }
+
+// Contains reports whether p lies in the region (boundary inclusive).
+func (r Region) Contains(p geom.Point) bool { return r.Poly.Contains(p) }
+
+// Subdivision is a validated, canonicalized planar subdivision of a service
+// area into data regions. Vertices shared between adjacent regions are
+// welded to identical float64 coordinates and indexed, so shared edges can
+// be recognized exactly.
+type Subdivision struct {
+	Area    geom.Rect
+	Regions []Region
+
+	// Verts holds the canonical vertex coordinates; rings holds, per region,
+	// the ring of canonical vertex indices (same order as Region.Poly).
+	Verts []geom.Point
+	rings [][]int
+
+	// twin maps a directed edge (u,v) to the region owning it (regions are
+	// CCW, so the owner lies to the left of u->v).
+	twin map[[2]int]int
+}
+
+// DefaultWeldTol is the default vertex-welding tolerance. Voronoi cells are
+// constructed independently per site, so coordinates of a shared vertex can
+// disagree by accumulated rounding; anything within this distance is treated
+// as one vertex.
+const DefaultWeldTol = 1e-5
+
+// Option configures subdivision construction.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	weldTol   float64
+	insertCol bool
+}
+
+// WithWeldTol overrides the vertex-welding tolerance.
+func WithWeldTol(tol float64) Option { return func(c *buildConfig) { c.weldTol = tol } }
+
+// WithTJunctionRepair enables insertion of canonical vertices that lie in
+// the interior of another region's edge (T-junctions), which hand-authored
+// subdivisions may contain. Voronoi subdivisions never need this.
+func WithTJunctionRepair() Option { return func(c *buildConfig) { c.insertCol = true } }
+
+// New builds a Subdivision from raw polygons. Polygons are deduplicated,
+// forced counter-clockwise, and their vertices welded. The i-th polygon
+// becomes region ID i.
+func New(area geom.Rect, polys []geom.Polygon, opts ...Option) (*Subdivision, error) {
+	cfg := buildConfig{weldTol: DefaultWeldTol}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(polys) == 0 {
+		return nil, fmt.Errorf("region: no polygons")
+	}
+	cleaned := make([]geom.Polygon, len(polys))
+	for i, pg := range polys {
+		c := pg.Clone().Dedup().EnsureCCW()
+		if len(c) < 3 {
+			return nil, fmt.Errorf("region: polygon %d degenerate after dedup (%d vertices)", i, len(c))
+		}
+		cleaned[i] = c
+	}
+
+	w := newWelder(cfg.weldTol)
+	rings := make([][]int, len(cleaned))
+	for i, pg := range cleaned {
+		ring := make([]int, 0, len(pg))
+		for _, p := range pg {
+			id := w.add(p)
+			if n := len(ring); n > 0 && ring[n-1] == id {
+				continue // welding collapsed consecutive vertices
+			}
+			ring = append(ring, id)
+		}
+		for len(ring) > 1 && ring[0] == ring[len(ring)-1] {
+			ring = ring[:len(ring)-1]
+		}
+		if len(ring) < 3 {
+			return nil, fmt.Errorf("region: polygon %d degenerate after welding", i)
+		}
+		rings[i] = ring
+	}
+	verts := w.points()
+
+	if cfg.insertCol {
+		rings = insertTJunctions(verts, rings)
+	}
+
+	s := &Subdivision{
+		Area:  area,
+		Verts: verts,
+		rings: rings,
+		twin:  make(map[[2]int]int),
+	}
+	s.Regions = make([]Region, len(rings))
+	for i, ring := range rings {
+		poly := make(geom.Polygon, len(ring))
+		for j, v := range ring {
+			poly[j] = verts[v]
+		}
+		s.Regions[i] = Region{ID: i, Poly: poly}
+		for j := range ring {
+			u, v := ring[j], ring[(j+1)%len(ring)]
+			if prev, dup := s.twin[[2]int{u, v}]; dup {
+				return nil, fmt.Errorf("region: directed edge (%d,%d) owned by both region %d and %d", u, v, prev, i)
+			}
+			s.twin[[2]int{u, v}] = i
+		}
+	}
+	return s, nil
+}
+
+// N returns the number of regions.
+func (s *Subdivision) N() int { return len(s.Regions) }
+
+// Ring returns the canonical vertex-index ring of region id.
+func (s *Subdivision) Ring(id int) []int { return s.rings[id] }
+
+// Neighbor returns the region on the other side of the directed edge (u,v)
+// owned by some region, or -1 when (v,u) is unowned (service-area boundary).
+func (s *Subdivision) Neighbor(u, v int) int {
+	if r, ok := s.twin[[2]int{v, u}]; ok {
+		return r
+	}
+	return -1
+}
+
+// EdgeOwner returns the region owning directed edge (u,v), or -1.
+func (s *Subdivision) EdgeOwner(u, v int) int {
+	if r, ok := s.twin[[2]int{u, v}]; ok {
+		return r
+	}
+	return -1
+}
+
+// Locate returns the ID of the region containing p using brute-force scan
+// with a bounding-box prefilter. It is the ground truth the index structures
+// are tested against. Returns -1 if no region contains p.
+func (s *Subdivision) Locate(p geom.Point) int {
+	for i := range s.Regions {
+		if !s.Regions[i].Bounds().Contains(p) {
+			continue
+		}
+		if s.Regions[i].Poly.Contains(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the subdivision invariants of Definition 1: regions cover
+// the service area (areas sum to the area of A within tolerance), every
+// interior edge is shared by exactly two regions with opposite orientation,
+// and all rings are counter-clockwise.
+func (s *Subdivision) Validate() error {
+	var sum float64
+	for i := range s.Regions {
+		a := s.Regions[i].Poly.SignedArea()
+		if a <= 0 {
+			return fmt.Errorf("region %d: not counter-clockwise (signed area %g)", i, a)
+		}
+		sum += a
+	}
+	total := s.Area.Area()
+	if rel := math.Abs(sum-total) / total; rel > 1e-6 {
+		return fmt.Errorf("regions cover %.9g of service area %.9g (relative gap %.3g)", sum, total, rel)
+	}
+	for e, owner := range s.twin {
+		if _, ok := s.twin[[2]int{e[1], e[0]}]; ok {
+			continue // interior edge with a twin
+		}
+		// Boundary edge: both endpoints must lie on the service-area border.
+		for _, vid := range e {
+			p := s.Verts[vid]
+			if !onRectBorder(p, s.Area) {
+				return fmt.Errorf("region %d: unmatched edge (%d,%d) with vertex %v off the service-area border", owner, e[0], e[1], p)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalDataRegions mirrors the paper's N.
+func (s *Subdivision) TotalDataRegions() int { return len(s.Regions) }
+
+func onRectBorder(p geom.Point, r geom.Rect) bool {
+	const tol = 1e-6
+	onX := math.Abs(p.X-r.MinX) <= tol || math.Abs(p.X-r.MaxX) <= tol
+	onY := math.Abs(p.Y-r.MinY) <= tol || math.Abs(p.Y-r.MaxY) <= tol
+	inX := p.X >= r.MinX-tol && p.X <= r.MaxX+tol
+	inY := p.Y >= r.MinY-tol && p.Y <= r.MaxY+tol
+	return (onX && inY) || (onY && inX)
+}
+
+// insertTJunctions inserts any canonical vertex that lies strictly inside
+// another ring's edge into that edge, so both sides of a border list the
+// same vertex sequence.
+func insertTJunctions(verts []geom.Point, rings [][]int) [][]int {
+	out := make([][]int, len(rings))
+	for i, ring := range rings {
+		n := len(ring)
+		rebuilt := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			u, v := ring[j], ring[(j+1)%n]
+			rebuilt = append(rebuilt, u)
+			seg := geom.Segment{A: verts[u], B: verts[v]}
+			// Collect vertices strictly interior to this edge.
+			var mids []int
+			for w := range verts {
+				if w == u || w == v {
+					continue
+				}
+				p := verts[w]
+				if seg.Contains(p) && !p.Eq(seg.A) && !p.Eq(seg.B) {
+					mids = append(mids, w)
+				}
+			}
+			// Order along the edge by distance from u.
+			for a := 0; a < len(mids); a++ {
+				for b := a + 1; b < len(mids); b++ {
+					if verts[mids[b]].Dist2(seg.A) < verts[mids[a]].Dist2(seg.A) {
+						mids[a], mids[b] = mids[b], mids[a]
+					}
+				}
+			}
+			rebuilt = append(rebuilt, mids...)
+		}
+		out[i] = rebuilt
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package region
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"airindex/internal/geom"
+)
+
+var unitArea = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+
+// twoHalves splits the unit area vertically at x=60 with a jog.
+func twoHalves() []geom.Polygon {
+	return []geom.Polygon{
+		{geom.Pt(0, 0), geom.Pt(60, 0), geom.Pt(50, 50), geom.Pt(60, 100), geom.Pt(0, 100)},
+		{geom.Pt(60, 0), geom.Pt(100, 0), geom.Pt(100, 100), geom.Pt(60, 100), geom.Pt(50, 50)},
+	}
+}
+
+func TestNewTwoRegions(t *testing.T) {
+	sub, err := New(unitArea, twoHalves())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 2 {
+		t.Fatalf("N = %d", sub.N())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got := sub.Locate(geom.Pt(10, 50)); got != 0 {
+		t.Errorf("Locate left = %d", got)
+	}
+	if got := sub.Locate(geom.Pt(90, 50)); got != 1 {
+		t.Errorf("Locate right = %d", got)
+	}
+	if got := sub.Locate(geom.Pt(101, 50)); got != -1 {
+		t.Errorf("Locate outside = %d", got)
+	}
+}
+
+func TestWeldingMergesNearbyVertices(t *testing.T) {
+	polys := twoHalves()
+	// Perturb polygon 1's copies of the shared vertices within the weld
+	// tolerance (corners stay exact: they have no partner to weld to).
+	shared := map[geom.Point]bool{geom.Pt(60, 0): true, geom.Pt(50, 50): true, geom.Pt(60, 100): true}
+	for i, p := range polys[1] {
+		if shared[p] {
+			polys[1][i] = geom.Pt(p.X+0.4e-5, p.Y-0.4e-5)
+		}
+	}
+	sub, err := New(unitArea, polys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("welded subdivision invalid: %v", err)
+	}
+	// The shared edge (60,0)-(50,50)-(60,100) must be recognized: region 0's
+	// boundary against region 1 is non-empty.
+	border := sub.SharedBorder([]int{0}, []int{1})
+	if len(border) != 2 {
+		t.Fatalf("shared border has %d segments, want 2", len(border))
+	}
+}
+
+func TestValidateCatchesCoverageGap(t *testing.T) {
+	polys := []geom.Polygon{
+		{geom.Pt(0, 0), geom.Pt(50, 0), geom.Pt(50, 100), geom.Pt(0, 100)},
+		// Gap: second region starts at x=55.
+		{geom.Pt(55, 0), geom.Pt(100, 0), geom.Pt(100, 100), geom.Pt(55, 100)},
+	}
+	sub, err := New(unitArea, polys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err == nil {
+		t.Fatal("Validate should reject a coverage gap")
+	} else if !strings.Contains(err.Error(), "cover") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateCatchesDanglingInteriorEdge(t *testing.T) {
+	// Two overlapping copies of the left half: the duplicate directed edge
+	// must be rejected at construction.
+	polys := []geom.Polygon{twoHalves()[0], twoHalves()[0]}
+	if _, err := New(unitArea, polys); err == nil {
+		t.Fatal("New should reject duplicate directed edges")
+	}
+}
+
+func TestDegeneratePolygonRejected(t *testing.T) {
+	if _, err := New(unitArea, []geom.Polygon{{geom.Pt(0, 0), geom.Pt(1, 1)}}); err == nil {
+		t.Fatal("two-vertex polygon should be rejected")
+	}
+	if _, err := New(unitArea, nil); err == nil {
+		t.Fatal("empty polygon list should be rejected")
+	}
+}
+
+func TestBoundarySegmentsOfUnion(t *testing.T) {
+	sub, err := New(unitArea, twoHalves())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundary of the union of both = the service-area border (8 segments:
+	// each side is split nowhere except the two x=60 touch points on
+	// top/bottom edges -> bottom/top split into 2 each).
+	segs := sub.BoundarySegments([]int{0, 1})
+	var length float64
+	for _, s := range segs {
+		length += s.Len()
+	}
+	if math.Abs(length-400) > 1e-9 {
+		t.Errorf("union boundary length = %v, want 400", length)
+	}
+	// Boundary of region 0 alone includes the interior border.
+	segs0 := sub.BoundarySegments([]int{0})
+	var len0 float64
+	for _, s := range segs0 {
+		len0 += s.Len()
+	}
+	want := 60 + 100 + 60 + 2*math.Hypot(10, 50)
+	if math.Abs(len0-want) > 1e-9 {
+		t.Errorf("region-0 boundary length = %v, want %v", len0, want)
+	}
+}
+
+func TestNeighborAndEdgeOwner(t *testing.T) {
+	sub, err := New(unitArea, twoHalves())
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior, boundary := 0, 0
+	for _, id := range []int{0, 1} {
+		ring := sub.Ring(id)
+		for j := range ring {
+			u, v := ring[j], ring[(j+1)%len(ring)]
+			if sub.EdgeOwner(u, v) != id {
+				t.Fatalf("edge owner wrong for region %d", id)
+			}
+			if nb := sub.Neighbor(u, v); nb >= 0 {
+				interior++
+				if nb == id {
+					t.Fatal("region neighbors itself")
+				}
+			} else {
+				boundary++
+			}
+		}
+	}
+	if interior != 4 { // two shared segments, counted from both sides
+		t.Errorf("interior edge count = %d, want 4", interior)
+	}
+	if boundary != 6 {
+		t.Errorf("boundary edge count = %d, want 6", boundary)
+	}
+}
+
+func TestUniqueEdges(t *testing.T) {
+	sub, err := New(unitArea, twoHalves())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := sub.UniqueEdges()
+	if len(edges) != 8 { // 6 border + 2 interior
+		t.Fatalf("unique edges = %d, want 8", len(edges))
+	}
+	interior := 0
+	for _, e := range edges {
+		if !e.A.Less(e.B) {
+			t.Fatalf("edge endpoints not ordered: %v %v", e.A, e.B)
+		}
+		if e.Forward >= 0 && e.Backward >= 0 {
+			interior++
+		}
+		if e.Forward < 0 && e.Backward < 0 {
+			t.Fatal("edge owned by nobody")
+		}
+	}
+	if interior != 2 {
+		t.Fatalf("interior unique edges = %d, want 2", interior)
+	}
+}
+
+func TestTJunctionRepair(t *testing.T) {
+	// Left column split into two stacked cells; right column one tall cell
+	// whose left edge has a T-junction at (50,50).
+	polys := []geom.Polygon{
+		{geom.Pt(0, 0), geom.Pt(50, 0), geom.Pt(50, 50), geom.Pt(0, 50)},
+		{geom.Pt(0, 50), geom.Pt(50, 50), geom.Pt(50, 100), geom.Pt(0, 100)},
+		{geom.Pt(50, 0), geom.Pt(100, 0), geom.Pt(100, 100), geom.Pt(50, 100)},
+	}
+	sub, err := New(unitArea, polys, WithTJunctionRepair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("repaired subdivision invalid: %v", err)
+	}
+	// After repair the tall cell's ring contains the junction vertex, so
+	// both stacked cells see it as a neighbor.
+	if len(sub.SharedBorder([]int{2}, []int{0})) != 1 {
+		t.Error("cell 2 should border cell 0 on exactly one edge")
+	}
+	if len(sub.SharedBorder([]int{2}, []int{1})) != 1 {
+		t.Error("cell 2 should border cell 1 on exactly one edge")
+	}
+}
+
+func TestLocateRandomAgainstContains(t *testing.T) {
+	sub, err := New(unitArea, twoHalves())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 5000; i++ {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		id := sub.Locate(p)
+		if id < 0 {
+			t.Fatalf("point %v in area not located", p)
+		}
+		if !sub.Regions[id].Poly.Contains(p) {
+			t.Fatalf("located region %d does not contain %v", id, p)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package region
+
+import (
+	"math"
+
+	"airindex/internal/geom"
+)
+
+// welder merges points that lie within tol of each other into canonical
+// vertices. It hashes points to a grid of cell size tol and checks the 3x3
+// neighborhood, so any two points within tol land in adjacent cells and are
+// guaranteed to be compared.
+type welder struct {
+	tol  float64
+	grid map[[2]int64][]int
+	pts  []geom.Point
+}
+
+func newWelder(tol float64) *welder {
+	return &welder{tol: tol, grid: make(map[[2]int64][]int)}
+}
+
+func (w *welder) cell(p geom.Point) [2]int64 {
+	return [2]int64{int64(math.Floor(p.X / w.tol)), int64(math.Floor(p.Y / w.tol))}
+}
+
+// add returns the canonical vertex index for p, creating one if no existing
+// vertex lies within tol.
+func (w *welder) add(p geom.Point) int {
+	c := w.cell(p)
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			for _, id := range w.grid[[2]int64{c[0] + dx, c[1] + dy}] {
+				q := w.pts[id]
+				if math.Abs(q.X-p.X) <= w.tol && math.Abs(q.Y-p.Y) <= w.tol {
+					return id
+				}
+			}
+		}
+	}
+	id := len(w.pts)
+	w.pts = append(w.pts, p)
+	w.grid[c] = append(w.grid[c], id)
+	return id
+}
+
+// points returns the canonical vertex slice.
+func (w *welder) points() []geom.Point { return w.pts }

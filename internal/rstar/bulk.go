@@ -1,0 +1,124 @@
+package rstar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"airindex/internal/region"
+	"airindex/internal/wire"
+)
+
+// BulkLoadSTR builds a packed R-tree with the Sort-Tile-Recursive algorithm
+// (Leutenegger et al., ICDE 1997): entries are sorted by center x, cut into
+// vertical slices of ~sqrt(n/M) tiles, each slice sorted by center y and
+// packed into full nodes. STR trees have near-minimal directory overlap, so
+// they bound how much of the R*-tree baseline's tuning cost is construction
+// quality rather than the approximation approach itself.
+func BulkLoadSTR(items []Entry, maxEntries int) (*Tree, error) {
+	if maxEntries < 2 {
+		return nil, fmt.Errorf("rstar: max entries %d must be >= 2", maxEntries)
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("rstar: nothing to bulk load")
+	}
+	t, err := New(maxEntries, 0)
+	if err != nil {
+		return nil, err
+	}
+	level := 0
+	entries := append([]Entry(nil), items...)
+	for len(entries) > maxEntries {
+		nodes := packLevel(entries, maxEntries, level)
+		entries = entries[:0]
+		for _, n := range nodes {
+			entries = append(entries, Entry{Rect: n.rect(), Child: n})
+		}
+		level++
+	}
+	t.root = &node{level: level, entries: entries}
+	t.size = len(items)
+	return t, nil
+}
+
+// packLevel groups entries into nodes of up to m entries using STR tiling.
+func packLevel(entries []Entry, m, level int) []*node {
+	n := len(entries)
+	nodeCount := (n + m - 1) / m
+	slices := int(math.Ceil(math.Sqrt(float64(nodeCount))))
+	perSlice := slices * m
+
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Rect.Center().X < entries[j].Rect.Center().X
+	})
+	var out []*node
+	for s := 0; s < n; s += perSlice {
+		end := min(s+perSlice, n)
+		slice := entries[s:end]
+		sort.SliceStable(slice, func(i, j int) bool {
+			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
+		})
+		for o := 0; o < len(slice); o += m {
+			e := min(o+m, len(slice))
+			nd := &node{level: level, entries: append([]Entry(nil), slice[o:e]...)}
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// OverlapFactor measures directory quality: the average, over leaf entries,
+// of how many same-level sibling rectangles overlap each entry's rectangle.
+// Lower is better; it predicts the number of subtrees a point query visits.
+func (t *Tree) OverlapFactor() float64 {
+	var sum float64
+	var count int
+	var walk func(n *node)
+	walk = func(n *node) {
+		for i, e := range n.entries {
+			for j, o := range n.entries {
+				if i != j && e.Rect.Intersects(o.Rect) {
+					sum++
+				}
+			}
+			count++
+			if e.Child != nil {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(t.root)
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// BuildAirSTR is BuildAir with STR bulk loading instead of one-by-one R*
+// insertion (construction-quality ablation for the baseline).
+func BuildAirSTR(sub *region.Subdivision, params wire.Params) (*AirIndex, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	capacity := NodeCapacity(params)
+	if capacity < 2 {
+		return nil, fmt.Errorf("rstar: packet capacity %d holds %d entries (< 2)", params.PacketCapacity, capacity)
+	}
+	items := make([]Entry, sub.N())
+	for i := range items {
+		items[i] = Entry{Rect: sub.Regions[i].Bounds(), Data: i}
+	}
+	t, err := BulkLoadSTR(items, capacity)
+	if err != nil {
+		return nil, err
+	}
+	a := &AirIndex{
+		Tree:         t,
+		Sub:          sub,
+		Params:       params,
+		nodePacket:   make(map[*node]int),
+		shapePackets: make([][]int, sub.N()),
+	}
+	a.layout()
+	return a, nil
+}

@@ -1,0 +1,169 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/testutil"
+	"airindex/internal/wire"
+)
+
+func TestBulkLoadSTRStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, n := range []int{1, 5, 50, 500} {
+		items := make([]Entry, n)
+		for i := range items {
+			items[i] = Entry{Rect: randRect(rng), Data: i}
+		}
+		tr, err := BulkLoadSTR(items, 8)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		// Structural sanity: uniform leaf depth, covering rects tight,
+		// packed nodes within capacity (STR may underfill the min bound,
+		// so CheckInvariants' min-fill check does not apply to the tail
+		// nodes; check the rest manually).
+		var walk func(nd *node) error
+		walk = func(nd *node) error {
+			if len(nd.entries) > 8 {
+				t.Fatalf("node with %d entries", len(nd.entries))
+			}
+			for _, e := range nd.entries {
+				if nd.isLeaf() {
+					continue
+				}
+				if e.Child.level != nd.level-1 {
+					t.Fatal("level gap")
+				}
+				if !rectsAlmostEqual(e.Rect, e.Child.rect()) {
+					t.Fatal("stale covering rect")
+				}
+				if err := walk(e.Child); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(tr.root); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBulkLoadSTRSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	items := make([]Entry, 400)
+	rects := make([]geom.Rect, 400)
+	for i := range items {
+		rects[i] = randRect(rng)
+		items[i] = Entry{Rect: rects[i], Data: i}
+	}
+	tr, err := BulkLoadSTR(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 800; q++ {
+		p := geom.Pt(rng.Float64()*1100, rng.Float64()*1100)
+		got := tr.SearchPoint(p)
+		sort.Ints(got)
+		var want []int
+		for i, r := range rects {
+			if r.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("point %v: got %v want %v", p, got, want)
+		}
+	}
+}
+
+func TestSTRHasLessOverlapThanDynamic(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 400, 203)
+	params := wire.RStarParams(256)
+	dyn, err := BuildAir(sub, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := BuildAirSTR(sub, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do, so := dyn.Tree.OverlapFactor(), str.Tree.OverlapFactor()
+	t.Logf("overlap factor: dynamic R* %.3f, STR %.3f", do, so)
+	if so > do*1.5 {
+		t.Errorf("STR overlap %.3f much worse than dynamic %.3f", so, do)
+	}
+	// Both must answer correctly.
+	rng := rand.New(rand.NewSource(204))
+	for i := 0; i < 2000; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		got, trace := str.Locate(p)
+		if got < 0 || !sub.Regions[got].Poly.Contains(p) {
+			t.Fatalf("STR air query %v: region %d", p, got)
+		}
+		if len(trace) == 0 {
+			t.Fatal("empty trace")
+		}
+	}
+}
+
+func TestBulkLoadErrors(t *testing.T) {
+	if _, err := BulkLoadSTR(nil, 8); err == nil {
+		t.Error("empty bulk load should fail")
+	}
+	if _, err := BulkLoadSTR([]Entry{{}}, 1); err == nil {
+		t.Error("max entries 1 should fail")
+	}
+}
+
+func TestSectionedLayoutCorrectAndCostlier(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 250, 205)
+	params := wire.RStarParams(256)
+	inline, err := BuildAir(sub, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectioned, err := BuildAirSectioned(sub, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global greedy packing of the shape section saves the per-leaf
+	// packing slack, so the sectioned layout is never larger.
+	if sectioned.IndexPackets() > inline.IndexPackets() {
+		t.Errorf("sectioned %d packets larger than inline %d", sectioned.IndexPackets(), inline.IndexPackets())
+	}
+	rng := rand.New(rand.NewSource(206))
+	var inlineReads, sectionedReads float64
+	const q = 4000
+	for i := 0; i < q; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		gi, ti := inline.Locate(p)
+		gs, ts := sectioned.Locate(p)
+		if gi < 0 || gs < 0 {
+			t.Fatalf("unresolved query %v", p)
+		}
+		if gi != gs && !sub.Regions[gs].Poly.Contains(p) {
+			t.Fatalf("sectioned answered %d, inline %d at %v", gs, gi, p)
+		}
+		inlineReads += float64(len(ti))
+		sectionedReads += float64(len(ts))
+		// The sectioned trace must be forward-monotone on the channel.
+		for j := 1; j < len(ts); j++ {
+			if ts[j] <= ts[j-1] {
+				t.Fatalf("sectioned trace not monotone: %v", ts)
+			}
+		}
+	}
+	inlineReads /= q
+	sectionedReads /= q
+	t.Logf("avg tuning: inline %.2f, sectioned %.2f", inlineReads, sectionedReads)
+	if sectionedReads <= inlineReads {
+		t.Errorf("sectioned layout (%.2f) should cost more than inline (%.2f)", sectionedReads, inlineReads)
+	}
+}

@@ -1,0 +1,231 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"airindex/internal/geom"
+)
+
+func randRect(rng *rand.Rand) geom.Rect {
+	x, y := rng.Float64()*1000, rng.Float64()*1000
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*80, MaxY: y + rng.Float64()*80}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0); err == nil {
+		t.Error("max entries 1 should fail")
+	}
+	tr, err := New(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MinEntries() != 4 {
+		t.Errorf("default min = %d, want 40%% of max", tr.MinEntries())
+	}
+	tr2, _ := New(10, 9)
+	if tr2.MinEntries() > 5 {
+		t.Errorf("min clamped to %d, want <= max/2", tr2.MinEntries())
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr, _ := New(4, 2)
+	rects := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
+		{MinX: 20, MinY: 20, MaxX: 30, MaxY: 30},
+		{MinX: 5, MinY: 5, MaxX: 15, MaxY: 15},
+	}
+	for i, r := range rects {
+		tr.Insert(r, i)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchPoint(geom.Pt(7, 7))
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("SearchPoint = %v", got)
+	}
+	if got := tr.SearchPoint(geom.Pt(500, 500)); len(got) != 0 {
+		t.Errorf("empty search = %v", got)
+	}
+}
+
+func TestInvariantsUnderRandomInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, m := range []int{3, 8, 25} {
+		tr, _ := New(m, 0)
+		for i := 0; i < 500; i++ {
+			tr.Insert(randRect(rng), i)
+			if i%50 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("M=%d after %d inserts: %v", m, i+1, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("M=%d final: %v", m, err)
+		}
+		if tr.Len() != 500 {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	tr, _ := New(8, 0)
+	var rects []geom.Rect
+	for i := 0; i < 400; i++ {
+		r := randRect(rng)
+		rects = append(rects, r)
+		tr.Insert(r, i)
+	}
+	for q := 0; q < 1000; q++ {
+		p := geom.Pt(rng.Float64()*1100, rng.Float64()*1100)
+		got := tr.SearchPoint(p)
+		sort.Ints(got)
+		var want []int
+		for i, r := range rects {
+			if r.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("point %v: got %v want %v", p, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("point %v: got %v want %v", p, got, want)
+			}
+		}
+	}
+	// Window queries.
+	for q := 0; q < 300; q++ {
+		w := randRect(rng)
+		got := tr.SearchRect(w)
+		sort.Ints(got)
+		var want []int
+		for i, r := range rects {
+			if r.Intersects(w) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("window %v: %d hits, want %d", w, len(got), len(want))
+		}
+	}
+}
+
+func TestNearestNeighborsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tr, _ := New(6, 0)
+	var rects []geom.Rect
+	for i := 0; i < 300; i++ {
+		r := randRect(rng)
+		rects = append(rects, r)
+		tr.Insert(r, i)
+	}
+	for q := 0; q < 200; q++ {
+		p := geom.Pt(rng.Float64()*1100, rng.Float64()*1100)
+		k := 1 + rng.Intn(10)
+		got := tr.NearestNeighbors(p, k)
+		if len(got) != k {
+			t.Fatalf("kNN returned %d of %d", len(got), k)
+		}
+		// Compare distances (ids may tie).
+		type di struct {
+			d  float64
+			id int
+		}
+		all := make([]di, len(rects))
+		for i, r := range rects {
+			all[i] = di{minDist2(p, r), i}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		for i, id := range got {
+			if gd, wd := minDist2(p, rects[id]), all[i].d; gd-wd > 1e-9 && wd-gd > 1e-9 {
+				t.Fatalf("kNN[%d] dist %v, want %v", i, gd, wd)
+			}
+		}
+	}
+	if got := tr.NearestNeighbors(geom.Pt(0, 0), 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestDeleteAndCondense(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	tr, _ := New(5, 2)
+	var rects []geom.Rect
+	for i := 0; i < 200; i++ {
+		r := randRect(rng)
+		rects = append(rects, r)
+		tr.Insert(r, i)
+	}
+	perm := rng.Perm(200)
+	for k, i := range perm {
+		if !tr.Delete(rects[i], i) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if tr.Len() != 200-k-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), k+1)
+		}
+		if k%20 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", k+1, err)
+			}
+		}
+		// The deleted entry must be gone.
+		for _, id := range tr.SearchPoint(rects[i].Center()) {
+			if id == i {
+				t.Fatalf("entry %d still findable after delete", i)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty: %d", tr.Len())
+	}
+	if tr.Delete(rects[0], 0) {
+		t.Error("deleting from empty tree should fail")
+	}
+}
+
+func TestInsertDeleteInterleavedQuick(t *testing.T) {
+	type op struct {
+		Insert bool
+		Idx    uint8
+	}
+	rng := rand.New(rand.NewSource(55))
+	rects := make([]geom.Rect, 256)
+	for i := range rects {
+		rects[i] = randRect(rng)
+	}
+	f := func(ops []op) bool {
+		tr, _ := New(4, 2)
+		live := map[int]bool{}
+		for _, o := range ops {
+			i := int(o.Idx)
+			if o.Insert && !live[i] {
+				tr.Insert(rects[i], i)
+				live[i] = true
+			} else if !o.Insert && live[i] {
+				if !tr.Delete(rects[i], i) {
+					return false
+				}
+				delete(live, i)
+			}
+		}
+		if tr.Len() != len(live) {
+			return false
+		}
+		return tr.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

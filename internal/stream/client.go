@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+
+	"airindex/internal/core"
+	"airindex/internal/geom"
+)
+
+// Client consumes a live broadcast stream and answers location-dependent
+// queries with the paper's access protocol. "Dozing" over a byte stream
+// means reading a frame's header and discarding its payload unparsed; the
+// tuning counters track only fully parsed (downloaded) packets, mirroring
+// the paper's energy model.
+type Client struct {
+	r        *bufio.Reader
+	conn     net.Conn // nil when constructed over a plain reader
+	capacity int
+
+	cur     Header // last frame's header
+	started bool
+}
+
+// Result is the outcome of one streamed query.
+type Result struct {
+	Bucket      int
+	Data        []byte
+	Latency     float64 // slots from query issue to the last data packet
+	TuneProbe   int
+	TuneIndex   int
+	TuneData    int
+	DozedFrames int // frames skimmed (header only) while waiting
+}
+
+// TotalTuning returns the parsed-packet count across protocol steps.
+func (r Result) TotalTuning() int { return r.TuneProbe + r.TuneIndex + r.TuneData }
+
+// Dial connects to a broadcast server over TCP.
+func Dial(addr string, capacity int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(conn, capacity)
+	c.conn = conn
+	return c, nil
+}
+
+// NewClient wraps any frame stream (e.g. one end of net.Pipe in tests).
+func NewClient(r io.Reader, capacity int) *Client {
+	return &Client{r: bufio.NewReaderSize(r, 64<<10), capacity: capacity}
+}
+
+// Close closes the underlying connection, if any.
+func (c *Client) Close() error {
+	if c.conn != nil {
+		return c.conn.Close()
+	}
+	return nil
+}
+
+// advance reads one frame; parseIf decides — from the header alone, as a
+// real receiver must — whether to download the payload or doze through it.
+// The payload is nil when dozed.
+func (c *Client) advance(parseIf func(Header) bool) (Header, []byte, error) {
+	h, err := readHeader(c.r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if int(h.PayloadLen) != c.capacity {
+		return Header{}, nil, fmt.Errorf("stream: frame payload %d, expected capacity %d", h.PayloadLen, c.capacity)
+	}
+	c.cur, c.started = h, true
+	if !parseIf(h) {
+		if _, err := c.r.Discard(int(h.PayloadLen)); err != nil {
+			return Header{}, nil, err
+		}
+		return h, nil, nil
+	}
+	payload := make([]byte, h.PayloadLen)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return Header{}, nil, err
+	}
+	return h, payload, nil
+}
+
+func parseAlways(Header) bool { return true }
+func parseNever(Header) bool  { return false }
+
+// dozeUntilBefore skims frames until the next frame to arrive carries the
+// given absolute slot. It fails if the stream is already past it.
+func (c *Client) dozeUntilBefore(target int, res *Result) error {
+	if !c.started {
+		return fmt.Errorf("stream: dozing before the first probe")
+	}
+	for int(c.cur.Slot)+1 < target {
+		if _, _, err := c.advance(parseNever); err != nil {
+			return err
+		}
+		res.DozedFrames++
+	}
+	if int(c.cur.Slot)+1 != target {
+		return fmt.Errorf("stream: at slot %d, cannot reach past slot %d", c.cur.Slot, target)
+	}
+	return nil
+}
+
+// Query resolves the data instance for point p from the live stream.
+func (c *Client) Query(p geom.Point) (Result, error) {
+	var res Result
+
+	// Initial probe: parse the next frame to learn where the next index
+	// copy starts.
+	probe, _, err := c.advance(parseAlways)
+	if err != nil {
+		return res, err
+	}
+	res.TuneProbe = 1
+	first := int(probe.Slot)
+	idxBase := first + int(probe.NextIndex)
+
+	// Index search: feed the D-tree byte decoder from the live stream. The
+	// provider caches parsed packets (client memory); an offset that has
+	// already flown by is fetched from the next index copy.
+	cache := map[int][]byte{}
+	get := func(k int) ([]byte, error) {
+		if pkt, ok := cache[k]; ok {
+			return pkt, nil
+		}
+		for attempt := 0; attempt < 4; attempt++ {
+			target := idxBase + k
+			if int(c.cur.Slot) >= target {
+				// Passed: jump to the copy after the current frame.
+				idxBase = int(c.cur.Slot) + int(c.cur.NextIndex)
+				target = idxBase + k
+			}
+			if err := c.dozeUntilBefore(target, &res); err != nil {
+				return nil, err
+			}
+			h, payload, err := c.advance(parseAlways)
+			if err != nil {
+				return nil, err
+			}
+			if h.Kind != KindIndex || int(h.Seq) != k {
+				// The copy was shorter than k packets (corrupt offset);
+				// resync at the next copy and retry.
+				idxBase = int(h.Slot) + int(h.NextIndex)
+				continue
+			}
+			res.TuneIndex++
+			cache[k] = payload
+			return payload, nil
+		}
+		return nil, fmt.Errorf("stream: index packet %d unreachable", k)
+	}
+	bucket, _, err := core.ClientLocateFrom(get, c.capacity, p)
+	if err != nil {
+		return res, err
+	}
+	res.Bucket = bucket
+
+	// Data retrieval: doze until the bucket's first packet, download the
+	// contiguous bucket, and stop at the first foreign frame.
+	collected := 0
+	wants := func(h Header) bool {
+		return h.Kind == KindData && h.Bucket() == bucket &&
+			(collected > 0 || h.BucketPacket() == 0)
+	}
+	for {
+		h, payload, err := c.advance(wants)
+		if err != nil {
+			return res, err
+		}
+		if payload == nil {
+			res.DozedFrames++
+			if collected > 0 {
+				break // the bucket's contiguous run ended
+			}
+			continue
+		}
+		if collected > 0 && h.BucketPacket() != collected {
+			return res, fmt.Errorf("stream: bucket %d packet %d arrived out of order (want %d)",
+				bucket, h.BucketPacket(), collected)
+		}
+		res.TuneData++
+		res.Data = append(res.Data, payload...)
+		collected++
+		res.Latency = float64(int(h.Slot) + 1 - first)
+	}
+	return res, nil
+}

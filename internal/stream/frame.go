@@ -1,0 +1,87 @@
+// Package stream puts the broadcast system on a real wire: a server that
+// cyclically transmits the paged index and the data buckets as framed
+// packets over any net.Conn (TCP in the demos), and a client that
+// implements the paper's access protocol against the live stream — initial
+// probe, doze (skim frames without parsing payloads), selective index
+// parsing through the D-tree byte decoder, and data retrieval — while
+// accounting latency in slots and tuning in parsed packets.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds.
+const (
+	KindIndex = 0x00
+	KindData  = 0x01
+)
+
+const frameMagic = 0x4158 // "AX"
+
+// headerSize is the fixed frame-header length in bytes.
+const headerSize = 16
+
+// Header describes one broadcast frame. Every frame carries the offset to
+// the start of the next index copy — the paper's "pointer to the root of
+// the next index" present in every packet — so a client can probe at any
+// moment.
+type Header struct {
+	Kind       uint8
+	Slot       uint32 // absolute slot number, strictly increasing
+	Seq        uint32 // index: packet offset in the copy; data: bucket<<8 | packet-in-bucket
+	NextIndex  uint32 // slots from this frame to the next index-copy start
+	PayloadLen uint16
+}
+
+// DataSeq packs a data frame's sequence field.
+func DataSeq(bucket, pkt int) uint32 { return uint32(bucket)<<8 | uint32(pkt&0xff) }
+
+// Bucket extracts the bucket id from a data frame's sequence field.
+func (h Header) Bucket() int { return int(h.Seq >> 8) }
+
+// BucketPacket extracts the packet-within-bucket from a data frame.
+func (h Header) BucketPacket() int { return int(h.Seq & 0xff) }
+
+// writeFrame emits a frame (header + payload) to w. Header layout, little
+// endian: magic(2) kind(1) pad(1) slot(4) seq(4) payloadLen(2)
+// nextIndex(2). The 16-bit next-index delta bounds one (1, m) data segment
+// plus index copy at 65535 slots, ample for every paper configuration.
+func writeFrame(w io.Writer, h Header, payload []byte) error {
+	if len(payload) != int(h.PayloadLen) {
+		return fmt.Errorf("stream: payload %d bytes, header says %d", len(payload), h.PayloadLen)
+	}
+	if h.NextIndex > 0xffff {
+		return fmt.Errorf("stream: next-index delta %d exceeds 16 bits", h.NextIndex)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint16(buf[0:], frameMagic)
+	buf[2] = h.Kind
+	binary.LittleEndian.PutUint32(buf[4:], h.Slot)
+	binary.LittleEndian.PutUint32(buf[8:], h.Seq)
+	binary.LittleEndian.PutUint16(buf[12:], h.PayloadLen)
+	binary.LittleEndian.PutUint16(buf[14:], uint16(h.NextIndex))
+	copy(buf[headerSize:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readHeader reads and validates a frame header.
+func readHeader(r io.Reader) (Header, error) {
+	var buf [headerSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Header{}, err
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != frameMagic {
+		return Header{}, fmt.Errorf("stream: bad frame magic")
+	}
+	return Header{
+		Kind:       buf[2],
+		Slot:       binary.LittleEndian.Uint32(buf[4:]),
+		Seq:        binary.LittleEndian.Uint32(buf[8:]),
+		PayloadLen: binary.LittleEndian.Uint16(buf[12:]),
+		NextIndex:  uint32(binary.LittleEndian.Uint16(buf[14:])),
+	}, nil
+}

@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"airindex/internal/broadcast"
+	"airindex/internal/core"
+	"airindex/internal/region"
+	"airindex/internal/wire"
+)
+
+// NewDTreeProgram assembles a complete broadcast program for a subdivision:
+// a paged and encoded D-tree, a (1, m) schedule (optimal m when m <= 0),
+// and synthetic data payloads whose first bytes identify the bucket (so
+// clients and tests can verify what they downloaded).
+func NewDTreeProgram(sub *region.Subdivision, capacity, m int) (*Program, error) {
+	tree, err := core.Build(sub)
+	if err != nil {
+		return nil, err
+	}
+	params := wire.DTreeParams(capacity)
+	paged, err := tree.Page(params)
+	if err != nil {
+		return nil, err
+	}
+	packets, err := paged.EncodePackets()
+	if err != nil {
+		return nil, err
+	}
+	if len(packets) == 0 {
+		return nil, fmt.Errorf("stream: subdivision of %d regions produced an empty index", sub.N())
+	}
+	bucketPackets := params.DataBucketPackets()
+	if m <= 0 {
+		m = broadcast.OptimalM(len(packets), sub.N()*bucketPackets)
+	}
+	sched, err := broadcast.NewSchedule(len(packets), sub.N(), bucketPackets, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		Capacity:     capacity,
+		IndexPackets: packets,
+		Sched:        sched,
+		Data:         BucketStamp(capacity),
+	}, nil
+}
+
+// BucketStamp returns a payload generator that stamps every data packet
+// with its bucket id and packet number, for end-to-end verification.
+func BucketStamp(capacity int) func(bucket, pkt int) []byte {
+	return func(bucket, pkt int) []byte {
+		payload := make([]byte, capacity)
+		binary.LittleEndian.PutUint32(payload[0:], uint32(bucket))
+		binary.LittleEndian.PutUint32(payload[4:], uint32(pkt))
+		return payload
+	}
+}
+
+// VerifyStampedData checks a downloaded bucket against BucketStamp.
+func VerifyStampedData(data []byte, capacity, bucket int) error {
+	if len(data)%capacity != 0 || len(data) == 0 {
+		return fmt.Errorf("stream: downloaded %d bytes, not a whole number of %d-byte packets", len(data), capacity)
+	}
+	for pkt := 0; pkt*capacity < len(data); pkt++ {
+		chunk := data[pkt*capacity:]
+		if got := int(binary.LittleEndian.Uint32(chunk[0:])); got != bucket {
+			return fmt.Errorf("stream: packet %d stamped with bucket %d, want %d", pkt, got, bucket)
+		}
+		if got := int(binary.LittleEndian.Uint32(chunk[4:])); got != pkt {
+			return fmt.Errorf("stream: packet stamped %d, want %d", got, pkt)
+		}
+	}
+	return nil
+}

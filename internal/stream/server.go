@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"airindex/internal/broadcast"
+)
+
+// Program is the broadcast content: the encoded index packets, the (1, m)
+// schedule that orders them with the data, and the data payload source.
+type Program struct {
+	Capacity     int
+	IndexPackets [][]byte
+	Sched        *broadcast.Schedule
+	// Data returns the payload of one packet of one bucket; nil payloads
+	// are zero-filled. Payloads shorter than Capacity are padded.
+	Data func(bucket, pkt int) []byte
+}
+
+// Validate checks internal consistency.
+func (p *Program) Validate() error {
+	if p.Capacity <= 0 {
+		return fmt.Errorf("stream: capacity %d", p.Capacity)
+	}
+	if p.Sched == nil {
+		return fmt.Errorf("stream: nil schedule")
+	}
+	if len(p.IndexPackets) == 0 {
+		return fmt.Errorf("stream: a broadcast program needs at least one index packet")
+	}
+	if len(p.IndexPackets) != p.Sched.IndexPackets {
+		return fmt.Errorf("stream: %d index packets, schedule says %d", len(p.IndexPackets), p.Sched.IndexPackets)
+	}
+	for k, pkt := range p.IndexPackets {
+		if len(pkt) != p.Capacity {
+			return fmt.Errorf("stream: index packet %d has %d bytes", k, len(pkt))
+		}
+	}
+	return nil
+}
+
+// frameAt renders the frame broadcast at an absolute slot.
+func (p *Program) frameAt(slot int) (Header, []byte) {
+	cycle := p.Sched.CycleLen()
+	pos := slot % cycle
+	next := p.Sched.NextIndexStart(float64(pos) + 1e-9)
+	// Delta from this slot to the next index copy (strictly ahead).
+	if next == pos {
+		next = p.Sched.NextIndexStart(float64(pos) + 1)
+	}
+	h := Header{Slot: uint32(slot), NextIndex: uint32(next - pos), PayloadLen: uint16(p.Capacity)}
+
+	// Which region of the cycle is pos in?
+	idxStart := -1
+	for j := 0; j < p.Sched.M; j++ {
+		s := p.Sched.IndexStartOf(j)
+		if pos >= s && pos < s+p.Sched.IndexPackets {
+			idxStart = s
+			break
+		}
+	}
+	if idxStart >= 0 {
+		off := pos - idxStart
+		h.Kind = KindIndex
+		h.Seq = uint32(off)
+		return h, p.IndexPackets[off]
+	}
+	bucket, pkt := p.Sched.BucketAt(pos)
+	h.Kind = KindData
+	h.Seq = DataSeq(bucket, pkt)
+	payload := make([]byte, p.Capacity)
+	if p.Data != nil {
+		copy(payload, p.Data(bucket, pkt))
+	}
+	return h, payload
+}
+
+// Server broadcasts a Program. Each connection receives its own contiguous
+// frame stream beginning at the server's current slot position when it
+// tuned in — like switching on a radio — and advances independently, so a
+// slow client does not stall a fast one (a real channel would drop frames
+// instead; per-connection pacing keeps the protocol identical from the
+// client's point of view).
+type Server struct {
+	prog *Program
+	ln   net.Listener
+
+	// SlotDuration throttles the broadcast to real time; zero streams at
+	// full speed (useful for tests and simulations).
+	SlotDuration time.Duration
+
+	// StartSlot, when set, chooses the first slot of each new connection
+	// (tests and demos inject randomness or fixed phases here).
+	StartSlot func() int
+
+	slot   atomic.Int64
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+}
+
+// NewServer wraps a listener. Serve must be called to start accepting.
+func NewServer(ln net.Listener, prog *Program) (*Server, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{prog: prog, ln: ln, conns: make(map[net.Conn]bool)}, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until the listener closes; every connection
+// receives the broadcast starting from the shared current slot.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.streamTo(conn)
+		}()
+	}
+}
+
+// streamTo broadcasts frames to one connection until it errors or the
+// server closes. Writes are buffered (one syscall per ~64 KB instead of per
+// frame); with real-time pacing every frame is flushed on its slot tick.
+func (s *Server) streamTo(w io.Writer) {
+	var slot int
+	if s.StartSlot != nil {
+		slot = s.StartSlot()
+	} else {
+		slot = int(s.slot.Load())
+	}
+	bw := bufio.NewWriterSize(w, 64<<10)
+	for !s.closed.Load() {
+		h, payload := s.prog.frameAt(slot)
+		if err := writeFrame(bw, h, payload); err != nil {
+			return
+		}
+		slot++
+		s.slot.Store(int64(slot)) // informational shared channel position
+		if s.SlotDuration > 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			time.Sleep(s.SlotDuration)
+		}
+	}
+	bw.Flush() //nolint:errcheck
+}
+
+// Close stops accepting, severs every active stream, and waits for the
+// per-connection goroutines to exit.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}

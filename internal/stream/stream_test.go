@@ -1,0 +1,203 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/testutil"
+)
+
+// startServer builds a program over a random Voronoi subdivision and serves
+// it on a loopback listener.
+func startServer(t *testing.T, n int, capacity int, start func() int) (*Server, *testing.T) {
+	t.Helper()
+	sub, _ := testutil.RandomVoronoi(t, n, int64(n)*7+3)
+	prog, err := NewDTreeProgram(sub, capacity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ln, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.StartSlot = start
+	go srv.Serve() //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return srv, t
+}
+
+func TestStreamedQueriesEndToEnd(t *testing.T) {
+	const capacity = 256
+	sub, sites := testutil.RandomVoronoi(t, 80, 563)
+	prog, err := NewDTreeProgram(sub, capacity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ln, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase := 0
+	srv.StartSlot = func() int { phase += 137; return phase }
+	go srv.Serve() //nolint:errcheck
+	defer srv.Close()
+
+	client, err := Dial(ln.Addr().String(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(99))
+	for q := 0; q < 40; q++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		res, err := client.Query(p)
+		if err != nil {
+			t.Fatalf("query %d at %v: %v", q, p, err)
+		}
+		want := sub.Locate(p)
+		if res.Bucket != want && !sub.Regions[res.Bucket].Poly.Contains(p) {
+			t.Fatalf("query %v: bucket %d, want %d", p, res.Bucket, want)
+		}
+		if err := VerifyStampedData(res.Data, capacity, res.Bucket); err != nil {
+			t.Fatalf("query %v: %v", p, err)
+		}
+		if res.TuneProbe != 1 || res.TuneIndex < 1 || res.TuneData < 1 {
+			t.Fatalf("query %v: odd tuning %+v", p, res)
+		}
+		if res.Latency <= 0 || res.Latency > 3*float64(prog.Sched.CycleLen()) {
+			t.Fatalf("query %v: latency %v", p, res.Latency)
+		}
+		// Energy argument: the client must doze through far more frames
+		// than it parses.
+		if res.DozedFrames < res.TotalTuning() {
+			t.Logf("query %v: dozed %d, tuned %d (small cycle)", p, res.DozedFrames, res.TotalTuning())
+		}
+		_ = sites
+	}
+}
+
+func TestStreamConcurrentClients(t *testing.T) {
+	const capacity = 128
+	srv, _ := startServer(t, 40, capacity, func() int { return 0 })
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			client, err := Dial(srv.Addr().String(), capacity)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 10; q++ {
+				p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+				res, err := client.Query(p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := VerifyStampedData(res.Data, capacity, res.Bucket); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamRepeatedQueriesOneConnection(t *testing.T) {
+	const capacity = 512
+	srv, _ := startServer(t, 60, capacity, func() int { return 42 })
+	client, err := Dial(srv.Addr().String(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rng := rand.New(rand.NewSource(7))
+	var totalTune, totalDoze int
+	for q := 0; q < 30; q++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		res, err := client.Query(p)
+		if err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+		totalTune += res.TotalTuning()
+		totalDoze += res.DozedFrames
+	}
+	if totalTune == 0 || totalDoze == 0 {
+		t.Fatalf("tuning %d, dozing %d", totalTune, totalDoze)
+	}
+	// The whole point of air indexing: the radio is mostly off.
+	duty := float64(totalTune) / float64(totalTune+totalDoze)
+	if duty > 0.5 {
+		t.Errorf("duty cycle %.2f, expected well below 0.5", duty)
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 10, 77)
+	prog, err := NewDTreeProgram(sub, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *prog
+	bad.IndexPackets = bad.IndexPackets[:len(bad.IndexPackets)-1]
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched index packet count should fail")
+	}
+	bad2 := *prog
+	bad2.Capacity = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	h := Header{Kind: KindData, Slot: 1234, Seq: DataSeq(77, 3), NextIndex: 55, PayloadLen: 8}
+	if err := writeFrame(&buf, h, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slot != 1234 || got.Bucket() != 77 || got.BucketPacket() != 3 || got.NextIndex != 55 {
+		t.Fatalf("header round trip: %+v", got)
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("payload bytes remaining = %d", buf.Len())
+	}
+	// Oversized delta and wrong payload length must be rejected.
+	if err := writeFrame(&buf, Header{NextIndex: 1 << 17, PayloadLen: 0}, nil); err == nil {
+		t.Error("oversized next-index delta accepted")
+	}
+	if err := writeFrame(&buf, Header{PayloadLen: 4}, []byte{1}); err == nil {
+		t.Error("mismatched payload length accepted")
+	}
+}

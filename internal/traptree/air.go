@@ -1,0 +1,112 @@
+package traptree
+
+import (
+	"fmt"
+
+	"airindex/internal/geom"
+	"airindex/internal/wire"
+)
+
+// Paged is a trap-tree allocated into packets using the paper's top-down
+// paging (Section 5 pages the trap-tree with the same approach as the
+// D-tree).
+type Paged struct {
+	Map    *Map
+	Params wire.Params
+	Layout *wire.Layout
+}
+
+// NodeSize returns the wire size of a DAG node under Table 2: an x-node
+// stores one coordinate, a y-node one segment (two points); both carry a
+// bid and two typed pointers. Trapezoid leaves cost nothing — they are
+// data pointers embedded in their parents.
+func NodeSize(n *dnode, p wire.Params) int {
+	switch n.kind {
+	case xNode:
+		return p.BidSize + p.CoordSize + 2*p.PointerSize
+	case yNode:
+		return p.BidSize + 2*p.PointSize() + 2*p.PointerSize
+	default:
+		return 0
+	}
+}
+
+// Page allocates the DAG nodes into packets top-down.
+func (m *Map) Page(params wire.Params) (*Paged, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.Nodes) == 0 {
+		layout := &wire.Layout{PacketCapacity: params.PacketCapacity, PacketsOf: map[int][]int{}}
+		return &Paged{Map: m, Params: params, Layout: layout}, nil
+	}
+	specs := make([]wire.NodeSpec, 0, len(m.Nodes))
+	firstParent := make(map[int]int, len(m.Nodes))
+	firstParent[m.Nodes[0].id] = -1
+	for _, n := range m.Nodes { // breadth-first: parents precede children
+		var children []int
+		for _, c := range []*dnode{n.left, n.right} {
+			if c.kind == leafNode {
+				continue
+			}
+			children = append(children, c.id)
+			if _, ok := firstParent[c.id]; !ok {
+				firstParent[c.id] = n.id
+			}
+		}
+		leaf := n.left.kind == leafNode && n.right.kind == leafNode
+		specs = append(specs, wire.NodeSpec{
+			ID: n.id, Size: NodeSize(n, params), Parent: firstParent[n.id], Children: children, Leaf: leaf,
+		})
+	}
+	layout, err := wire.TopDown(specs, params.PacketCapacity)
+	if err != nil {
+		return nil, err
+	}
+	if err := layout.Validate(specs); err != nil {
+		return nil, fmt.Errorf("traptree: invalid layout: %w", err)
+	}
+	return &Paged{Map: m, Params: params, Layout: layout}, nil
+}
+
+// IndexPackets returns the broadcast size of the index in packets.
+func (pg *Paged) IndexPackets() int { return pg.Layout.PacketCount }
+
+// Locate answers a point query over the paged trap-tree and returns the
+// region id with the packet offsets downloaded in access order.
+func (pg *Paged) Locate(p geom.Point) (int, []int) {
+	seen := make(map[int]bool, 16)
+	var trace []int
+	n := pg.Map.root
+	for n.kind != leafNode {
+		for _, pk := range pg.Layout.PacketsOf[n.id] {
+			if !seen[pk] {
+				seen[pk] = true
+				trace = append(trace, pk)
+			}
+		}
+		switch n.kind {
+		case xNode:
+			if lexLess(p, n.pt) {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		case yNode:
+			switch n.seg.orient(p) {
+			case 1:
+				n = n.left
+			case -1:
+				n = n.right
+			default:
+				// Same tie rule as Map.Locate (slope 0 query).
+				if n.seg.slope() < 0 {
+					n = n.left
+				} else {
+					n = n.right
+				}
+			}
+		}
+	}
+	return n.trap.region, trace
+}

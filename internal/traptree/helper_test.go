@@ -1,0 +1,12 @@
+package traptree
+
+import (
+	"airindex/internal/geom"
+	"airindex/internal/region"
+	"airindex/internal/testutil"
+)
+
+// regionNew builds a subdivision over the 100x100 test area.
+func regionNew(polys []geom.Polygon) (*region.Subdivision, error) {
+	return region.New(testutil.Area, polys)
+}

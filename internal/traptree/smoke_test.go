@@ -1,0 +1,54 @@
+package traptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/voronoi"
+	"airindex/internal/wire"
+)
+
+func TestSmokeTrapMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000}
+	sites := make([]geom.Point, 100)
+	for i := range sites {
+		sites[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	sub, err := voronoi.Subdivision(area, sites)
+	if err != nil {
+		t.Fatalf("voronoi: %v", err)
+	}
+	m, err := Build(sub, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	t.Logf("segments=%d trapezoids=%d dagNodes=%d", m.SegmentCount(), m.TrapezoidCount(), len(m.Nodes))
+	paged, err := m.Page(wire.DecompositionParams(256))
+	if err != nil {
+		t.Fatalf("page: %v", err)
+	}
+	bad := 0
+	for i := 0; i < 5000; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		got := m.Locate(p)
+		want := sub.Locate(p)
+		if got != want && (got < 0 || !sub.Regions[got].Poly.Contains(p)) {
+			bad++
+			if bad <= 5 {
+				t.Errorf("query %v: got %d want %d", p, got, want)
+			}
+		}
+		g2, trace := paged.Locate(p)
+		if g2 != got {
+			t.Fatalf("paged mismatch at %v: %d vs %d", p, g2, got)
+		}
+		if len(trace) == 0 {
+			t.Fatal("empty trace")
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d bad of 5000", bad)
+	}
+}

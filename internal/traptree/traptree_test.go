@@ -1,0 +1,155 @@
+package traptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/testutil"
+	"airindex/internal/wire"
+)
+
+func TestRunningExample(t *testing.T) {
+	sub := testutil.RunningExample(t)
+	m, err := Build(sub, rand.New(rand.NewSource(71)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 interior segments (v2-v3, v3-v1, v3-v4, v4-v6, v4-v5), like the
+	// paper's Figure 4.
+	if m.SegmentCount() != 5 {
+		t.Fatalf("segments = %d, want 5", m.SegmentCount())
+	}
+	rng := rand.New(rand.NewSource(72))
+	for i := 0; i < 5000; i++ {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		got := m.Locate(p)
+		if got < 0 || !sub.Regions[got].Poly.Contains(p) {
+			t.Fatalf("query %v: region %d (want %d)", p, got, sub.Locate(p))
+		}
+	}
+}
+
+func TestCorrectnessAcrossSizesAndOrders(t *testing.T) {
+	for _, n := range []int{5, 30, 150, 400} {
+		sub, _ := testutil.RandomVoronoi(t, n, int64(n)+19)
+		for _, order := range []int64{1, 2, 3} {
+			m, err := Build(sub, rand.New(rand.NewSource(order)))
+			if err != nil {
+				t.Fatalf("n=%d order=%d: %v", n, order, err)
+			}
+			rng := rand.New(rand.NewSource(73))
+			for i := 0; i < 1200; i++ {
+				p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+				got := m.Locate(p)
+				if got < 0 || !sub.Regions[got].Poly.Contains(p) {
+					t.Fatalf("n=%d order=%d query %v: region %d", n, order, p, got)
+				}
+			}
+		}
+	}
+}
+
+func TestTrapezoidCountLinear(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 300, 74)
+	m, err := Build(sub, rand.New(rand.NewSource(75)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.SegmentCount()
+	// The trapezoidal map of n non-crossing segments has at most 3n+1
+	// trapezoids.
+	if got := m.TrapezoidCount(); got > 3*n+1 {
+		t.Errorf("%d trapezoids for %d segments (bound 3n+1 = %d)", got, n, 3*n+1)
+	}
+	// DAG nodes are expected O(n): allow a generous constant factor.
+	if len(m.Nodes) > 8*n {
+		t.Errorf("%d DAG nodes for %d segments", len(m.Nodes), n)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 80, 76)
+	m1, err := Build(sub, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Build(sub, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Nodes) != len(m2.Nodes) || m1.TrapezoidCount() != m2.TrapezoidCount() {
+		t.Errorf("same seed produced different structures: %d/%d nodes, %d/%d traps",
+			len(m1.Nodes), len(m2.Nodes), m1.TrapezoidCount(), m2.TrapezoidCount())
+	}
+}
+
+func TestPagedLocateMatchesBinary(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 120, 77)
+	m, err := Build(sub, rand.New(rand.NewSource(78)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, capacity := range []int{64, 256, 2048} {
+		paged, err := m.Page(wire.DecompositionParams(capacity))
+		if err != nil {
+			t.Fatalf("page %d: %v", capacity, err)
+		}
+		rng := rand.New(rand.NewSource(79))
+		for i := 0; i < 2000; i++ {
+			p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+			got, trace := paged.Locate(p)
+			if want := m.Locate(p); got != want {
+				t.Fatalf("capacity %d at %v: %d != %d", capacity, p, got, want)
+			}
+			if len(trace) == 0 {
+				t.Fatal("empty trace")
+			}
+		}
+	}
+}
+
+func TestNodeSizeModel(t *testing.T) {
+	params := wire.DecompositionParams(256)
+	x := &dnode{kind: xNode}
+	if got := NodeSize(x, params); got != 2+4+8 {
+		t.Errorf("x-node size = %d", got)
+	}
+	y := &dnode{kind: yNode}
+	if got := NodeSize(y, params); got != 2+16+8 {
+		t.Errorf("y-node size = %d", got)
+	}
+	leaf := &dnode{kind: leafNode}
+	if got := NodeSize(leaf, params); got != 0 {
+		t.Errorf("leaf size = %d (leaves are embedded pointers)", got)
+	}
+}
+
+func TestVerticalInteriorSegmentRejected(t *testing.T) {
+	// A subdivision with an exactly vertical interior edge.
+	polys := []geom.Polygon{
+		{geom.Pt(0, 0), geom.Pt(50, 0), geom.Pt(50, 100), geom.Pt(0, 100)},
+		{geom.Pt(50, 0), geom.Pt(100, 0), geom.Pt(100, 100), geom.Pt(50, 100)},
+	}
+	sub, err := regionNew(polys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(sub, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("vertical interior segment should be rejected")
+	}
+}
+
+func TestQueryDistributionOverRegions(t *testing.T) {
+	// All regions must be reachable: locate each region's site.
+	sub, sites := testutil.RandomVoronoi(t, 100, 80)
+	m, err := Build(sub, rand.New(rand.NewSource(81)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sites {
+		if got := m.Locate(s); got != i {
+			t.Errorf("site %d located in region %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package triantree
+
+import (
+	"fmt"
+	"math"
+
+	"airindex/internal/geom"
+	"airindex/internal/wire"
+)
+
+// Paged is a trian-tree allocated into packets, greedily in breadth-first
+// order (Section 5 of the paper: the DAG's multi-parent nodes rule out
+// parent-affinity paging).
+type Paged struct {
+	Tree   *Tree
+	Params wire.Params
+	Layout *wire.Layout
+}
+
+// NodeSize returns the wire size of a node under Table 2: bid, the triangle
+// as three points (omitted for the synthetic root), and one pointer per
+// child (base triangles carry a single data pointer).
+func NodeSize(n *Node, p wire.Params) int {
+	size := p.BidSize
+	if !n.IsRoot {
+		size += 3 * p.PointSize()
+	}
+	if n.Region >= 0 {
+		return size + p.PointerSize
+	}
+	return size + len(n.Children)*p.PointerSize
+}
+
+// Page allocates the DAG's nodes into packets.
+func (t *Tree) Page(params wire.Params) (*Paged, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	specs := make([]wire.NodeSpec, 0, len(t.Nodes))
+	for _, n := range t.Nodes { // already in breadth-first order
+		var children []int
+		for _, c := range n.Children {
+			children = append(children, c.ID)
+		}
+		specs = append(specs, wire.NodeSpec{
+			ID: n.ID, Size: NodeSize(n, params), Children: children, Leaf: n.Region >= 0,
+		})
+	}
+	layout, err := wire.Greedy(specs, params.PacketCapacity)
+	if err != nil {
+		return nil, err
+	}
+	if err := layout.Validate(specs); err != nil {
+		return nil, fmt.Errorf("triantree: invalid layout: %w", err)
+	}
+	return &Paged{Tree: t, Params: params, Layout: layout}, nil
+}
+
+// IndexPackets returns the broadcast size of the index in packets.
+func (pg *Paged) IndexPackets() int { return pg.Layout.PacketCount }
+
+// Locate answers a point query over the paged trian-tree, returning the
+// region id and the packet offsets downloaded in access order. Scanning a
+// node's children requires downloading each candidate child (the triangle
+// geometry lives in the child), so the trace covers every child inspected
+// before the containing one is found.
+func (pg *Paged) Locate(p geom.Point) (int, []int) {
+	seen := make(map[int]bool, 16)
+	var trace []int
+	read := func(n *Node) {
+		for _, pk := range pg.Layout.PacketsOf[n.ID] {
+			if !seen[pk] {
+				seen[pk] = true
+				trace = append(trace, pk)
+			}
+		}
+	}
+	n := pg.Tree.Root
+	read(n)
+	for n.Region < 0 {
+		var next *Node
+		var fallback *Node
+		worstSlack := math.Inf(-1)
+		for _, c := range n.Children {
+			read(c)
+			if c.Tri.Contains(p) {
+				next = c
+				break
+			}
+			if s := containmentSlack(c.Tri, p); s > worstSlack {
+				worstSlack, fallback = s, c
+			}
+		}
+		if next == nil {
+			if worstSlack > -1e-6 {
+				next = fallback
+			} else {
+				return -1, trace
+			}
+		}
+		n = next
+	}
+	return n.Region, trace
+}

@@ -1,0 +1,54 @@
+package triantree
+
+import (
+	"math/rand"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/voronoi"
+	"airindex/internal/wire"
+)
+
+func TestSmokeKirkpatrick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000}
+	sites := make([]geom.Point, 80)
+	for i := range sites {
+		sites[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	sub, err := voronoi.Subdivision(area, sites)
+	if err != nil {
+		t.Fatalf("voronoi: %v", err)
+	}
+	tree, err := Build(sub)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	t.Logf("nodes=%d rootChildren=%d", len(tree.Nodes), len(tree.Root.Children))
+	paged, err := tree.Page(wire.DecompositionParams(256))
+	if err != nil {
+		t.Fatalf("page: %v", err)
+	}
+	bad := 0
+	for i := 0; i < 5000; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		got := tree.Locate(p)
+		want := sub.Locate(p)
+		if got != want && (got < 0 || !sub.Regions[got].Poly.Contains(p)) {
+			bad++
+			if bad < 5 {
+				t.Errorf("query %v: got %d want %d", p, got, want)
+			}
+		}
+		g2, trace := paged.Locate(p)
+		if g2 != got {
+			t.Fatalf("paged mismatch at %v: %d vs %d", p, g2, got)
+		}
+		if len(trace) == 0 {
+			t.Fatal("empty trace")
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d bad of 5000", bad)
+	}
+}

@@ -1,0 +1,177 @@
+// Package triantree implements Kirkpatrick's planar point-location hierarchy
+// (SIAM J. Comput. 1983) — the paper's object-decomposition baseline, which
+// it calls the trian-tree. The subdivision's regions are triangulated; then
+// independent sets of low-degree vertices are removed and their stars
+// re-triangulated, layer by layer, until few triangles remain. Each coarse
+// triangle points to the finer triangles it overlaps, giving an O(log n)
+// search DAG. For broadcast, nodes are paged greedily in breadth-first
+// order (a DAG node can have several parents, so the parent-affinity paging
+// of Algorithm 3 does not apply).
+package triantree
+
+import (
+	"fmt"
+
+	"airindex/internal/geom"
+)
+
+// maxRemovalDegree is Kirkpatrick's degree bound: only vertices with fewer
+// than this many neighbors are candidates for removal, which bounds the
+// fan-out of DAG nodes and guarantees a constant fraction of vertices is
+// removed per round.
+const maxRemovalDegree = 12
+
+// DefaultTMin is the triangle-count threshold at which coarsening stops
+// (the paper's running example uses five).
+const DefaultTMin = 5
+
+// liveTri is a triangle of the current (coarsest-so-far) triangulation.
+type liveTri struct {
+	v    [3]int // vertex ids, counter-clockwise
+	node *Node
+}
+
+// triangulation maintains the evolving triangulation during coarsening.
+type triangulation struct {
+	verts    []geom.Point
+	live     map[*liveTri]bool
+	incident map[int]map[*liveTri]bool // vertex id -> live triangles touching it
+	corner   map[int]bool              // service-area corners, never removable
+}
+
+func newTriangulation(verts []geom.Point) *triangulation {
+	return &triangulation{
+		verts:    verts,
+		live:     make(map[*liveTri]bool),
+		incident: make(map[int]map[*liveTri]bool),
+		corner:   make(map[int]bool),
+	}
+}
+
+func (tg *triangulation) add(t *liveTri) {
+	tg.live[t] = true
+	for _, v := range t.v {
+		m := tg.incident[v]
+		if m == nil {
+			m = make(map[*liveTri]bool)
+			tg.incident[v] = m
+		}
+		m[t] = true
+	}
+}
+
+func (tg *triangulation) remove(t *liveTri) {
+	delete(tg.live, t)
+	for _, v := range t.v {
+		delete(tg.incident[v], t)
+	}
+}
+
+// neighbors returns the distinct vertices adjacent to v in the current
+// triangulation.
+func (tg *triangulation) neighbors(v int) map[int]bool {
+	out := make(map[int]bool)
+	for t := range tg.incident[v] {
+		for _, u := range t.v {
+			if u != v {
+				out[u] = true
+			}
+		}
+	}
+	return out
+}
+
+// linkChain returns the link of v ordered counter-clockwise around v. For
+// an interior vertex the chain is a closed ring (first != last in the
+// returned slice); for a boundary vertex it is the open fan from one border
+// neighbor to the other. The bool result reports whether the link closed.
+func (tg *triangulation) linkChain(v int) ([]int, bool, error) {
+	succ := make(map[int]int)
+	for t := range tg.incident[v] {
+		// Rotate so v comes first; (v, a, b) CCW means a -> b around v.
+		var a, b int
+		switch {
+		case t.v[0] == v:
+			a, b = t.v[1], t.v[2]
+		case t.v[1] == v:
+			a, b = t.v[2], t.v[0]
+		default:
+			a, b = t.v[0], t.v[1]
+		}
+		if _, dup := succ[a]; dup {
+			return nil, false, fmt.Errorf("triantree: non-manifold star at vertex %d", v)
+		}
+		succ[a] = b
+	}
+	if len(succ) == 0 {
+		return nil, false, fmt.Errorf("triantree: vertex %d has no incident triangles", v)
+	}
+	// Find a start with no predecessor (boundary vertex); fall back to any
+	// vertex (interior ring).
+	hasPred := make(map[int]bool, len(succ))
+	for _, b := range succ {
+		hasPred[b] = true
+	}
+	// Deterministic start: the terminal vertex of an open chain, or the
+	// smallest vertex id of a closed ring.
+	start := -1
+	for a := range succ {
+		if !hasPred[a] && (start == -1 || a < start) {
+			start = a
+		}
+	}
+	closed := start == -1
+	if closed {
+		for a := range succ {
+			if start == -1 || a < start {
+				start = a
+			}
+		}
+	}
+	chain := []int{start}
+	cur := start
+	for {
+		nxt, ok := succ[cur]
+		if !ok {
+			break // open chain ended
+		}
+		if nxt == start {
+			break // ring closed
+		}
+		chain = append(chain, nxt)
+		cur = nxt
+		if len(chain) > len(succ)+1 {
+			return nil, false, fmt.Errorf("triantree: link of vertex %d does not chain", v)
+		}
+	}
+	wantLen := len(succ)
+	if !closed {
+		wantLen = len(succ) + 1
+	}
+	if len(chain) != wantLen {
+		return nil, false, fmt.Errorf("triantree: link of vertex %d incomplete (%d of %d)", v, len(chain), wantLen)
+	}
+	return chain, closed, nil
+}
+
+// independentRemovableSet greedily selects non-adjacent, non-corner
+// vertices of degree < maxRemovalDegree.
+func (tg *triangulation) independentRemovableSet() []int {
+	blocked := make(map[int]bool)
+	var out []int
+	for v := 0; v < len(tg.verts); v++ { // deterministic scan order
+		if blocked[v] || tg.corner[v] || len(tg.incident[v]) == 0 {
+			continue
+		}
+		nbs := tg.neighbors(v)
+		if len(nbs) >= maxRemovalDegree {
+			continue
+		}
+		out = append(out, v)
+		blocked[v] = true
+		for u := range nbs {
+			blocked[u] = true
+		}
+	}
+	return out
+}

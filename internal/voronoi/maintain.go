@@ -1,0 +1,208 @@
+package voronoi
+
+import (
+	"fmt"
+	"sort"
+
+	"airindex/internal/geom"
+	"airindex/internal/region"
+)
+
+// Maintainer keeps a set of Voronoi valid scopes up to date as data
+// instances appear and disappear between broadcast cycles, recomputing only
+// the affected cells: adding a site clips each neighbor once against one
+// new bisector; removing a site rebuilds only the cells that absorb the
+// vacated territory. Site ids are stable (removal leaves a tombstone), so
+// the broadcast server can keep bucket numbering consistent.
+type Maintainer struct {
+	area  geom.Rect
+	sites []geom.Point
+	cells []geom.Polygon
+	alive []bool
+	n     int // alive count
+}
+
+// NewMaintainer builds the initial diagram.
+func NewMaintainer(area geom.Rect, sites []geom.Point) (*Maintainer, error) {
+	cells, err := Cells(area, sites)
+	if err != nil {
+		return nil, err
+	}
+	m := &Maintainer{
+		area:  area,
+		sites: append([]geom.Point(nil), sites...),
+		cells: cells,
+		alive: make([]bool, len(sites)),
+		n:     len(sites),
+	}
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	return m, nil
+}
+
+// Len returns the number of live sites.
+func (m *Maintainer) Len() int { return m.n }
+
+// Site returns the location of site id (valid ids only).
+func (m *Maintainer) Site(id int) (geom.Point, error) {
+	if id < 0 || id >= len(m.sites) || !m.alive[id] {
+		return geom.Point{}, fmt.Errorf("voronoi: no live site %d", id)
+	}
+	return m.sites[id], nil
+}
+
+// Cell returns the current valid scope of site id.
+func (m *Maintainer) Cell(id int) (geom.Polygon, error) {
+	if id < 0 || id >= len(m.sites) || !m.alive[id] {
+		return nil, fmt.Errorf("voronoi: no live site %d", id)
+	}
+	return m.cells[id].Clone(), nil
+}
+
+// Add inserts a new site and returns its id. Only the cells the new site's
+// scope carves territory from are touched.
+func (m *Maintainer) Add(p geom.Point) (int, error) {
+	if !m.area.Contains(p) {
+		return 0, fmt.Errorf("voronoi: site %v outside the service area", p)
+	}
+	for j, alive := range m.alive {
+		if alive && m.sites[j].Dist(p) < 1e-9 {
+			return 0, fmt.Errorf("voronoi: duplicate of live site %d", j)
+		}
+	}
+	// The new cell: clip the area against bisectors, nearest-first.
+	cell := m.area.Polygon()
+	order := m.aliveByDistance(p)
+	for _, j := range order {
+		if m.sites[j].Dist(p)/2 > maxDistTo(cell, p) {
+			break
+		}
+		cell = geom.ClipHalfPlane(cell, geom.Bisector(p, m.sites[j]))
+		if cell == nil {
+			return 0, fmt.Errorf("voronoi: new site %v has an empty scope (near-duplicate?)", p)
+		}
+	}
+	// Clip every neighbor that loses territory: one half-plane each.
+	for _, j := range order {
+		if m.sites[j].Dist(p)/2 > maxDistTo(m.cells[j], m.sites[j]) {
+			continue // the new site cannot reach cell j
+		}
+		clipped := geom.ClipHalfPlane(m.cells[j], geom.Bisector(m.sites[j], p))
+		if clipped == nil {
+			return 0, fmt.Errorf("voronoi: site %d's scope vanished (near-duplicate insert?)", j)
+		}
+		m.cells[j] = clipped
+	}
+	id := len(m.sites)
+	m.sites = append(m.sites, p)
+	m.cells = append(m.cells, cell)
+	m.alive = append(m.alive, true)
+	m.n++
+	return id, nil
+}
+
+// Remove deletes a site; its territory is redistributed among the sites
+// whose bisectors could have bounded the removed cell, which are rebuilt.
+func (m *Maintainer) Remove(id int) error {
+	if id < 0 || id >= len(m.sites) || !m.alive[id] {
+		return fmt.Errorf("voronoi: no live site %d", id)
+	}
+	if m.n == 1 {
+		return fmt.Errorf("voronoi: cannot remove the last site")
+	}
+	s := m.sites[id]
+	reach := 2 * maxDistTo(m.cells[id], s)
+	m.alive[id] = false
+	m.n--
+	for _, j := range m.aliveByDistance(s) {
+		if m.sites[j].Dist(s) > reach {
+			break // too far to have bordered the removed cell
+		}
+		cell, err := m.computeCell(j)
+		if err != nil {
+			m.alive[id] = true
+			m.n++
+			return err
+		}
+		m.cells[j] = cell
+	}
+	m.cells[id] = nil
+	return nil
+}
+
+// Move relocates a live site (remove + add semantics with a stable id is
+// not possible without invalidating neighbors anyway, so Move returns the
+// new id).
+func (m *Maintainer) Move(id int, to geom.Point) (int, error) {
+	if err := m.Remove(id); err != nil {
+		return 0, err
+	}
+	return m.Add(to)
+}
+
+// computeCell rebuilds one cell from scratch with nearest-first pruning.
+func (m *Maintainer) computeCell(id int) (geom.Polygon, error) {
+	me := m.sites[id]
+	cell := m.area.Polygon()
+	for _, j := range m.aliveByDistance(me) {
+		if j == id {
+			continue
+		}
+		if m.sites[j].Dist(me)/2 > maxDistTo(cell, me) {
+			break
+		}
+		cell = geom.ClipHalfPlane(cell, geom.Bisector(me, m.sites[j]))
+		if cell == nil {
+			return nil, fmt.Errorf("voronoi: cell of site %d vanished", id)
+		}
+	}
+	return cell, nil
+}
+
+// aliveByDistance returns live site ids ordered by distance from p
+// (excluding exact self-matches is the caller's business).
+func (m *Maintainer) aliveByDistance(p geom.Point) []int {
+	out := make([]int, 0, m.n)
+	for j, alive := range m.alive {
+		if alive {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return p.Dist2(m.sites[out[a]]) < p.Dist2(m.sites[out[b]])
+	})
+	return out
+}
+
+// LiveSites returns the live sites and their ids.
+func (m *Maintainer) LiveSites() (ids []int, sites []geom.Point) {
+	for j, alive := range m.alive {
+		if alive {
+			ids = append(ids, j)
+			sites = append(sites, m.sites[j])
+		}
+	}
+	return ids, sites
+}
+
+// Snapshot assembles the current scopes into a validated subdivision for
+// index building. The returned id slice maps region index -> site id.
+func (m *Maintainer) Snapshot() (*region.Subdivision, []int, error) {
+	ids := make([]int, 0, m.n)
+	polys := make([]geom.Polygon, 0, m.n)
+	for j, alive := range m.alive {
+		if alive {
+			ids = append(ids, j)
+			polys = append(polys, m.cells[j])
+		}
+	}
+	sub, err := region.New(m.area, polys)
+	if err != nil {
+		return nil, nil, fmt.Errorf("voronoi: snapshot: %w", err)
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("voronoi: snapshot invalid: %w", err)
+	}
+	return sub, ids, nil
+}

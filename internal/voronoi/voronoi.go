@@ -1,0 +1,116 @@
+// Package voronoi constructs the Voronoi diagram of a set of point sites
+// clipped to a rectangular service area. The paper derives the valid scopes
+// of nearest-neighbor data instances this way (Section 5): the cell of site
+// i is exactly the region where i is the correct answer.
+//
+// Cells are built independently per site by intersecting the service-area
+// rectangle with the dominance half-plane of the site against every other
+// site. This is O(N^2) point-site comparisons overall, entirely robust, and
+// easily fast enough for the paper's dataset sizes (N <= ~1100); a
+// nearest-first pruning cut makes typical datasets far cheaper than the
+// worst case.
+package voronoi
+
+import (
+	"fmt"
+	"sort"
+
+	"airindex/internal/geom"
+	"airindex/internal/region"
+)
+
+// Cells computes the clipped Voronoi cell of every site. The i-th returned
+// polygon is the valid scope of sites[i]. Sites must be distinct and lie
+// inside the area.
+func Cells(area geom.Rect, sites []geom.Point) ([]geom.Polygon, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("voronoi: no sites")
+	}
+	for i, s := range sites {
+		if !area.Contains(s) {
+			return nil, fmt.Errorf("voronoi: site %d (%v) outside service area", i, s)
+		}
+	}
+	out := make([]geom.Polygon, len(sites))
+	for i := range sites {
+		cell, err := cellOf(area, sites, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cell
+	}
+	return out, nil
+}
+
+// cellOf clips the area rectangle by the bisector half-plane against every
+// other site, visiting sites nearest-first so the cell shrinks quickly and
+// distant sites are pruned by a radius test.
+func cellOf(area geom.Rect, sites []geom.Point, i int) (geom.Polygon, error) {
+	me := sites[i]
+	order := make([]int, 0, len(sites)-1)
+	for j := range sites {
+		if j != i {
+			order = append(order, j)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return me.Dist2(sites[order[a]]) < me.Dist2(sites[order[b]])
+	})
+
+	cell := area.Polygon()
+	for _, j := range order {
+		d := me.Dist(sites[j])
+		if d == 0 {
+			return nil, fmt.Errorf("voronoi: duplicate sites %d and %d at %v", i, j, me)
+		}
+		// A site farther than twice the cell's max distance from me cannot
+		// cut the cell: its bisector passes beyond every cell vertex.
+		if d/2 > maxDistTo(cell, me) {
+			break
+		}
+		cell = geom.ClipHalfPlane(cell, geom.Bisector(me, sites[j]))
+		if cell == nil {
+			return nil, fmt.Errorf("voronoi: cell of site %d vanished (near-duplicate sites?)", i)
+		}
+	}
+	return cell, nil
+}
+
+func maxDistTo(pg geom.Polygon, p geom.Point) float64 {
+	var m float64
+	for _, q := range pg {
+		if d := p.Dist(q); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Subdivision computes the Voronoi cells of the sites and assembles them
+// into a validated region subdivision, the standard way the examples and
+// experiments derive valid scopes from a point dataset.
+func Subdivision(area geom.Rect, sites []geom.Point) (*region.Subdivision, error) {
+	cells, err := Cells(area, sites)
+	if err != nil {
+		return nil, err
+	}
+	s, err := region.New(area, cells)
+	if err != nil {
+		return nil, fmt.Errorf("voronoi: assembling subdivision: %w", err)
+	}
+	return s, nil
+}
+
+// NearestSite returns the index of the site nearest to p by brute force;
+// tests use it to cross-check that locating p in the subdivision yields the
+// same answer as a direct nearest-neighbor scan.
+func NearestSite(sites []geom.Point, p geom.Point) int {
+	best, bestD := -1, 0.0
+	for i, s := range sites {
+		d := p.Dist2(s)
+		if best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

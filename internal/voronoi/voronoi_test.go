@@ -1,0 +1,141 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"airindex/internal/geom"
+)
+
+var area = geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000}
+
+func randomSites(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	sites := make([]geom.Point, n)
+	for i := range sites {
+		sites[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	return sites
+}
+
+func TestCellsPartitionArea(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 50, 400} {
+		sites := randomSites(n, int64(n))
+		cells, err := Cells(area, sites)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var sum float64
+		for i, c := range cells {
+			a := c.SignedArea()
+			if a <= 0 {
+				t.Fatalf("n=%d: cell %d not CCW or empty (area %v)", n, i, a)
+			}
+			sum += a
+			if !c.Contains(sites[i]) {
+				t.Fatalf("n=%d: site %d outside its own cell", n, i)
+			}
+			if !c.IsConvex() {
+				t.Fatalf("n=%d: cell %d not convex", n, i)
+			}
+		}
+		if rel := math.Abs(sum-area.Area()) / area.Area(); rel > 1e-9 {
+			t.Fatalf("n=%d: cells cover %v of %v", n, sum, area.Area())
+		}
+	}
+}
+
+func TestNearestSiteProperty(t *testing.T) {
+	sites := randomSites(120, 99)
+	cells, err := Cells(area, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	for i := 0; i < 20000; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		nearest := NearestSite(sites, p)
+		if !cells[nearest].Contains(p) {
+			// Allow boundary ambiguity: p must then be (numerically)
+			// equidistant to whichever cell does contain it.
+			found := -1
+			for j, c := range cells {
+				if c.Contains(p) {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				t.Fatalf("point %v in no cell", p)
+			}
+			dn, df := p.Dist(sites[nearest]), p.Dist(sites[found])
+			if math.Abs(dn-df) > 1e-6 {
+				t.Fatalf("point %v: nearest site %d (d=%v) but cell of %d (d=%v)", p, nearest, dn, found, df)
+			}
+		}
+	}
+}
+
+func TestSubdivisionValidates(t *testing.T) {
+	sites := randomSites(200, 5)
+	sub, err := Subdivision(area, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if sub.N() != 200 {
+		t.Fatalf("N = %d", sub.N())
+	}
+	// Every cell's located site agrees with brute-force nearest neighbor.
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 5000; i++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		got := sub.Locate(p)
+		want := NearestSite(sites, p)
+		if got != want && math.Abs(p.Dist(sites[got])-p.Dist(sites[want])) > 1e-6 {
+			t.Fatalf("Locate(%v) = %d, nearest %d", p, got, want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Cells(area, nil); err == nil {
+		t.Error("no sites should fail")
+	}
+	if _, err := Cells(area, []geom.Point{geom.Pt(-5, 0)}); err == nil {
+		t.Error("site outside area should fail")
+	}
+	dup := []geom.Point{geom.Pt(10, 10), geom.Pt(10, 10)}
+	if _, err := Cells(area, dup); err == nil {
+		t.Error("duplicate sites should fail")
+	} else if !strings.Contains(err.Error(), "duplicate") && !strings.Contains(err.Error(), "vanish") {
+		t.Errorf("unexpected duplicate-site error: %v", err)
+	}
+}
+
+func TestSingleSiteCellIsArea(t *testing.T) {
+	cells, err := Cells(area, []geom.Point{geom.Pt(5000, 5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cells[0].Area()-area.Area()) > 1e-9 {
+		t.Errorf("single cell area = %v", cells[0].Area())
+	}
+}
+
+func TestTwoSitesBisector(t *testing.T) {
+	cells, err := Cells(area, []geom.Point{geom.Pt(2500, 5000), geom.Pt(7500, 5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bisector is x=5000: each cell gets half the area.
+	for i, c := range cells {
+		if math.Abs(c.Area()-area.Area()/2) > 1e-6 {
+			t.Errorf("cell %d area = %v, want half", i, c.Area())
+		}
+	}
+}

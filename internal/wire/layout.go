@@ -1,0 +1,88 @@
+package wire
+
+import "fmt"
+
+// NodeSpec describes one logical index node to be paged.
+type NodeSpec struct {
+	ID       int   // dense node identifier, unique within the index
+	Size     int   // serialized size in bytes
+	Parent   int   // ID of the placement parent (-1 for the root); for DAGs, the first discovering parent
+	Children []int // child node IDs (informational; used by validity checks)
+	Leaf     bool  // participates in the leaf-merge pass of Algorithm 3
+}
+
+// Layout is the result of paging: which packets (in broadcast order within
+// the index segment) each node occupies.
+type Layout struct {
+	PacketCapacity int
+	// PacketsOf[id] lists the packet offsets node id occupies, in order.
+	// Nodes smaller than a packet occupy exactly one packet.
+	PacketsOf map[int][]int
+	// PacketCount is the total number of packets in the index segment.
+	PacketCount int
+	// Occupied[k] is the number of bytes used in packet k.
+	Occupied []int
+	// PacketNodes[k] lists the node ids stored in packet k in byte order;
+	// a node spanning several packets appears in each of them. Serializers
+	// use this to compute byte offsets.
+	PacketNodes [][]int
+}
+
+// FirstPacket returns the first packet offset of node id.
+func (l *Layout) FirstPacket(id int) int {
+	pk := l.PacketsOf[id]
+	if len(pk) == 0 {
+		return -1
+	}
+	return pk[0]
+}
+
+// SizeBytes returns the total occupied bytes across all packets.
+func (l *Layout) SizeBytes() int {
+	var s int
+	for _, o := range l.Occupied {
+		s += o
+	}
+	return s
+}
+
+// WireBytes returns the on-air size of the index segment in bytes, i.e.
+// packets times capacity (partial packets still consume a full slot).
+func (l *Layout) WireBytes() int { return l.PacketCount * l.PacketCapacity }
+
+// Utilization returns occupied bytes divided by on-air bytes.
+func (l *Layout) Utilization() float64 {
+	if l.PacketCount == 0 {
+		return 0
+	}
+	return float64(l.SizeBytes()) / float64(l.WireBytes())
+}
+
+// Validate checks structural sanity: every node placed, packets within
+// capacity, multi-packet nodes on contiguous packets.
+func (l *Layout) Validate(nodes []NodeSpec) error {
+	for _, n := range nodes {
+		pks := l.PacketsOf[n.ID]
+		if len(pks) == 0 {
+			return fmt.Errorf("wire: node %d not placed", n.ID)
+		}
+		for i := 1; i < len(pks); i++ {
+			if pks[i] != pks[i-1]+1 {
+				return fmt.Errorf("wire: node %d spans non-contiguous packets %v", n.ID, pks)
+			}
+		}
+		want := (n.Size + l.PacketCapacity - 1) / l.PacketCapacity
+		if n.Size <= l.PacketCapacity {
+			want = 1
+		}
+		if len(pks) != want {
+			return fmt.Errorf("wire: node %d of size %d placed on %d packets, want %d", n.ID, n.Size, len(pks), want)
+		}
+	}
+	for k, occ := range l.Occupied {
+		if occ > l.PacketCapacity {
+			return fmt.Errorf("wire: packet %d occupied %d exceeds capacity %d", k, occ, l.PacketCapacity)
+		}
+	}
+	return nil
+}

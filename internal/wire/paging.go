@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopDown implements the paper's top-down packet allocation (Algorithm 3)
+// followed by the greedy merge of leaf-level packets. Nodes must be listed
+// in broadcast order (breadth-first from the root for trees; any
+// parent-before-child order for DAGs). Each node is placed in the packet of
+// its placement parent when it fits in that packet's remaining space, and
+// otherwise opens one or more fresh packets; a node larger than the packet
+// capacity occupies ceil(size/capacity) dedicated contiguous packets whose
+// final packet's leftover space remains usable by its children.
+func TopDown(nodes []NodeSpec, capacity int) (*Layout, error) {
+	return page(nodes, capacity, true, true)
+}
+
+// Greedy packs nodes into packets sequentially in the given broadcast
+// order, opening a new packet only when the current one cannot hold the
+// next node. The paper uses this for the trian-tree (whose DAG nodes have
+// several parents, defeating parent-affinity placement) and for the
+// R*-tree's added shape layer.
+func Greedy(nodes []NodeSpec, capacity int) (*Layout, error) {
+	return page(nodes, capacity, false, false)
+}
+
+func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*Layout, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("wire: packet capacity %d must be positive", capacity)
+	}
+	type packet struct {
+		occupied int
+		nodes    []int
+		hasLeaf  bool
+		dead     bool
+		dedic    bool // dedicated to a single multi-packet node
+	}
+	var packets []packet
+	place := make(map[int][]int, len(nodes)) // node -> packet indices
+	packetOf := make(map[int]int)            // node -> packet holding its tail (for children affinity)
+
+	newPacket := func() int {
+		packets = append(packets, packet{})
+		return len(packets) - 1
+	}
+	putIn := func(k int, n NodeSpec, bytes int) {
+		packets[k].occupied += bytes
+		packets[k].nodes = append(packets[k].nodes, n.ID)
+		if n.Leaf {
+			packets[k].hasLeaf = true
+		}
+		place[n.ID] = append(place[n.ID], k)
+	}
+
+	cur := -1 // current open packet for greedy mode
+	for _, n := range nodes {
+		if n.Size <= 0 {
+			return nil, fmt.Errorf("wire: node %d has non-positive size %d", n.ID, n.Size)
+		}
+		if _, dup := place[n.ID]; dup {
+			return nil, fmt.Errorf("wire: node %d listed twice", n.ID)
+		}
+		target := -1
+		if parentAffinity {
+			if n.Parent >= 0 {
+				pk, ok := packetOf[n.Parent]
+				if !ok {
+					return nil, fmt.Errorf("wire: node %d placed before its parent %d", n.ID, n.Parent)
+				}
+				if !packets[pk].dedic && n.Size <= capacity-packets[pk].occupied {
+					target = pk
+				}
+			}
+		} else if cur >= 0 && !packets[cur].dedic && n.Size <= capacity-packets[cur].occupied {
+			target = cur
+		}
+
+		if target >= 0 {
+			putIn(target, n, n.Size)
+			packetOf[n.ID] = target
+			if !parentAffinity {
+				cur = target
+			}
+			continue
+		}
+
+		// Open fresh packet(s) for this node.
+		rest := n.Size
+		for rest > capacity {
+			k := newPacket()
+			packets[k].dedic = true
+			putIn(k, n, capacity)
+			rest -= capacity
+		}
+		k := newPacket()
+		putIn(k, n, rest)
+		packetOf[n.ID] = k
+		if !parentAffinity {
+			cur = k
+		}
+	}
+
+	if mergeLeaves {
+		// "Packets at the leaf level" are those holding leaf nodes (packets
+		// at the bottom of the paged tree, which parent-affinity placement
+		// leaves mostly empty). A packet holding any part of a multi-packet
+		// node must keep its position so the node's packets stay contiguous.
+		mergeable := func(k int) bool {
+			if !packets[k].hasLeaf || packets[k].dedic {
+				return false
+			}
+			for _, id := range packets[k].nodes {
+				if len(place[id]) > 1 {
+					return false
+				}
+			}
+			return true
+		}
+		prev := -1 // previous kept leaf-only packet
+		for k := range packets {
+			if !mergeable(k) {
+				continue
+			}
+			if prev >= 0 && packets[k].occupied <= capacity-packets[prev].occupied {
+				// Merge packet k into prev.
+				packets[prev].occupied += packets[k].occupied
+				for _, id := range packets[k].nodes {
+					for i, pk := range place[id] {
+						if pk == k {
+							place[id][i] = prev
+						}
+					}
+					packets[prev].nodes = append(packets[prev].nodes, id)
+				}
+				packets[k].dead = true
+				continue
+			}
+			prev = k
+		}
+	}
+
+	// Compact dead packets and renumber.
+	remap := make([]int, len(packets))
+	count := 0
+	occupied := make([]int, 0, len(packets))
+	packetNodes := make([][]int, 0, len(packets))
+	for k := range packets {
+		if packets[k].dead {
+			remap[k] = -1
+			continue
+		}
+		remap[k] = count
+		occupied = append(occupied, packets[k].occupied)
+		packetNodes = append(packetNodes, packets[k].nodes)
+		count++
+	}
+	for id, pks := range place {
+		mapped := make([]int, len(pks))
+		for i, pk := range pks {
+			mapped[i] = remap[pk]
+		}
+		sort.Ints(mapped)
+		place[id] = mapped
+	}
+
+	return &Layout{
+		PacketCapacity: capacity,
+		PacketsOf:      place,
+		PacketCount:    count,
+		Occupied:       occupied,
+		PacketNodes:    packetNodes,
+	}, nil
+}
+
+// BFSOrder produces a breadth-first broadcast order over a tree or DAG given
+// the root and a children accessor; each node is emitted once, at its first
+// discovery, with Parent set to the discovering node. The returned specs
+// have Size/Leaf filled by the size and leaf callbacks.
+func BFSOrder(root int, children func(int) []int, size func(int) int, leaf func(int) bool) []NodeSpec {
+	seen := map[int]bool{root: true}
+	queue := []int{root}
+	parent := map[int]int{root: -1}
+	var out []NodeSpec
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		ch := children(id)
+		out = append(out, NodeSpec{
+			ID: id, Size: size(id), Parent: parent[id], Children: ch, Leaf: leaf(id),
+		})
+		for _, c := range ch {
+			if !seen[c] {
+				seen[c] = true
+				parent[c] = id
+				queue = append(queue, c)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Package wire models the physical layer of the paper's broadcast system:
+// the byte-size accounting of Table 2 (bids, headers, pointers, coordinates,
+// data instances, packet capacities) and the allocation of logical index
+// nodes into fixed-size packets — the top-down paging algorithm of the paper
+// (Algorithm 3) with leaf-packet merging, and the greedy breadth-first
+// paging used for structures whose nodes have multiple parents.
+package wire
+
+import "fmt"
+
+// Packet capacities evaluated in the paper (Section 5, Table 2).
+var PaperPacketCapacities = []int{64, 128, 256, 512, 1024, 2048}
+
+// Params captures the byte-size model of Table 2 for one index structure.
+type Params struct {
+	PacketCapacity   int // bytes per packet (64 B – 2 KB in the paper)
+	BidSize          int // node/packet id, 2 bytes for all structures
+	HeaderSize       int // 2 bytes for the D-tree, 0 elsewhere
+	PointerSize      int // 4 bytes; 2 for the R*-tree (in-packet offsets)
+	CoordSize        int // 4 bytes per coordinate value
+	DataInstanceSize int // 1 KB per data instance
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.PacketCapacity <= 0 {
+		return fmt.Errorf("wire: packet capacity %d must be positive", p.PacketCapacity)
+	}
+	if p.CoordSize <= 0 || p.PointerSize <= 0 {
+		return fmt.Errorf("wire: coordinate size %d and pointer size %d must be positive", p.CoordSize, p.PointerSize)
+	}
+	if min := p.BidSize + p.HeaderSize + 2*p.PointerSize; p.PacketCapacity < min {
+		return fmt.Errorf("wire: packet capacity %d below minimum node overhead %d", p.PacketCapacity, min)
+	}
+	return nil
+}
+
+// PointSize returns the serialized size of one point (two coordinates).
+func (p Params) PointSize() int { return 2 * p.CoordSize }
+
+// DataBucketPackets returns the number of packets one data instance
+// occupies on the channel.
+func (p Params) DataBucketPackets() int {
+	return (p.DataInstanceSize + p.PacketCapacity - 1) / p.PacketCapacity
+}
+
+// DTreeParams returns the Table 2 setting for the D-tree.
+func DTreeParams(packetCapacity int) Params {
+	return Params{
+		PacketCapacity: packetCapacity,
+		BidSize:        2, HeaderSize: 2, PointerSize: 4, CoordSize: 4,
+		DataInstanceSize: 1024,
+	}
+}
+
+// DecompositionParams returns the Table 2 setting shared by the trian-tree
+// and the trap-tree (header size 0: triangle and segment nodes have fixed
+// shapes, so no per-node size field is needed).
+func DecompositionParams(packetCapacity int) Params {
+	return Params{
+		PacketCapacity: packetCapacity,
+		BidSize:        2, HeaderSize: 0, PointerSize: 4, CoordSize: 4,
+		DataInstanceSize: 1024,
+	}
+}
+
+// RStarParams returns the Table 2 setting for the R*-tree (2-byte pointers:
+// tree nodes are sized to packets, so a pointer is an offset to the start of
+// the child's packet).
+func RStarParams(packetCapacity int) Params {
+	return Params{
+		PacketCapacity: packetCapacity,
+		BidSize:        2, HeaderSize: 0, PointerSize: 2, CoordSize: 4,
+		DataInstanceSize: 1024,
+	}
+}
