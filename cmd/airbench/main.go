@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache] [-queries n]
+//	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache|loss] [-queries n]
 //	         [-capacities 64,128,...] [-datasets uniform,hospital,park]
-//	         [-theta 1.0] [-queries-by-area] [-csv] [-seed n]
+//	         [-theta 1.0] [-queries-by-area] [-csv] [-seed n] [-loss-queries n]
 //
 // Besides the paper's figures, the extension experiments are available as
 // figures: "ablation" (D-tree design choices), "dist" ((1,m) vs distributed
 // indexing), "skew" (balanced vs access-weighted D-tree under Zipf access),
-// and "cache" (client-side pinning of hot index packets).
+// "cache" (client-side pinning of hot index packets), and "loss" (latency
+// and tuning of the streamed access protocol under unreliable channels —
+// Bernoulli, Gilbert-Elliott and bit-corruption fault models, run against
+// the live frame stream at the first listed capacity).
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		byArea     = flag.Bool("queries-by-area", false, "sample queries uniformly by area instead of by region")
 		csvOut     = flag.Bool("csv", false, "emit raw measurements as CSV")
 		seed       = flag.Int64("seed", 42, "random seed")
+		lossQ      = flag.Int("loss-queries", 200, "streamed queries per cell of the loss sweep (with -figure loss)")
 	)
 	flag.Parse()
 
@@ -66,6 +70,20 @@ func main() {
 				fmt.Print(experiment.Table(ms, d.Name, metric))
 				fmt.Println()
 			}
+		}
+		return
+	}
+	if *figure == "loss" {
+		for _, d := range ds {
+			ps, err := experiment.RunLoss(d, caps[0], experiment.LossRates(), *lossQ, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				fmt.Print(experiment.LossCSV(ps))
+				continue
+			}
+			fmt.Printf("=== Unreliable channel, %s, %d B packets ===\n%s\n", d.Name, caps[0], experiment.LossTables(ps))
 		}
 		return
 	}

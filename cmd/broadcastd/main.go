@@ -1,14 +1,17 @@
 // Command broadcastd serves a location-dependent dataset as a live (1, m)
 // broadcast over TCP: every connection receives the framed packet stream —
 // D-tree index copies interleaved with data buckets — exactly as the paper
-// organizes the wireless channel. With -demo it also connects a client,
-// runs a few queries through the streamed access protocol, and reports
-// latency and tuning.
+// organizes the wireless channel. The channel can be made unreliable with
+// the -loss/-burst/-corrupt flags (internal/channel fault models), in which
+// case clients recover via the checksum and the next-index pointers. With
+// -demo it also connects a client, runs a few queries through the streamed
+// access protocol, and reports latency, tuning and recovery counts.
 //
 // Usage:
 //
 //	broadcastd [-addr :7343] [-dataset hospital] [-capacity 256]
-//	           [-slot-duration 0] [-demo]
+//	           [-slot-duration 0] [-seed 1]
+//	           [-loss 0] [-burst 1] [-corrupt 0] [-demo]
 package main
 
 import (
@@ -18,8 +21,8 @@ import (
 	"net"
 	"os"
 	"strings"
-	"time"
 
+	"airindex/internal/channel"
 	"airindex/internal/dataset"
 	"airindex/internal/geom"
 	"airindex/internal/stream"
@@ -32,6 +35,10 @@ func main() {
 		n        = flag.Int("n", 1000, "site count (uniform only)")
 		capacity = flag.Int("capacity", 256, "packet capacity in bytes")
 		slotDur  = flag.Duration("slot-duration", 0, "real-time pacing per slot (0 = full speed)")
+		seed     = flag.Int64("seed", 1, "seed for start slots, demo queries and fault models (reproducible runs)")
+		loss     = flag.Float64("loss", 0, "frame loss rate per connection, [0, 1)")
+		burst    = flag.Float64("burst", 1, "mean loss-burst length in frames; > 1 selects bursty Gilbert-Elliott loss")
+		corrupt  = flag.Float64("corrupt", 0, "payload bit-corruption rate of delivered frames, [0, 1)")
 		demo     = flag.Bool("demo", false, "run a demo client against the server and exit")
 	)
 	flag.Parse()
@@ -64,12 +71,25 @@ func main() {
 		fatal(err)
 	}
 	srv.SlotDuration = *slotDur
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	rng := rand.New(rand.NewSource(*seed))
 	cycle := prog.Sched.CycleLen()
 	srv.StartSlot = func() int { return rng.Intn(cycle) }
 
+	spec := channel.Spec{Loss: *loss, Burst: *burst, Corrupt: *corrupt, Seed: *seed}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
+	stats := &channel.Stats{}
+	if spec.Enabled() {
+		srv.Channel = spec.Factory(stats)
+	}
+
 	fmt.Printf("broadcastd: %s, %d instances, %d B packets, index %d packets, m=%d, cycle %d slots, listening on %s\n",
 		ds.Name, ds.N(), *capacity, len(prog.IndexPackets), prog.Sched.M, cycle, ln.Addr())
+	if spec.Enabled() {
+		fmt.Printf("broadcastd: unreliable channel: %s loss %.2f%% (burst %.1f), corruption %.2f%%, seed %d\n",
+			spec.Model(spec.Seed).Name(), 100**loss, *burst, 100**corrupt, *seed)
+	}
 
 	if !*demo {
 		if err := srv.Serve(); err != nil {
@@ -78,15 +98,14 @@ func main() {
 		return
 	}
 
-	go srv.Serve() //nolint:errcheck
-	defer srv.Close()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
 	client, err := stream.Dial(ln.Addr().String(), *capacity)
 	if err != nil {
 		fatal(err)
 	}
-	defer client.Close()
 
-	qrng := rand.New(rand.NewSource(1))
+	qrng := rand.New(rand.NewSource(*seed))
 	for q := 0; q < 8; q++ {
 		p := geom.Pt(qrng.Float64()*10000, qrng.Float64()*10000)
 		res, err := client.Query(p)
@@ -96,8 +115,21 @@ func main() {
 		if err := stream.VerifyStampedData(res.Data, *capacity, res.Bucket); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("query (%5.0f,%5.0f) -> instance %4d   latency %6.0f slots, tuned %2d packets (index %d), dozed %d frames\n",
+		fmt.Printf("query (%5.0f,%5.0f) -> instance %4d   latency %6.0f slots, tuned %2d packets (index %d), dozed %d frames",
 			p.X, p.Y, res.Bucket, res.Latency, res.TotalTuning(), res.TuneIndex, res.DozedFrames)
+		if res.Recoveries > 0 || res.LostSlots > 0 || res.CorruptFrames > 0 {
+			fmt.Printf(", recovered %d (lost %d slots, %d corrupt)", res.Recoveries, res.LostSlots, res.CorruptFrames)
+		}
+		fmt.Println()
+	}
+	client.Close()
+	if spec.Enabled() {
+		fmt.Printf("channel: %v\n", stats.Snapshot())
+	}
+	srv.Close()
+	if err := <-serveErr; err != nil {
+		fmt.Fprintln(os.Stderr, "broadcastd: serve:", err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,190 @@
+package channel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// drain runs a model over n frames and tallies the faults.
+func drain(m Model, n int) (drops, corrupts int) {
+	for i := 0; i < n; i++ {
+		switch m.Next() {
+		case Drop:
+			drops++
+		case Corrupt:
+			corrupts++
+		}
+	}
+	return
+}
+
+func TestPerfectDeliversEverything(t *testing.T) {
+	d, c := drain(Perfect(), 10000)
+	if d != 0 || c != 0 {
+		t.Fatalf("perfect channel dropped %d, corrupted %d", d, c)
+	}
+}
+
+func TestBernoulliRates(t *testing.T) {
+	const n = 200000
+	for _, p := range []float64{0.01, 0.05, 0.2} {
+		d, _ := drain(NewBernoulli(p, 0, 7), n)
+		got := float64(d) / n
+		if math.Abs(got-p) > 0.25*p+0.001 {
+			t.Errorf("loss %v: observed rate %v", p, got)
+		}
+	}
+	_, c := drain(NewBernoulli(0, 0.1, 7), n)
+	if got := float64(c) / n; math.Abs(got-0.1) > 0.03 {
+		t.Errorf("corruption 0.1: observed rate %v", got)
+	}
+}
+
+func TestGilbertElliottRateAndBurstiness(t *testing.T) {
+	const n, loss, burst = 400000, 0.1, 8.0
+	m := NewGilbertElliott(loss, burst, 0, 11)
+	var drops, bursts, run int
+	for i := 0; i < n; i++ {
+		if m.Next() == Drop {
+			drops++
+			run++
+		} else if run > 0 {
+			bursts++
+			run = 0
+		}
+	}
+	if got := float64(drops) / n; math.Abs(got-loss) > 0.03 {
+		t.Errorf("stationary loss rate %v, want ~%v", got, loss)
+	}
+	meanBurst := float64(drops) / float64(bursts)
+	if meanBurst < burst/2 || meanBurst > burst*2 {
+		t.Errorf("mean burst length %v, want ~%v", meanBurst, burst)
+	}
+	// The i.i.d. model at the same rate must produce far shorter bursts.
+	bm := NewBernoulli(loss, 0, 11)
+	var bdrops, bbursts, brun int
+	for i := 0; i < n; i++ {
+		if bm.Next() == Drop {
+			bdrops++
+			brun++
+		} else if brun > 0 {
+			bbursts++
+			brun = 0
+		}
+	}
+	iidBurst := float64(bdrops) / float64(bbursts)
+	if meanBurst < 2*iidBurst {
+		t.Errorf("GE mean burst %v not bursty vs iid %v", meanBurst, iidBurst)
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	build := func() []Model {
+		return []Model{
+			NewBernoulli(0.1, 0.05, 99),
+			NewGilbertElliott(0.1, 4, 0.05, 99),
+		}
+	}
+	a, b := build(), build()
+	for i := range a {
+		for f := 0; f < 5000; f++ {
+			if ga, gb := a[i].Next(), b[i].Next(); ga != gb {
+				t.Fatalf("%s: frame %d diverged (%v vs %v)", a[i].Name(), f, ga, gb)
+			}
+		}
+	}
+}
+
+func TestChannelTransmitCorruptsOnePayloadBit(t *testing.T) {
+	stats := &Stats{}
+	ch := New(NewBernoulli(0, 0.99, 3), 4, stats)
+	const hdr = 16
+	for i := 0; i < 200; i++ {
+		frame := bytes.Repeat([]byte{0xAA}, hdr+64)
+		orig := append([]byte(nil), frame...)
+		if !ch.Transmit(frame, hdr) {
+			t.Fatal("corruption-only channel dropped a frame")
+		}
+		if !bytes.Equal(frame[:hdr], orig[:hdr]) {
+			t.Fatal("header bytes were corrupted")
+		}
+		diff := 0
+		for j := hdr; j < len(frame); j++ {
+			for b := 0; b < 8; b++ {
+				if (frame[j]^orig[j])&(1<<b) != 0 {
+					diff++
+				}
+			}
+		}
+		if diff > 1 {
+			t.Fatalf("corruption flipped %d bits, want at most 1", diff)
+		}
+	}
+	snap := stats.Snapshot()
+	if snap.Sent != 200 || snap.Dropped != 0 || snap.Corrupted == 0 {
+		t.Fatalf("stats %+v", snap)
+	}
+	if snap.Delivered != snap.Sent-snap.Dropped {
+		t.Fatalf("delivered %d inconsistent with sent %d - dropped %d", snap.Delivered, snap.Sent, snap.Dropped)
+	}
+}
+
+func TestSpecModelSelection(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{}, "perfect"},
+		{Spec{Loss: 0.1}, "bernoulli"},
+		{Spec{Corrupt: 0.1}, "bernoulli"},
+		{Spec{Loss: 0.1, Burst: 4}, "gilbert-elliott"},
+		{Spec{Loss: 0.1, Burst: 1}, "bernoulli"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Model(1).Name(); got != c.want {
+			t.Errorf("spec %+v: model %q, want %q", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []Spec{{Loss: -0.1}, {Loss: 1}, {Corrupt: 2}, {Loss: 0.1, Burst: 0.5}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("spec %+v validated", bad)
+		}
+	}
+	if err := (Spec{Loss: 0.1, Burst: 4, Corrupt: 0.01}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestFactoryGivesIndependentDeterministicChannels(t *testing.T) {
+	sp := Spec{Loss: 0.2, Seed: 5}
+	stats := &Stats{}
+	fa, fb := sp.Factory(stats), sp.Factory(&Stats{})
+	a1, a2 := fa(), fa()
+	b1 := fb()
+	frame := make([]byte, 32)
+	var s1, s2 []bool
+	for i := 0; i < 2000; i++ {
+		s1 = append(s1, a1.Transmit(frame, 16))
+		s2 = append(s2, a2.Transmit(frame, 16))
+	}
+	same := true
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two connections of one factory saw identical fault sequences")
+	}
+	// A fresh factory's first connection replays the first connection.
+	for i := 0; i < 2000; i++ {
+		if b1.Transmit(frame, 16) != s1[i] {
+			t.Fatalf("factory not reproducible at frame %d", i)
+		}
+	}
+	if got := stats.Snapshot().Sent; got != 4000 {
+		t.Fatalf("shared stats sent %d, want 4000", got)
+	}
+}

@@ -1,0 +1,161 @@
+package channel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// perfect is the lossless channel.
+type perfect struct{}
+
+func (perfect) Name() string { return "perfect" }
+func (perfect) Next() Fault  { return Deliver }
+
+// Perfect returns the model that delivers every frame untouched.
+func Perfect() Model { return perfect{} }
+
+// bernoulli drops each frame i.i.d. with probability loss and corrupts
+// each surviving frame i.i.d. with probability corrupt.
+type bernoulli struct {
+	loss, corrupt float64
+	rng           *rand.Rand
+}
+
+// NewBernoulli builds the i.i.d. fault model: every frame is dropped with
+// probability loss, and every delivered frame is corrupted with
+// probability corrupt. Probabilities are clamped to [0, 1).
+func NewBernoulli(loss, corrupt float64, seed int64) Model {
+	return &bernoulli{loss: clampProb(loss), corrupt: clampProb(corrupt),
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *bernoulli) Name() string { return "bernoulli" }
+
+func (b *bernoulli) Next() Fault {
+	if b.loss > 0 && b.rng.Float64() < b.loss {
+		return Drop
+	}
+	if b.corrupt > 0 && b.rng.Float64() < b.corrupt {
+		return Corrupt
+	}
+	return Deliver
+}
+
+// gilbertElliott is the classic two-state Markov burst-loss model: a Good
+// state that delivers and a Bad state that drops. Burstiness comes from
+// state persistence rather than per-frame independence.
+type gilbertElliott struct {
+	pGB, pBG float64 // transition probabilities good->bad, bad->good
+	corrupt  float64
+	rng      *rand.Rand
+	bad      bool
+}
+
+// NewGilbertElliott builds a bursty loss model with the given stationary
+// loss rate and mean burst length (in frames, >= 1). With drop probability
+// 1 in Bad and 0 in Good, the stationary Bad probability equals loss when
+// pBG = 1/meanBurst and pGB = loss / (meanBurst * (1 - loss)). Delivered
+// frames are additionally corrupted i.i.d. with probability corrupt.
+func NewGilbertElliott(loss, meanBurst, corrupt float64, seed int64) Model {
+	loss = clampProb(loss)
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	g := &gilbertElliott{
+		pBG:     1 / meanBurst,
+		corrupt: clampProb(corrupt),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	if loss > 0 {
+		g.pGB = loss / (meanBurst * (1 - loss))
+		if g.pGB > 1 {
+			g.pGB = 1
+		}
+	}
+	return g
+}
+
+func (g *gilbertElliott) Name() string { return "gilbert-elliott" }
+
+func (g *gilbertElliott) Next() Fault {
+	if g.bad {
+		if g.rng.Float64() < g.pBG {
+			g.bad = false
+		}
+	} else if g.pGB > 0 && g.rng.Float64() < g.pGB {
+		g.bad = true
+	}
+	if g.bad {
+		return Drop
+	}
+	if g.corrupt > 0 && g.rng.Float64() < g.corrupt {
+		return Corrupt
+	}
+	return Deliver
+}
+
+// clampProb keeps a probability in [0, 1): a loss rate of 1 would make
+// every recovery hopeless, which no experiment wants.
+func clampProb(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p >= 1:
+		return 0.99
+	}
+	return p
+}
+
+// Spec is the user-facing description of a fault configuration — the
+// broadcastd flags. Zero value = perfect channel.
+type Spec struct {
+	Loss    float64 // stationary frame-loss rate, [0, 1)
+	Burst   float64 // mean loss-burst length in frames; > 1 selects Gilbert-Elliott
+	Corrupt float64 // payload bit-corruption rate of delivered frames, [0, 1)
+	Seed    int64   // master seed; per-connection sub-seeds derive from it
+}
+
+// Enabled reports whether the spec injects any fault at all.
+func (sp Spec) Enabled() bool { return sp.Loss > 0 || sp.Corrupt > 0 }
+
+// Validate rejects out-of-range knobs.
+func (sp Spec) Validate() error {
+	if sp.Loss < 0 || sp.Loss >= 1 {
+		return fmt.Errorf("channel: loss rate %v outside [0, 1)", sp.Loss)
+	}
+	if sp.Corrupt < 0 || sp.Corrupt >= 1 {
+		return fmt.Errorf("channel: corruption rate %v outside [0, 1)", sp.Corrupt)
+	}
+	if sp.Burst != 0 && sp.Burst < 1 {
+		return fmt.Errorf("channel: mean burst length %v below 1", sp.Burst)
+	}
+	return nil
+}
+
+// Model builds the fault process the spec describes, seeded by seed.
+func (sp Spec) Model(seed int64) Model {
+	switch {
+	case sp.Loss > 0 && sp.Burst > 1:
+		return NewGilbertElliott(sp.Loss, sp.Burst, sp.Corrupt, seed)
+	case sp.Enabled():
+		return NewBernoulli(sp.Loss, sp.Corrupt, seed)
+	default:
+		return Perfect()
+	}
+}
+
+// Factory returns a per-connection channel factory for a broadcast server:
+// each connection gets its own independent fault process with a
+// deterministic sub-seed, all reporting into the shared stats.
+func (sp Spec) Factory(stats *Stats) func() *Channel {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	var conns atomic.Int64
+	return func() *Channel {
+		i := conns.Add(1) - 1
+		sub := sp.Seed + 1000003*i
+		return New(sp.Model(sub), sub+1, stats)
+	}
+}

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"airindex/internal/dataset"
+)
+
+// TestLossSweep pins the acceptance shape of the unreliable-channel
+// experiment: every query completes correctly at every fault rate (RunLoss
+// fails otherwise), and both reported latency and tuning strictly increase
+// with the fault rate under every fault model — resilience costs energy.
+func TestLossSweep(t *testing.T) {
+	ds := dataset.Uniform(45, 4500)
+	rates := []float64{0, 0.05, 0.10}
+	ps, err := RunLoss(ds, 512, rates, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != len(LossModels)*len(rates) {
+		t.Fatalf("got %d points, want %d", len(ps), len(LossModels)*len(rates))
+	}
+	byModel := map[string][]LossPoint{}
+	for _, p := range ps {
+		byModel[p.Model] = append(byModel[p.Model], p)
+	}
+	for _, model := range LossModels {
+		pts := byModel[model]
+		if len(pts) != len(rates) {
+			t.Fatalf("%s: %d points", model, len(pts))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Rate <= pts[i-1].Rate {
+				t.Fatalf("%s: rates out of order", model)
+			}
+			if pts[i].AvgLatency <= pts[i-1].AvgLatency {
+				t.Errorf("%s: latency %v at rate %v not above %v at rate %v",
+					model, pts[i].AvgLatency, pts[i].Rate, pts[i-1].AvgLatency, pts[i-1].Rate)
+			}
+			if pts[i].AvgTuning <= pts[i-1].AvgTuning {
+				t.Errorf("%s: tuning %v at rate %v not above %v at rate %v",
+					model, pts[i].AvgTuning, pts[i].Rate, pts[i-1].AvgTuning, pts[i-1].Rate)
+			}
+		}
+		// The reliable baseline must be fault-free end to end.
+		if base := pts[0]; base.Rate != 0 || base.AvgRecoveries != 0 || base.FramesDropped != 0 || base.FramesCorrupted != 0 {
+			t.Errorf("%s: rate-0 baseline saw faults: %+v", model, base)
+		}
+		// Faulty cells must actually have injected faults.
+		last := pts[len(pts)-1]
+		if last.FramesDropped+last.FramesCorrupted == 0 {
+			t.Errorf("%s: no faults injected at rate %v", model, last.Rate)
+		}
+	}
+
+	tables := LossTables(ps)
+	for _, want := range []string{"avg access latency", "avg tuning", "bernoulli", "gilbert-elliott", "corruption"} {
+		if !strings.Contains(tables, want) {
+			t.Errorf("LossTables missing %q:\n%s", want, tables)
+		}
+	}
+	csv := LossCSV(ps)
+	if got := strings.Count(csv, "\n"); got != len(ps)+1 {
+		t.Errorf("LossCSV has %d lines, want %d", got, len(ps)+1)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"airindex/internal/core"
 	"airindex/internal/geom"
+	"airindex/internal/wire"
 )
 
 // Client consumes a live broadcast stream and answers location-dependent
@@ -15,6 +16,13 @@ import (
 // means reading a frame's header and discarding its payload unparsed; the
 // tuning counters track only fully parsed (downloaded) packets, mirroring
 // the paper's energy model.
+//
+// The client survives unreliable channels: corruption is detected by the
+// frame checksum, loss by gaps in the strictly-increasing slot numbers,
+// and both are recovered by the paper's own mechanism — re-probe, jump to
+// the next index copy via the NextIndex pointer every frame carries, and
+// retry bucket retrieval on the next cycle — counting the extra tuning and
+// latency instead of failing.
 type Client struct {
 	r        *bufio.Reader
 	conn     net.Conn // nil when constructed over a plain reader
@@ -24,19 +32,38 @@ type Client struct {
 	started bool
 }
 
+// Attempt bounds: how many index copies (resp. broadcast cycles) a query
+// may burn recovering one index packet (resp. its data bucket) before the
+// channel is declared hopeless. At 10% loss a retry fails with probability
+// well under 1/2, so 16 attempts leave a vanishing residual.
+const (
+	maxIndexAttempts  = 16
+	maxBucketAttempts = 16
+)
+
 // Result is the outcome of one streamed query.
 type Result struct {
-	Bucket      int
-	Data        []byte
-	Latency     float64 // slots from query issue to the last data packet
+	Bucket  int
+	Data    []byte
+	Latency float64 // slots from query issue to the final frame observed
+
 	TuneProbe   int
 	TuneIndex   int
 	TuneData    int
+	TuneRecover int // active-radio slots wasted on loss/corruption recovery
 	DozedFrames int // frames skimmed (header only) while waiting
+
+	LostSlots     int // slot-number gaps observed (frames the channel dropped)
+	CorruptFrames int // downloaded frames whose payload failed the checksum
+	Recoveries    int // recovery actions: index-copy resyncs + bucket retries
+
+	FirstSlot int // absolute slot of the initial probe
+	LastSlot  int // absolute slot of the final frame observed
 }
 
-// TotalTuning returns the parsed-packet count across protocol steps.
-func (r Result) TotalTuning() int { return r.TuneProbe + r.TuneIndex + r.TuneData }
+// TotalTuning returns the active-radio packet count across protocol steps,
+// including slots burned on recovery.
+func (r Result) TotalTuning() int { return r.TuneProbe + r.TuneIndex + r.TuneData + r.TuneRecover }
 
 // Dial connects to a broadcast server over TCP.
 func Dial(addr string, capacity int) (*Client, error) {
@@ -64,48 +91,69 @@ func (c *Client) Close() error {
 
 // advance reads one frame; parseIf decides — from the header alone, as a
 // real receiver must — whether to download the payload or doze through it.
-// The payload is nil when dozed.
-func (c *Client) advance(parseIf func(Header) bool) (Header, []byte, error) {
+// The payload is nil when dozed; corrupt reports a downloaded payload that
+// failed the checksum (the payload is withheld, the header — which the
+// channel never damages — is still returned). Slot gaps left by dropped
+// frames are tallied into res.LostSlots.
+func (c *Client) advance(res *Result, parseIf func(Header) bool) (Header, []byte, bool, error) {
 	h, err := readHeader(c.r)
 	if err != nil {
-		return Header{}, nil, err
+		return Header{}, nil, false, err
 	}
 	if int(h.PayloadLen) != c.capacity {
-		return Header{}, nil, fmt.Errorf("stream: frame payload %d, expected capacity %d", h.PayloadLen, c.capacity)
+		return Header{}, nil, false, fmt.Errorf("stream: frame payload %d, expected capacity %d", h.PayloadLen, c.capacity)
+	}
+	if c.started && h.Slot > c.cur.Slot+1 && res != nil {
+		res.LostSlots += int(h.Slot - c.cur.Slot - 1)
 	}
 	c.cur, c.started = h, true
+	if res != nil {
+		res.LastSlot = int(h.Slot)
+	}
 	if !parseIf(h) {
 		if _, err := c.r.Discard(int(h.PayloadLen)); err != nil {
-			return Header{}, nil, err
+			return Header{}, nil, false, err
 		}
-		return h, nil, nil
+		return h, nil, false, nil
 	}
 	payload := make([]byte, h.PayloadLen)
 	if _, err := io.ReadFull(c.r, payload); err != nil {
-		return Header{}, nil, err
+		return Header{}, nil, false, err
 	}
-	return h, payload, nil
+	if Checksum(payload) != h.CRC {
+		if res != nil {
+			res.CorruptFrames++
+		}
+		return h, nil, true, nil
+	}
+	return h, payload, false, nil
 }
 
 func parseAlways(Header) bool { return true }
-func parseNever(Header) bool  { return false }
 
-// dozeUntilBefore skims frames until the next frame to arrive carries the
-// given absolute slot. It fails if the stream is already past it.
-func (c *Client) dozeUntilBefore(target int, res *Result) error {
-	if !c.started {
-		return fmt.Errorf("stream: dozing before the first probe")
-	}
-	for int(c.cur.Slot)+1 < target {
-		if _, _, err := c.advance(parseNever); err != nil {
-			return err
+// seek dozes until the frame at the given absolute slot arrives and parses
+// it. Under loss the target frame may never arrive: the first header at a
+// later slot reveals the miss; that frame is dozed (not downloaded) and
+// returned with ok=false so the caller can resync off its NextIndex
+// pointer. The slot the radio was awake for with nothing decodable to show
+// is charged to TuneRecover.
+func (c *Client) seek(target int, res *Result) (Header, []byte, bool, bool, error) {
+	for {
+		h, payload, corrupt, err := c.advance(res, func(h Header) bool { return int(h.Slot) == target })
+		if err != nil {
+			return Header{}, nil, false, false, err
 		}
-		res.DozedFrames++
+		if int(h.Slot) < target {
+			res.DozedFrames++
+			continue
+		}
+		if int(h.Slot) > target {
+			res.DozedFrames++
+			res.TuneRecover++
+			return h, nil, false, false, nil
+		}
+		return h, payload, corrupt, true, nil
 	}
-	if int(c.cur.Slot)+1 != target {
-		return fmt.Errorf("stream: at slot %d, cannot reach past slot %d", c.cur.Slot, target)
-	}
-	return nil
 }
 
 // Query resolves the data instance for point p from the live stream.
@@ -113,40 +161,50 @@ func (c *Client) Query(p geom.Point) (Result, error) {
 	var res Result
 
 	// Initial probe: parse the next frame to learn where the next index
-	// copy starts.
-	probe, _, err := c.advance(parseAlways)
+	// copy starts. Only the header matters here, so a corrupt payload does
+	// not hurt — the energy was spent either way.
+	probe, _, _, err := c.advance(&res, parseAlways)
 	if err != nil {
 		return res, err
 	}
 	res.TuneProbe = 1
 	first := int(probe.Slot)
+	res.FirstSlot = first
 	idxBase := first + int(probe.NextIndex)
 
 	// Index search: feed the D-tree byte decoder from the live stream. The
 	// provider caches parsed packets (client memory); an offset that has
-	// already flown by is fetched from the next index copy.
+	// already flown by — or that the channel ate — is fetched from the
+	// next index copy.
 	cache := map[int][]byte{}
 	get := func(k int) ([]byte, error) {
 		if pkt, ok := cache[k]; ok {
 			return pkt, nil
 		}
-		for attempt := 0; attempt < 4; attempt++ {
+		for attempt := 0; attempt < maxIndexAttempts; attempt++ {
 			target := idxBase + k
 			if int(c.cur.Slot) >= target {
 				// Passed: jump to the copy after the current frame.
 				idxBase = int(c.cur.Slot) + int(c.cur.NextIndex)
 				target = idxBase + k
 			}
-			if err := c.dozeUntilBefore(target, &res); err != nil {
-				return nil, err
-			}
-			h, payload, err := c.advance(parseAlways)
+			h, payload, corrupt, ok, err := c.seek(target, &res)
 			if err != nil {
 				return nil, err
 			}
-			if h.Kind != KindIndex || int(h.Seq) != k {
-				// The copy was shorter than k packets (corrupt offset);
-				// resync at the next copy and retry.
+			if !ok {
+				// The target frame was dropped on the air: resync at the
+				// next index copy the later frame points to.
+				res.Recoveries++
+				idxBase = int(h.Slot) + int(h.NextIndex)
+				continue
+			}
+			if corrupt || h.Kind != KindIndex || int(h.Seq) != k {
+				// Downloaded but unusable — bit corruption, or a copy
+				// shorter than k packets (corrupt offset arithmetic).
+				// Pay the wasted download and resync at the next copy.
+				res.TuneRecover++
+				res.Recoveries++
 				idxBase = int(h.Slot) + int(h.NextIndex)
 				continue
 			}
@@ -154,7 +212,7 @@ func (c *Client) Query(p geom.Point) (Result, error) {
 			cache[k] = payload
 			return payload, nil
 		}
-		return nil, fmt.Errorf("stream: index packet %d unreachable", k)
+		return nil, fmt.Errorf("stream: index packet %d unreachable after %d attempts", k, maxIndexAttempts)
 	}
 	bucket, _, err := core.ClientLocateFrom(get, c.capacity, p)
 	if err != nil {
@@ -163,32 +221,72 @@ func (c *Client) Query(p geom.Point) (Result, error) {
 	res.Bucket = bucket
 
 	// Data retrieval: doze until the bucket's first packet, download the
-	// contiguous bucket, and stop at the first foreign frame.
-	collected := 0
+	// contiguous bucket. The packets-per-bucket count follows from the
+	// capacity (the data instance size is a system parameter, Table 2), so
+	// the client knows when the bucket is complete; an incomplete or
+	// damaged run is discarded and retried on the next cycle.
+	expect := wire.DTreeParams(c.capacity).DataBucketPackets()
+	collected, attempts := 0, 0
 	wants := func(h Header) bool {
 		return h.Kind == KindData && h.Bucket() == bucket &&
 			(collected > 0 || h.BucketPacket() == 0)
 	}
+	// retry discards a broken run and waits for the bucket to come around
+	// again; it reports whether the attempt budget allows another pass.
+	retry := func() bool {
+		collected = 0
+		res.Data = res.Data[:0]
+		res.Recoveries++
+		attempts++
+		return attempts < maxBucketAttempts
+	}
 	for {
-		h, payload, err := c.advance(wants)
+		h, payload, corrupt, err := c.advance(&res, wants)
 		if err != nil {
 			return res, err
 		}
-		if payload == nil {
+		if payload == nil && !corrupt {
 			res.DozedFrames++
 			if collected > 0 {
-				break // the bucket's contiguous run ended
+				// A foreign frame interrupted the bucket's contiguous
+				// run: the remaining packets were lost on the air. The
+				// radio was awake expecting them.
+				res.TuneRecover++
+				if !retry() {
+					break
+				}
+			}
+			continue
+		}
+		if corrupt {
+			res.TuneRecover++
+			if !retry() {
+				break
 			}
 			continue
 		}
 		if collected > 0 && h.BucketPacket() != collected {
-			return res, fmt.Errorf("stream: bucket %d packet %d arrived out of order (want %d)",
-				bucket, h.BucketPacket(), collected)
+			// A gap inside the run (a dropped packet of our own bucket).
+			res.TuneRecover++
+			if !retry() {
+				break
+			}
+			if h.BucketPacket() == 0 {
+				// The mismatch was the bucket starting over (a whole cycle
+				// of losses): the downloaded packet begins a fresh run.
+				res.TuneData++
+				res.Data = append(res.Data, payload...)
+				collected = 1
+			}
+			continue
 		}
 		res.TuneData++
 		res.Data = append(res.Data, payload...)
 		collected++
-		res.Latency = float64(int(h.Slot) + 1 - first)
+		if collected == expect {
+			res.Latency = float64(int(h.Slot) + 1 - first)
+			return res, nil
+		}
 	}
-	return res, nil
+	return res, fmt.Errorf("stream: bucket %d not retrieved intact after %d attempts", bucket, maxBucketAttempts)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"airindex/internal/broadcast"
+	"airindex/internal/channel"
 )
 
 // Program is the broadcast content: the encoded index packets, the (1, m)
@@ -99,6 +100,13 @@ type Server struct {
 	// (tests and demos inject randomness or fixed phases here).
 	StartSlot func() int
 
+	// Channel, when set, is called once per connection to build the
+	// simulated lossy channel (internal/channel) every outgoing frame of
+	// that connection passes through; channel.Spec.Factory is the usual
+	// source. Dropped frames still consume their slot — the client sees a
+	// gap in the slot numbering, as on a real fading channel.
+	Channel func() *channel.Channel
+
 	slot   atomic.Int64
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -156,10 +164,13 @@ func (s *Server) streamTo(w io.Writer) {
 	} else {
 		slot = int(s.slot.Load())
 	}
+	var ch *channel.Channel
+	if s.Channel != nil {
+		ch = s.Channel()
+	}
 	bw := bufio.NewWriterSize(w, 64<<10)
 	for !s.closed.Load() {
-		h, payload := s.prog.frameAt(slot)
-		if err := writeFrame(bw, h, payload); err != nil {
+		if err := transmitSlot(bw, s.prog, slot, ch); err != nil {
 			return
 		}
 		slot++
@@ -172,6 +183,37 @@ func (s *Server) streamTo(w io.Writer) {
 		}
 	}
 	bw.Flush() //nolint:errcheck
+}
+
+// transmitSlot renders the frame for one absolute slot, stamps its payload
+// checksum, passes it through the optional fault channel, and writes it.
+// A dropped frame writes nothing: its slot elapses silently and the next
+// frame's slot number reveals the gap to the receiver.
+func transmitSlot(w io.Writer, p *Program, slot int, ch *channel.Channel) error {
+	h, payload := p.frameAt(slot)
+	h.CRC = Checksum(payload)
+	buf, err := marshalFrame(h, payload)
+	if err != nil {
+		return err
+	}
+	if ch != nil && !ch.Transmit(buf, headerSize) {
+		return nil
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Transmit streams the program's frames to w, beginning at startSlot and
+// passing every frame through ch (nil = perfect channel), until the writer
+// fails — the listener-less analogue of Server for net.Pipe tests and the
+// loss-rate experiments. Closing the pipe is how callers stop it.
+func (p *Program) Transmit(w io.Writer, startSlot int, ch *channel.Channel) error {
+	bw := bufio.NewWriterSize(w, 32<<10)
+	for slot := startSlot; ; slot++ {
+		if err := transmitSlot(bw, p, slot, ch); err != nil {
+			return err
+		}
+	}
 }
 
 // Close stops accepting, severs every active stream, and waits for the
