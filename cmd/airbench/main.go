@@ -8,6 +8,7 @@
 //	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache|loss] [-queries n]
 //	         [-capacities 64,128,...] [-datasets uniform,hospital,park]
 //	         [-theta 1.0] [-queries-by-area] [-csv] [-seed n] [-loss-queries n]
+//	         [-workers n] [-cpuprofile f] [-memprofile f]
 //
 // Besides the paper's figures, the extension experiments are available as
 // figures: "ablation" (D-tree design choices), "dist" ((1,m) vs distributed
@@ -22,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,8 +43,35 @@ func main() {
 		csvOut     = flag.Bool("csv", false, "emit raw measurements as CSV")
 		seed       = flag.Int64("seed", 42, "random seed")
 		lossQ      = flag.Int("loss-queries", 200, "streamed queries per cell of the loss sweep (with -figure loss)")
+		workers    = flag.Int("workers", 0, "simulation workers per cell (0 = one per CPU); results are identical at any count")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	caps, err := parseInts(*capacities)
 	if err != nil {
@@ -51,7 +81,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiment.Config{Capacities: caps, Queries: *queries, Seed: *seed, ByArea: *byArea}
+	cfg := experiment.Config{Capacities: caps, Queries: *queries, Seed: *seed, ByArea: *byArea, Workers: *workers}
 
 	if *figure == "dist" {
 		for _, d := range ds {
@@ -206,6 +236,7 @@ func parseDatasets(s string) ([]dataset.Dataset, error) {
 }
 
 func fatal(err error) {
+	pprof.StopCPUProfile() // os.Exit skips defers; don't truncate the profile
 	fmt.Fprintln(os.Stderr, "airbench:", err)
 	os.Exit(1)
 }

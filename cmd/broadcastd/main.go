@@ -84,8 +84,16 @@ func main() {
 		srv.Channel = spec.Factory(stats)
 	}
 
+	// Render the broadcast cycle up front so the first connection streams
+	// from the shared frame cache instead of paying the build.
+	frames, bytes, err := prog.RenderedSize()
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Printf("broadcastd: %s, %d instances, %d B packets, index %d packets, m=%d, cycle %d slots, listening on %s\n",
 		ds.Name, ds.N(), *capacity, len(prog.IndexPackets), prog.Sched.M, cycle, ln.Addr())
+	fmt.Printf("broadcastd: rendered cycle cached: %d frames, %.1f KB\n", frames, float64(bytes)/1024)
 	if spec.Enabled() {
 		fmt.Printf("broadcastd: unreliable channel: %s loss %.2f%% (burst %.1f), corruption %.2f%%, seed %d\n",
 			spec.Model(spec.Seed).Name(), 100**loss, *burst, 100**corrupt, *seed)

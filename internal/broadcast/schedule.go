@@ -100,9 +100,20 @@ func (s *Schedule) NextIndexStart(t float64) int {
 }
 
 // NextBucketStart returns the absolute slot at which bucket b next starts
-// at or after absolute time t.
+// at or after absolute time t. This sits on the Monte Carlo hot path (once
+// per simulated query), so it inlines the single-offset case of
+// nextOccurrence instead of allocating a one-element slice: for an integer
+// offset, "off >= ceil(within-eps)" and "float64(off) >= within-eps" agree,
+// so the arithmetic below is exactly nextOccurrence on {off}.
 func (s *Schedule) NextBucketStart(b int, t float64) int {
-	return s.nextOccurrence([]int{s.bucketPos[b]}, t)
+	off := s.bucketPos[b]
+	L := float64(s.cycleLen)
+	k := math.Floor(t / L)
+	within := t - k*L
+	if float64(off) >= within-1e-9 {
+		return int(k)*s.cycleLen + off
+	}
+	return (int(k)+1)*s.cycleLen + off
 }
 
 // nextOccurrence returns the smallest k*cycleLen + off >= t over all

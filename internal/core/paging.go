@@ -92,22 +92,23 @@ func (t *Tree) PageGreedy(params wire.Params) (*Paged, error) {
 // inside the band must read the node's remaining packets to count ray
 // crossings (Section 4.4).
 func (pg *Paged) Locate(p geom.Point) (int, []int) {
+	return pg.LocateInto(p, nil)
+}
+
+// LocateInto is Locate appending the downloaded packet offsets into trace
+// (reset to length zero first), so Monte Carlo drivers can reuse one
+// buffer across millions of queries without per-query allocation. The
+// returned slice aliases trace's backing array when capacity suffices.
+func (pg *Paged) LocateInto(p geom.Point, trace []int) (int, []int) {
+	trace = trace[:0]
 	if pg.Tree.Root == nil {
-		return 0, nil
-	}
-	seen := make(map[int]bool, 8)
-	var trace []int
-	read := func(pk int) {
-		if !seen[pk] {
-			seen[pk] = true
-			trace = append(trace, pk)
-		}
+		return 0, trace
 	}
 	ref := ChildRef{Node: pg.Tree.Root}
 	for !ref.IsData() {
 		n := ref.Node
 		packets := pg.Layout.PacketsOf[n.ID]
-		read(packets[0])
+		trace = wire.AppendTraceOnce(trace, packets[0])
 		cx := canonX(n.Dim, p)
 		switch {
 		case cx <= n.CutLo:
@@ -117,7 +118,7 @@ func (pg *Paged) Locate(p geom.Point) (int, []int) {
 		default:
 			// Inside the interlocking band: the whole partition is needed.
 			for _, pk := range packets[1:] {
-				read(pk)
+				trace = wire.AppendTraceOnce(trace, pk)
 			}
 			if n.rayParityLeft(p) {
 				ref = n.Left
@@ -133,19 +134,21 @@ func (pg *Paged) Locate(p geom.Point) (int, []int) {
 // of every visited node, disabling the RMC/LMC first-packet shortcut of
 // Section 4.4 (ablation).
 func (pg *Paged) LocateWithoutEarlyTermination(p geom.Point) (int, []int) {
+	return pg.LocateWithoutEarlyTerminationInto(p, nil)
+}
+
+// LocateWithoutEarlyTerminationInto is the buffer-reusing variant of
+// LocateWithoutEarlyTermination, mirroring LocateInto.
+func (pg *Paged) LocateWithoutEarlyTerminationInto(p geom.Point, trace []int) (int, []int) {
+	trace = trace[:0]
 	if pg.Tree.Root == nil {
-		return 0, nil
+		return 0, trace
 	}
-	seen := make(map[int]bool, 8)
-	var trace []int
 	ref := ChildRef{Node: pg.Tree.Root}
 	for !ref.IsData() {
 		n := ref.Node
 		for _, pk := range pg.Layout.PacketsOf[n.ID] {
-			if !seen[pk] {
-				seen[pk] = true
-				trace = append(trace, pk)
-			}
+			trace = wire.AppendTraceOnce(trace, pk)
 		}
 		ref = n.side(p)
 	}

@@ -21,15 +21,22 @@ var AblationVariants = []string{
 }
 
 type ablationIndex struct {
-	name   string
-	pg     *core.Paged
-	locate func(geom.Point) (int, []int)
+	name       string
+	pg         *core.Paged
+	locate     func(geom.Point) (int, []int)
+	locateInto func(geom.Point, []int) (int, []int)
 }
 
 func (a ablationIndex) Name() string                     { return a.name }
 func (a ablationIndex) IndexPackets() int                { return a.pg.IndexPackets() }
 func (a ablationIndex) SizeBytes() int                   { return a.pg.Layout.SizeBytes() }
 func (a ablationIndex) Locate(p geom.Point) (int, []int) { return a.locate(p) }
+func (a ablationIndex) LocateInto(p geom.Point, trace []int) (int, []int) {
+	if a.locateInto != nil {
+		return a.locateInto(p, trace)
+	}
+	return a.locate(p)
+}
 
 // RunAblation measures the D-tree variants over one dataset, reusing the
 // standard measurement pipeline (the variant name appears as the index
@@ -77,11 +84,12 @@ func RunAblation(ds dataset.Dataset, cfg Config) ([]Measurement, error) {
 			return nil, err
 		}
 		indexes := []Index{
-			ablationIndex{"D-tree", fullPg, fullPg.Locate},
-			ablationIndex{"single-style", singlePg, singlePg.Locate},
-			ablationIndex{"no-tiebreak", noTiePg, noTiePg.Locate},
-			ablationIndex{"greedy-paging", greedyPg, greedyPg.Locate},
-			ablationIndex{"no-early-termination", fullPg, fullPg.LocateWithoutEarlyTermination},
+			ablationIndex{"D-tree", fullPg, fullPg.Locate, fullPg.LocateInto},
+			ablationIndex{"single-style", singlePg, singlePg.Locate, singlePg.LocateInto},
+			ablationIndex{"no-tiebreak", noTiePg, noTiePg.Locate, noTiePg.LocateInto},
+			ablationIndex{"greedy-paging", greedyPg, greedyPg.Locate, greedyPg.LocateInto},
+			ablationIndex{"no-early-termination", fullPg,
+				fullPg.LocateWithoutEarlyTermination, fullPg.LocateWithoutEarlyTerminationInto},
 		}
 		ms, err := measureIndexes(b, sampler, indexes, capacity, cfg)
 		if err != nil {

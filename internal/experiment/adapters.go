@@ -9,6 +9,7 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"airindex/internal/core"
 	"airindex/internal/dataset"
@@ -41,6 +42,19 @@ type Built struct {
 	DTree *core.Tree
 	Trian *triantree.Tree
 	Trap  *traptree.Map
+
+	mu         sync.Mutex
+	indexCache map[int]*indexCacheEntry
+}
+
+// indexCacheEntry memoizes Indexes for one packet capacity. The entry is
+// created under Built.mu but built inside its own Once, so concurrent
+// sweeps over different capacities page in parallel while repeated
+// requests for the same capacity share one build.
+type indexCacheEntry struct {
+	once    sync.Once
+	indexes []Index
+	err     error
 }
 
 // Build constructs the subdivision and the packet-independent index
@@ -67,8 +81,25 @@ func Build(ds dataset.Dataset, seed int64) (*Built, error) {
 }
 
 // Indexes pages the structures for one packet capacity (and builds the
-// capacity-dependent R*-tree), in the paper's comparison order.
+// capacity-dependent R*-tree), in the paper's comparison order. Results
+// are cached per capacity; the returned slice is shared, so callers must
+// treat it as read-only.
 func (b *Built) Indexes(capacity int) ([]Index, error) {
+	b.mu.Lock()
+	if b.indexCache == nil {
+		b.indexCache = make(map[int]*indexCacheEntry)
+	}
+	e, ok := b.indexCache[capacity]
+	if !ok {
+		e = &indexCacheEntry{}
+		b.indexCache[capacity] = e
+	}
+	b.mu.Unlock()
+	e.once.Do(func() { e.indexes, e.err = b.buildIndexes(capacity) })
+	return e.indexes, e.err
+}
+
+func (b *Built) buildIndexes(capacity int) ([]Index, error) {
 	dp, err := b.DTree.Page(wire.DTreeParams(capacity))
 	if err != nil {
 		return nil, fmt.Errorf("d-tree page(%d): %w", capacity, err)
@@ -99,6 +130,9 @@ func (d dtreeIndex) Name() string                     { return "D-tree" }
 func (d dtreeIndex) IndexPackets() int                { return d.pg.IndexPackets() }
 func (d dtreeIndex) SizeBytes() int                   { return d.pg.Layout.SizeBytes() }
 func (d dtreeIndex) Locate(p geom.Point) (int, []int) { return d.pg.Locate(p) }
+func (d dtreeIndex) LocateInto(p geom.Point, trace []int) (int, []int) {
+	return d.pg.LocateInto(p, trace)
+}
 
 type trianIndex struct{ pg *triantree.Paged }
 
@@ -106,6 +140,9 @@ func (t trianIndex) Name() string                     { return "trian-tree" }
 func (t trianIndex) IndexPackets() int                { return t.pg.IndexPackets() }
 func (t trianIndex) SizeBytes() int                   { return t.pg.Layout.SizeBytes() }
 func (t trianIndex) Locate(p geom.Point) (int, []int) { return t.pg.Locate(p) }
+func (t trianIndex) LocateInto(p geom.Point, trace []int) (int, []int) {
+	return t.pg.LocateInto(p, trace)
+}
 
 type trapIndex struct{ pg *traptree.Paged }
 
@@ -113,6 +150,9 @@ func (t trapIndex) Name() string                     { return "trap-tree" }
 func (t trapIndex) IndexPackets() int                { return t.pg.IndexPackets() }
 func (t trapIndex) SizeBytes() int                   { return t.pg.Layout.SizeBytes() }
 func (t trapIndex) Locate(p geom.Point) (int, []int) { return t.pg.Locate(p) }
+func (t trapIndex) LocateInto(p geom.Point, trace []int) (int, []int) {
+	return t.pg.LocateInto(p, trace)
+}
 
 type rstarIndex struct{ a *rstar.AirIndex }
 
@@ -120,3 +160,6 @@ func (r rstarIndex) Name() string                     { return "R*-tree" }
 func (r rstarIndex) IndexPackets() int                { return r.a.IndexPackets() }
 func (r rstarIndex) SizeBytes() int                   { return r.a.SizeBytes() }
 func (r rstarIndex) Locate(p geom.Point) (int, []int) { return r.a.Locate(p) }
+func (r rstarIndex) LocateInto(p geom.Point, trace []int) (int, []int) {
+	return r.a.LocateInto(p, trace)
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+
+	"airindex/internal/dataset"
+)
+
+func benchBuilt(b *testing.B) *Built {
+	b.Helper()
+	built, err := Build(dataset.Uniform(150, 11), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return built
+}
+
+// BenchmarkMeasureIndexes measures the Monte Carlo query engine alone
+// (indexes prebuilt): the cost of one full (dataset, capacity) cell.
+func BenchmarkMeasureIndexes(b *testing.B) {
+	built := benchBuilt(b)
+	cfg := Config{Capacities: []int{256}, Queries: 20000, Seed: 7}.withDefaults()
+	indexes, err := built.Indexes(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := NewSampler(built.Sub)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := measureIndexes(built, sampler, indexes, 256, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) != len(indexes) {
+			b.Fatalf("measurements = %d", len(ms))
+		}
+	}
+	// One op simulates the baseline plus every index.
+	qps := float64(cfg.Queries*(len(indexes)+1)*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "queries/s")
+}
+
+// BenchmarkMeasureIndexesWorkers pins the engine at explicit worker
+// counts. On a single-core host the counts tie (the parallel win needs
+// real CPUs); on multi-core hosts the spread is the parallel speedup, and
+// the determinism tests guarantee the outputs are identical either way.
+func BenchmarkMeasureIndexesWorkers(b *testing.B) {
+	built := benchBuilt(b)
+	indexes, err := built.Indexes(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(strconv.Itoa(workers), func(b *testing.B) {
+			cfg := Config{Capacities: []int{256}, Queries: 20000, Seed: 7, Workers: workers}.withDefaults()
+			sampler := NewSampler(built.Sub)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := measureIndexes(built, sampler, indexes, 256, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			qps := float64(cfg.Queries*(len(indexes)+1)*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/s")
+		})
+	}
+}
+
+// BenchmarkRunSweep measures a full Run over two capacities, including
+// index paging/building — the index-cache target.
+func BenchmarkRunSweep(b *testing.B) {
+	built := benchBuilt(b)
+	cfg := Config{Capacities: []int{128, 256}, Queries: 5000, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := Run(built, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) != 8 {
+			b.Fatalf("measurements = %d", len(ms))
+		}
+	}
+}

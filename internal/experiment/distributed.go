@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 
 	"airindex/internal/broadcast"
 	"airindex/internal/core"
@@ -14,7 +13,10 @@ import (
 // RunDistributed compares the paper's (1, m) broadcast organization against
 // distributed indexing (Imielinski et al.) for the same D-tree, across the
 // configured packet capacities. Index names in the result: "D-tree (1,m)"
-// and "D-tree (dist)".
+// and "D-tree (dist)". The query streams are drawn once and each simulation
+// loop is sharded across cfg.Workers goroutines (see parallel.go); the
+// capacities themselves run sequentially — the distributed layout build
+// dominates setup and benefits little from overlap.
 func RunDistributed(ds dataset.Dataset, cfg Config) ([]Measurement, error) {
 	cfg = cfg.withDefaults()
 	sub, err := ds.Subdivision()
@@ -27,6 +29,10 @@ func RunDistributed(ds dataset.Dataset, cfg Config) ([]Measurement, error) {
 	}
 	sampler := NewSampler(sub)
 	sampler.ByArea = cfg.ByArea
+	streams := newQueryStreams(sampler, cfg)
+	q := cfg.Queries
+	qf := float64(q)
+	costs := make([]accessCost, q)
 
 	var out []Measurement
 	for _, capacity := range cfg.Capacities {
@@ -36,14 +42,22 @@ func RunDistributed(ds dataset.Dataset, cfg Config) ([]Measurement, error) {
 		optLatency := float64(dataPackets) / 2
 
 		// Shared non-indexing baseline.
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		var noIdxTune float64
-		for q := 0; q < cfg.Queries; q++ {
-			_, want := sampler.Query(rng)
-			tm := rng.Float64() * float64(dataPackets)
-			noIdxTune += float64(broadcast.NoIndexAccess(tm, sub.N(), bp, want).TotalTuning())
+		if err := forEachShard(cfg.Workers, q, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				sq := &streams.base[i]
+				tm := sq.u * float64(dataPackets)
+				c := broadcast.NoIndexAccess(tm, sub.N(), bp, int(sq.want))
+				costs[i] = accessCost{tuneTotal: int32(c.TotalTuning())}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		noIdxTune /= float64(cfg.Queries)
+		var noIdxTune float64
+		for i := range costs {
+			noIdxTune += float64(costs[i].tuneTotal)
+		}
+		noIdxTune /= qf
 
 		// (1, m).
 		paged, err := tree.Page(params)
@@ -55,21 +69,25 @@ func RunDistributed(ds dataset.Dataset, cfg Config) ([]Measurement, error) {
 		if err != nil {
 			return nil, err
 		}
-		qrng := rand.New(rand.NewSource(cfg.Seed + 1))
-		var lat, tuneIdx, tuneTotal float64
-		for q := 0; q < cfg.Queries; q++ {
-			p, _ := sampler.Query(qrng)
-			bucket, trace := paged.Locate(p)
-			c, err := sched.Access(qrng.Float64()*float64(sched.CycleLen()),
-				broadcast.SearchTrace{Bucket: bucket, IndexOffsets: trace})
-			if err != nil {
-				return nil, err
+		cycleLen := float64(sched.CycleLen())
+		if err := forEachShard(cfg.Workers, q, func(lo, hi int) error {
+			var buf []int
+			for i := lo; i < hi; i++ {
+				sq := &streams.idx[i]
+				bucket, trace := paged.LocateInto(sq.p, buf)
+				buf = trace
+				c, err := sched.Access(sq.u*cycleLen,
+					broadcast.SearchTrace{Bucket: bucket, IndexOffsets: trace})
+				if err != nil {
+					return err
+				}
+				costs[i] = accessCost{lat: c.Latency, tuneIdx: int32(c.TuneIndex), tuneTotal: int32(c.TotalTuning())}
 			}
-			lat += c.Latency
-			tuneIdx += float64(c.TuneIndex)
-			tuneTotal += float64(c.TotalTuning())
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		qf := float64(cfg.Queries)
+		lat, tuneIdx, tuneTotal := reduceCosts(costs)
 		out = append(out, distMeasurement(ds.Name, "D-tree (1,m)", capacity,
 			m*paged.IndexPackets(), dataPackets, m,
 			lat/qf, tuneIdx/qf, tuneTotal/qf, optLatency, noIdxTune))
@@ -79,23 +97,37 @@ func RunDistributed(ds dataset.Dataset, cfg Config) ([]Measurement, error) {
 		if err != nil {
 			return nil, fmt.Errorf("distributed at %d bytes: %w", capacity, err)
 		}
-		qrng = rand.New(rand.NewSource(cfg.Seed + 1))
-		lat, tuneIdx, tuneTotal = 0, 0, 0
-		for q := 0; q < cfg.Queries; q++ {
-			p, _ := sampler.Query(qrng)
-			c, err := dist.Access(p, qrng.Float64()*float64(dist.CycleLen()))
-			if err != nil {
-				return nil, err
+		distCycle := float64(dist.CycleLen())
+		if err := forEachShard(cfg.Workers, q, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				sq := &streams.idx[i]
+				c, err := dist.Access(sq.p, sq.u*distCycle)
+				if err != nil {
+					return err
+				}
+				costs[i] = accessCost{lat: c.Latency, tuneIdx: int32(c.TuneIndex), tuneTotal: int32(c.TotalTuning())}
 			}
-			lat += c.Latency
-			tuneIdx += float64(c.TuneIndex)
-			tuneTotal += float64(c.TotalTuning())
+			return nil
+		}); err != nil {
+			return nil, err
 		}
+		lat, tuneIdx, tuneTotal = reduceCosts(costs)
 		out = append(out, distMeasurement(ds.Name, "D-tree (dist)", capacity,
 			dist.TotalIndexPackets(), dataPackets, dist.Segments(),
 			lat/qf, tuneIdx/qf, tuneTotal/qf, optLatency, noIdxTune))
 	}
 	return out, nil
+}
+
+// reduceCosts sums the per-query slots in query order (keeping the
+// floating-point reduction identical to a sequential run).
+func reduceCosts(costs []accessCost) (lat, tuneIdx, tuneTotal float64) {
+	for i := range costs {
+		lat += costs[i].lat
+		tuneIdx += float64(costs[i].tuneIdx)
+		tuneTotal += float64(costs[i].tuneTotal)
+	}
+	return lat, tuneIdx, tuneTotal
 }
 
 func distMeasurement(dsName, idxName string, capacity, idxPackets, dataPackets, m int,

@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"airindex/internal/geom"
+)
+
+// This file is the deterministic parallel execution layer of the
+// measurement harness. The paper's figures are Monte Carlo averages over
+// 100k-1M simulated queries per (dataset, capacity, index) cell; the
+// engine here shards that work across a worker pool while keeping the
+// output bit-identical to the original sequential implementation at any
+// worker count:
+//
+//  1. Query sampling consumes the cell's random stream strictly
+//     sequentially (drawQueries) — sampler draws are cheap and
+//     variable-length (rejection sampling), so splitting the *stream*
+//     would change the sampled queries. The expensive part, the index
+//     walks and protocol simulation (>90% of the cell's CPU), is what
+//     gets sharded.
+//  2. Each worker writes per-query costs into a slot indexed by query
+//     number, so no result depends on scheduling order.
+//  3. The final reduction sums those slots in query order on one
+//     goroutine — float addition is not associative, so a shard-order
+//     merge would already drift in the last bits.
+//
+// The equivalence is pinned by TestParallelMatchesLegacySequential and
+// TestRunDeterministicAcrossWorkers.
+
+// sampledQuery is one pre-drawn Monte Carlo query: the query point, the
+// region it must resolve to, and the raw uniform draw the protocol
+// simulation scales into a tune-in time (by the schedule's cycle length,
+// which differs per index).
+type sampledQuery struct {
+	p    geom.Point
+	u    float64
+	want int32
+}
+
+// drawQueries replays the exact sequential RNG stream the legacy engine
+// consumed: per query, the sampler's draws followed by one Float64.
+func drawQueries(sampler *Sampler, n int, seed int64) []sampledQuery {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]sampledQuery, n)
+	for i := range qs {
+		p, want := sampler.Query(rng)
+		qs[i] = sampledQuery{p: p, u: rng.Float64(), want: int32(want)}
+	}
+	return qs
+}
+
+// queryStreams bundles the two streams every measurement cell consumes:
+// the non-indexing baseline stream (cfg.Seed) and the per-index stream
+// (cfg.Seed + 1). Neither depends on the packet capacity, so one pre-draw
+// serves a whole capacity sweep.
+type queryStreams struct {
+	base []sampledQuery
+	idx  []sampledQuery
+}
+
+func newQueryStreams(sampler *Sampler, cfg Config) *queryStreams {
+	return &queryStreams{
+		base: drawQueries(sampler, cfg.Queries, cfg.Seed),
+		idx:  drawQueries(sampler, cfg.Queries, cfg.Seed+1),
+	}
+}
+
+// accessCost is the per-query result slot the reduction consumes. The
+// tuning counts are small integers (packets touched), so int32 keeps the
+// slot at 16 bytes; float64(int32) is exact, making the reduction
+// arithmetic identical to accumulating the simulator's ints directly.
+type accessCost struct {
+	lat       float64
+	tuneIdx   int32
+	tuneTotal int32
+}
+
+// intoLocator is the optional fast path of Index: locate with a reusable
+// trace buffer. Each shard holds one buffer for its whole query range, so
+// supporting indexes run the Monte Carlo loop without per-query
+// allocation.
+type intoLocator interface {
+	LocateInto(p geom.Point, trace []int) (int, []int)
+}
+
+// workerCount resolves the configured worker count (<= 0 means one worker
+// per available CPU).
+func workerCount(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// forEachShard partitions [0, n) into contiguous shards and runs fn over
+// every shard on `workers` goroutines (inline when one worker suffices).
+// Shard boundaries are a pure function of n and the worker count, but
+// callers must not let results depend on them: fn writes into
+// position-indexed slots, which is what makes the output independent of
+// scheduling. On error every shard still runs (errors are rare, terminal
+// conditions); the error from the lowest-numbered shard wins, so the
+// failure surfaced is deterministic too.
+func forEachShard(workers, n int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = workerCount(workers)
+	const minShard = 512
+	shard := (n + workers*8 - 1) / (workers * 8)
+	if shard < minShard {
+		shard = minShard
+	}
+	if workers == 1 || n <= shard {
+		for lo := 0; lo < n; lo += shard {
+			if err := fn(lo, min(lo+shard, n)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstLo  int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(shard))) - shard
+				if lo >= n {
+					return
+				}
+				if err := fn(lo, min(lo+shard, n)); err != nil {
+					mu.Lock()
+					if firstErr == nil || lo < firstLo {
+						firstErr, firstLo = err, lo
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"airindex/internal/broadcast"
+	"airindex/internal/dataset"
+	"airindex/internal/wire"
+)
+
+// legacyMeasureIndexes is a verbatim port of the original sequential
+// measurement loop (pre worker-pool engine). It is the reference the
+// parallel engine must match bit-for-bit: same RNG stream consumption,
+// same floating-point accumulation order.
+func legacyMeasureIndexes(b *Built, sampler *Sampler, indexes []Index, capacity int, cfg Config) ([]Measurement, error) {
+	params := wire.DTreeParams(capacity)
+	bucketPackets := params.DataBucketPackets()
+	n := b.Sub.N()
+	dataPackets := n * bucketPackets
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var noIdxLat, noIdxTune float64
+	for q := 0; q < cfg.Queries; q++ {
+		_, want := sampler.Query(rng)
+		t := rng.Float64() * float64(dataPackets)
+		c := broadcast.NoIndexAccess(t, n, bucketPackets, want)
+		noIdxLat += c.Latency
+		noIdxTune += float64(c.TotalTuning())
+	}
+	noIdxLat /= float64(cfg.Queries)
+	noIdxTune /= float64(cfg.Queries)
+	optLatency := float64(dataPackets) / 2
+
+	var out []Measurement
+	for _, idx := range indexes {
+		m := broadcast.OptimalM(idx.IndexPackets(), dataPackets)
+		sched, err := broadcast.NewSchedule(idx.IndexPackets(), n, bucketPackets, m)
+		if err != nil {
+			return nil, err
+		}
+		qrng := rand.New(rand.NewSource(cfg.Seed + 1))
+		var lat, tuneIdx, tuneTotal float64
+		for q := 0; q < cfg.Queries; q++ {
+			p, _ := sampler.Query(qrng)
+			bucket, trace := idx.Locate(p)
+			if bucket < 0 {
+				return nil, fmt.Errorf("query %v unresolved", p)
+			}
+			t := qrng.Float64() * float64(sched.CycleLen())
+			c, err := sched.Access(t, broadcast.SearchTrace{Bucket: bucket, IndexOffsets: trace})
+			if err != nil {
+				return nil, err
+			}
+			lat += c.Latency
+			tuneIdx += float64(c.TuneIndex)
+			tuneTotal += float64(c.TotalTuning())
+		}
+		qf := float64(cfg.Queries)
+		lat, tuneIdx, tuneTotal = lat/qf, tuneIdx/qf, tuneTotal/qf
+
+		overhead := lat - optLatency
+		eff := 0.0
+		if overhead > 0 {
+			eff = (noIdxTune - tuneTotal) / overhead
+		}
+		out = append(out, Measurement{
+			Dataset:      b.Data.Name,
+			Index:        idx.Name(),
+			Packet:       capacity,
+			IndexPackets: idx.IndexPackets(),
+			IndexBytes:   idx.SizeBytes(),
+			DataPackets:  dataPackets,
+			M:            sched.M,
+			AvgLatency:   lat,
+			NormLatency:  lat / optLatency,
+			AvgTuneIndex: tuneIdx,
+			AvgTuneTotal: tuneTotal,
+			NormIndexSize: float64(idx.IndexPackets()*capacity) /
+				float64(dataPackets*capacity),
+			Efficiency:     eff,
+			NoIndexLatency: noIdxLat,
+			NoIndexTuning:  noIdxTune,
+		})
+	}
+	return out, nil
+}
+
+func requireEqualMeasurements(t *testing.T, want, got []Measurement, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d measurements, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: measurement %d differs:\n got %+v\nwant %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelMatchesLegacySequential pins the engine's core guarantee:
+// sharded simulation with position-indexed slots and in-query-order
+// reduction reproduces the original sequential loop exactly — not within
+// epsilon, but ==.
+func TestParallelMatchesLegacySequential(t *testing.T) {
+	b, err := Build(dataset.Uniform(120, 5), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Capacities: []int{128, 512}, Queries: 4000, Seed: 7}.withDefaults()
+
+	for _, capacity := range cfg.Capacities {
+		indexes, err := b.Indexes(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler := NewSampler(b.Sub)
+		want, err := legacyMeasureIndexes(b, sampler, indexes, capacity, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			c := cfg
+			c.Workers = workers
+			got, err := measureIndexes(b, NewSampler(b.Sub), indexes, capacity, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEqualMeasurements(t, want, got,
+				fmt.Sprintf("capacity %d, workers %d", capacity, workers))
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers asserts the full sweep (parallel
+// capacities on top of sharded cells) is bit-identical at any worker
+// count; workers=8 also exercises the engine under the race detector.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	b, err := Build(dataset.Uniform(150, 11), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Capacities: []int{64, 256, 1024}, Queries: 3000, Seed: 7, Workers: 1}
+	want, err := Run(b, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(base.Capacities)*4 {
+		t.Fatalf("expected %d measurements, got %d", len(base.Capacities)*4, len(want))
+	}
+	for _, workers := range []int{3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Run(b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualMeasurements(t, want, got, fmt.Sprintf("workers %d", workers))
+	}
+}
+
+// TestDistributedDeterministicAcrossWorkers extends the guarantee to the
+// distributed-indexing comparison.
+func TestDistributedDeterministicAcrossWorkers(t *testing.T) {
+	ds := dataset.Uniform(80, 3)
+	base := Config{Capacities: []int{256}, Queries: 2000, Seed: 7, Workers: 1}
+	want, err := RunDistributed(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Workers = 8
+	got, err := RunDistributed(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualMeasurements(t, want, got, "workers 8")
+}
+
+// TestIndexesCached asserts repeated Indexes calls share one build.
+func TestIndexesCached(t *testing.T) {
+	b, err := Build(dataset.Uniform(60, 2), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := b.Indexes(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := b.Indexes(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) == 0 || &a1[0] != &a2[0] {
+		t.Fatal("Indexes(256) did not return the cached slice")
+	}
+}

@@ -2,7 +2,7 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
+	"sync"
 
 	"airindex/internal/broadcast"
 	"airindex/internal/dataset"
@@ -22,6 +22,11 @@ type Config struct {
 	// ByArea samples queries uniformly over the service area instead of
 	// uniformly over data regions.
 	ByArea bool
+	// Workers caps the simulation worker pool per cell (<= 0 means one
+	// worker per available CPU). Results are bit-identical at any worker
+	// count: the query stream is always drawn sequentially and per-query
+	// costs are reduced in query order.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,51 +65,80 @@ type Measurement struct {
 }
 
 // Run measures every index over one built dataset across the configured
-// packet capacities.
+// packet capacities. The query streams are drawn once (they do not depend
+// on the capacity) and the capacities run concurrently, each cell sharding
+// its Monte Carlo queries across cfg.Workers goroutines; see parallel.go
+// for why the output is nevertheless bit-identical to a sequential run.
 func Run(b *Built, cfg Config) ([]Measurement, error) {
 	cfg = cfg.withDefaults()
 	sampler := NewSampler(b.Sub)
 	sampler.ByArea = cfg.ByArea
+	streams := newQueryStreams(sampler, cfg)
+
+	results := make([][]Measurement, len(cfg.Capacities))
+	errs := make([]error, len(cfg.Capacities))
+	var wg sync.WaitGroup
+	for i, capacity := range cfg.Capacities {
+		wg.Add(1)
+		go func(i, capacity int) {
+			defer wg.Done()
+			indexes, err := b.Indexes(capacity)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = measureIndexesWith(b, streams, indexes, capacity, cfg)
+		}(i, capacity)
+	}
+	wg.Wait()
+
 	var out []Measurement
-	for _, capacity := range cfg.Capacities {
-		ms, err := runCapacity(b, sampler, capacity, cfg)
-		if err != nil {
-			return nil, err
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		out = append(out, ms...)
+		out = append(out, results[i]...)
 	}
 	return out, nil
 }
 
-func runCapacity(b *Built, sampler *Sampler, capacity int, cfg Config) ([]Measurement, error) {
-	indexes, err := b.Indexes(capacity)
-	if err != nil {
-		return nil, err
-	}
-	return measureIndexes(b, sampler, indexes, capacity, cfg)
+// measureIndexes runs the Monte Carlo protocol simulation for a set of
+// already-built indexes at one packet capacity, drawing the query streams
+// itself (callers sweeping capacities should prefer Run, which draws them
+// once).
+func measureIndexes(b *Built, sampler *Sampler, indexes []Index, capacity int, cfg Config) ([]Measurement, error) {
+	return measureIndexesWith(b, newQueryStreams(sampler, cfg), indexes, capacity, cfg)
 }
 
-// measureIndexes runs the Monte Carlo protocol simulation for a set of
-// already-built indexes at one packet capacity.
-func measureIndexes(b *Built, sampler *Sampler, indexes []Index, capacity int, cfg Config) ([]Measurement, error) {
+// measureIndexesWith simulates one (dataset, capacity) cell over
+// pre-drawn query streams.
+func measureIndexesWith(b *Built, s *queryStreams, indexes []Index, capacity int, cfg Config) ([]Measurement, error) {
 	params := wire.DTreeParams(capacity) // data-side parameters are shared
 	bucketPackets := params.DataBucketPackets()
 	n := b.Sub.N()
 	dataPackets := n * bucketPackets
+	q := cfg.Queries
 
 	// Non-indexing baseline (shared by every index at this capacity).
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var noIdxLat, noIdxTune float64
-	for q := 0; q < cfg.Queries; q++ {
-		p, want := sampler.Query(rng)
-		_ = p
-		t := rng.Float64() * float64(dataPackets)
-		c := broadcast.NoIndexAccess(t, n, bucketPackets, want)
-		noIdxLat += c.Latency
-		noIdxTune += float64(c.TotalTuning())
+	costs := make([]accessCost, q)
+	if err := forEachShard(cfg.Workers, q, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			sq := &s.base[i]
+			t := sq.u * float64(dataPackets)
+			c := broadcast.NoIndexAccess(t, n, bucketPackets, int(sq.want))
+			costs[i] = accessCost{lat: c.Latency, tuneTotal: int32(c.TotalTuning())}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	noIdxLat /= float64(cfg.Queries)
-	noIdxTune /= float64(cfg.Queries)
+	var noIdxLat, noIdxTune float64
+	for i := range costs {
+		noIdxLat += costs[i].lat
+		noIdxTune += float64(costs[i].tuneTotal)
+	}
+	noIdxLat /= float64(q)
+	noIdxTune /= float64(q)
 	optLatency := float64(dataPackets) / 2
 
 	var out []Measurement
@@ -114,24 +148,41 @@ func measureIndexes(b *Built, sampler *Sampler, indexes []Index, capacity int, c
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s(%d): %w", b.Data.Name, idx.Name(), capacity, err)
 		}
-		qrng := rand.New(rand.NewSource(cfg.Seed + 1))
-		var lat, tuneIdx, tuneTotal float64
-		for q := 0; q < cfg.Queries; q++ {
-			p, _ := sampler.Query(qrng)
-			bucket, trace := idx.Locate(p)
-			if bucket < 0 {
-				return nil, fmt.Errorf("%s/%s(%d): query %v unresolved", b.Data.Name, idx.Name(), capacity, p)
+		cycleLen := float64(sched.CycleLen())
+		il, fast := idx.(intoLocator)
+		if err := forEachShard(cfg.Workers, q, func(lo, hi int) error {
+			var buf []int // per-shard trace scratch, reused across queries
+			for i := lo; i < hi; i++ {
+				sq := &s.idx[i]
+				var bucket int
+				var trace []int
+				if fast {
+					bucket, trace = il.LocateInto(sq.p, buf)
+					buf = trace
+				} else {
+					bucket, trace = idx.Locate(sq.p)
+				}
+				if bucket < 0 {
+					return fmt.Errorf("%s/%s(%d): query %v unresolved", b.Data.Name, idx.Name(), capacity, sq.p)
+				}
+				t := sq.u * cycleLen
+				c, err := sched.Access(t, broadcast.SearchTrace{Bucket: bucket, IndexOffsets: trace})
+				if err != nil {
+					return fmt.Errorf("%s/%s(%d): %w", b.Data.Name, idx.Name(), capacity, err)
+				}
+				costs[i] = accessCost{lat: c.Latency, tuneIdx: int32(c.TuneIndex), tuneTotal: int32(c.TotalTuning())}
 			}
-			t := qrng.Float64() * float64(sched.CycleLen())
-			c, err := sched.Access(t, broadcast.SearchTrace{Bucket: bucket, IndexOffsets: trace})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s(%d): %w", b.Data.Name, idx.Name(), capacity, err)
-			}
-			lat += c.Latency
-			tuneIdx += float64(c.TuneIndex)
-			tuneTotal += float64(c.TotalTuning())
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		qf := float64(cfg.Queries)
+		var lat, tuneIdx, tuneTotal float64
+		for i := range costs {
+			lat += costs[i].lat
+			tuneIdx += float64(costs[i].tuneIdx)
+			tuneTotal += float64(costs[i].tuneTotal)
+		}
+		qf := float64(q)
 		lat, tuneIdx, tuneTotal = lat/qf, tuneIdx/qf, tuneTotal/qf
 
 		overhead := lat - optLatency
@@ -162,23 +213,34 @@ func measureIndexes(b *Built, sampler *Sampler, indexes []Index, capacity int, c
 }
 
 // RunAll builds and measures a set of datasets (defaults to the paper's
-// three when ds is nil).
+// three when ds is nil), datasets in parallel.
 func RunAll(ds []dataset.Dataset, cfg Config) ([]Measurement, error) {
 	if ds == nil {
 		ds = dataset.Paper()
 	}
 	cfg = cfg.withDefaults()
+	results := make([][]Measurement, len(ds))
+	errs := make([]error, len(ds))
+	var wg sync.WaitGroup
+	for i, d := range ds {
+		wg.Add(1)
+		go func(i int, d dataset.Dataset) {
+			defer wg.Done()
+			b, err := Build(d, cfg.Seed)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = Run(b, cfg)
+		}(i, d)
+	}
+	wg.Wait()
 	var out []Measurement
-	for _, d := range ds {
-		b, err := Build(d, cfg.Seed)
-		if err != nil {
-			return nil, err
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		ms, err := Run(b, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ms...)
+		out = append(out, results[i]...)
 	}
 	return out, nil
 }

@@ -132,38 +132,49 @@ func (a *AirIndex) SizeBytes() int {
 // at leaves, fetches candidate shape nodes for exact containment tests,
 // terminating at the first hit.
 func (a *AirIndex) Locate(p geom.Point) (int, []int) {
+	return a.LocateInto(p, nil)
+}
+
+// LocateInto is Locate appending the downloaded packet offsets into trace
+// (reset to length zero first), so Monte Carlo drivers can reuse one
+// buffer across millions of queries without per-query allocation. The
+// returned slice aliases trace's backing array when capacity suffices.
+func (a *AirIndex) LocateInto(p geom.Point, trace []int) (int, []int) {
 	if a.sectioned {
 		return a.locateSectioned(p)
 	}
-	seen := make(map[int]bool, 8)
-	var trace []int
-	read := func(pk int) {
-		if !seen[pk] {
-			seen[pk] = true
-			trace = append(trace, pk)
+	w := airWalker{a: a, p: p, trace: trace[:0]}
+	id := w.walk(a.Tree.root)
+	return id, w.trace
+}
+
+// airWalker carries the depth-first search state so the recursive walk
+// appends to one trace without boxing it in a closure.
+type airWalker struct {
+	a     *AirIndex
+	p     geom.Point
+	trace []int
+}
+
+func (w *airWalker) walk(n *node) int {
+	a := w.a
+	w.trace = wire.AppendTraceOnce(w.trace, a.nodePacket[n])
+	for _, e := range n.entries {
+		if !e.Rect.Contains(w.p) {
+			continue
+		}
+		if n.isLeaf() {
+			for _, pk := range a.shapePackets[e.Data] {
+				w.trace = wire.AppendTraceOnce(w.trace, pk)
+			}
+			if a.Sub.Regions[e.Data].Poly.Contains(w.p) {
+				return e.Data
+			}
+			continue
+		}
+		if got := w.walk(e.Child); got >= 0 {
+			return got
 		}
 	}
-	var walk func(n *node) int
-	walk = func(n *node) int {
-		read(a.nodePacket[n])
-		for _, e := range n.entries {
-			if !e.Rect.Contains(p) {
-				continue
-			}
-			if n.isLeaf() {
-				for _, pk := range a.shapePackets[e.Data] {
-					read(pk)
-				}
-				if a.Sub.Regions[e.Data].Poly.Contains(p) {
-					return e.Data
-				}
-				continue
-			}
-			if got := walk(e.Child); got >= 0 {
-				return got
-			}
-		}
-		return -1
-	}
-	return walk(a.Tree.root), trace
+	return -1
 }

@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"bufio"
+	"io"
+	"testing"
+
+	"airindex/internal/channel"
+	"airindex/internal/testutil"
+)
+
+func benchProgram(b *testing.B, n, capacity int) *Program {
+	b.Helper()
+	sub, _ := testutil.RandomVoronoi(b, n, int64(n)*7+3)
+	prog, err := NewDTreeProgram(sub, capacity, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkTransmitPerfectChannel measures the per-frame cost of the
+// transmit hot path with no fault middleware — the path every connection
+// of the live server runs for every slot. bytes/op is the wire rate;
+// allocs/op is the regression guard (0 with the rendered-cycle cache).
+func BenchmarkTransmitPerfectChannel(b *testing.B) {
+	prog := benchProgram(b, 200, 256)
+	tx, err := prog.transmitter(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(io.Discard, txBufSize)
+	b.SetBytes(int64(headerSize + prog.Capacity))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.transmitSlot(bw, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bw.Flush() //nolint:errcheck
+}
+
+// BenchmarkTransmitLossyChannel measures the copy-on-corrupt path: every
+// frame is copied into pooled scratch so the fault middleware can mutate
+// bytes without touching the shared rendered cycle.
+func BenchmarkTransmitLossyChannel(b *testing.B) {
+	prog := benchProgram(b, 200, 256)
+	spec := channel.Spec{Loss: 0.05, Burst: 4, Corrupt: 0.01, Seed: 1}
+	stats := &channel.Stats{}
+	tx, err := prog.transmitter(spec.Factory(stats)())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(io.Discard, txBufSize)
+	b.SetBytes(int64(headerSize + prog.Capacity))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.transmitSlot(bw, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bw.Flush() //nolint:errcheck
+}
+
+// BenchmarkRenderCycle measures the one-time cost of rendering a full
+// broadcast cycle (the table the zero-allocation path serves from).
+func BenchmarkRenderCycle(b *testing.B) {
+	prog := benchProgram(b, 200, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc, err := renderCycle(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rc.cycleLen() == 0 {
+			b.Fatal("empty cycle")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"sync"
+
+	"airindex/internal/channel"
+)
+
+// The broadcast content is periodic: apart from the absolute slot number in
+// the header, the frame transmitted at slot s is identical to the frame at
+// slot s % cycleLen. renderedCycle exploits that by rendering every frame
+// of one cycle exactly once — header template (slot field zero-adjusted at
+// transmit time), payload bytes, and payload CRC — so the per-frame work of
+// the serving hot path collapses to "patch 4 bytes, write two slices".
+// The table is immutable after renderCycle returns and is shared read-only
+// by every connection goroutine.
+
+// renderedFrame is one precomputed slot of the cycle.
+type renderedFrame struct {
+	hdr     [headerSize]byte // marshaled header with Slot = cycle offset
+	payload []byte           // shared read-only payload bytes (CRC already in hdr)
+}
+
+// renderedCycle is the slot -> frame table for one Program.
+type renderedCycle struct {
+	frames    []renderedFrame
+	frameSize int // headerSize + capacity
+}
+
+func (rc *renderedCycle) cycleLen() int { return len(rc.frames) }
+
+// sizeBytes reports the memory the rendered table pins, for startup logs.
+func (rc *renderedCycle) sizeBytes() int { return len(rc.frames) * rc.frameSize }
+
+// renderCycle renders every slot of one broadcast cycle through the same
+// frameAt + marshalFrame pipeline the per-frame path used, guaranteeing
+// byte-identical wire output (pinned by TestRenderedCycleMatchesFrameAt).
+func renderCycle(p *Program) (*renderedCycle, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cycle := p.Sched.CycleLen()
+	rc := &renderedCycle{
+		frames:    make([]renderedFrame, cycle),
+		frameSize: headerSize + p.Capacity,
+	}
+	for pos := 0; pos < cycle; pos++ {
+		h, payload := p.frameAt(pos)
+		h.CRC = Checksum(payload)
+		buf, err := marshalFrame(h, payload)
+		if err != nil {
+			return nil, err
+		}
+		f := &rc.frames[pos]
+		copy(f.hdr[:], buf[:headerSize])
+		f.payload = buf[headerSize:]
+	}
+	return rc, nil
+}
+
+// framePool holds full-frame scratch buffers for the copy-on-corrupt path:
+// the fault middleware mutates frame bytes in place (bit corruption), so a
+// connection with a fault channel must copy the shared rendered frame into
+// private scratch before handing it over. Perfect-channel connections never
+// touch the pool.
+var framePool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
+// transmitter is one connection's view of the rendered broadcast: the
+// shared frame table, the connection's optional fault channel, and a
+// persistent header scratch so the perfect-channel path allocates nothing
+// per frame.
+type transmitter struct {
+	rc  *renderedCycle
+	ch  *channel.Channel
+	hdr [headerSize]byte
+}
+
+// transmitter builds the per-connection transmit state, rendering the
+// cycle on first use.
+func (p *Program) transmitter(ch *channel.Channel) (*transmitter, error) {
+	rc, err := p.Rendered()
+	if err != nil {
+		return nil, err
+	}
+	return &transmitter{rc: rc, ch: ch}, nil
+}
+
+// transmitSlot writes the frame for one absolute slot. The perfect-channel
+// path patches the slot number into the connection's header scratch and
+// writes the shared payload without copying or allocating; the fault path
+// assembles the frame in pooled scratch (the middleware may flip payload
+// bits), forwards it through the channel, and writes it unless dropped. A
+// dropped frame writes nothing: its slot elapses silently and the next
+// frame's slot number reveals the gap to the receiver.
+func (t *transmitter) transmitSlot(w *bufio.Writer, slot int) error {
+	f := &t.rc.frames[slot%len(t.rc.frames)]
+	if t.ch == nil {
+		copy(t.hdr[:], f.hdr[:])
+		binary.LittleEndian.PutUint32(t.hdr[4:], uint32(slot))
+		if _, err := w.Write(t.hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(f.payload)
+		return err
+	}
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], f.hdr[:]...)
+	buf = append(buf, f.payload...)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(slot))
+	var err error
+	if t.ch.Transmit(buf, headerSize) {
+		_, err = w.Write(buf)
+	}
+	*bp = buf
+	framePool.Put(bp)
+	return err
+}

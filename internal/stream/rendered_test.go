@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"airindex/internal/testutil"
+)
+
+// legacyTransmitSlot is the pre-rendered-cycle transmit path (render the
+// frame from scratch, stamp the checksum, marshal, write), kept here as the
+// reference the optimized path must match byte for byte.
+func legacyTransmitSlot(w io.Writer, p *Program, slot int) error {
+	h, payload := p.frameAt(slot)
+	h.CRC = Checksum(payload)
+	buf, err := marshalFrame(h, payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// TestRenderedCycleMatchesFrameAt pins the wire format: the rendered-cycle
+// transmit path must emit exactly the bytes the per-frame path emitted,
+// across more than one full cycle (absolute slot numbers beyond the cycle
+// length exercise the slot patching).
+func TestRenderedCycleMatchesFrameAt(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 40, 283)
+	prog, err := NewDTreeProgram(sub, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := prog.transmitter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := prog.Sched.CycleLen()
+	slots := 2*cycle + 7
+
+	var got bytes.Buffer
+	bw := bufio.NewWriterSize(&got, txBufSize)
+	for s := 0; s < slots; s++ {
+		if err := tx.transmitSlot(bw, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw.Flush() //nolint:errcheck
+
+	var want bytes.Buffer
+	for s := 0; s < slots; s++ {
+		if err := legacyTransmitSlot(&want, prog, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		for i := range want.Bytes() {
+			if got.Bytes()[i] != want.Bytes()[i] {
+				t.Fatalf("first divergence at byte %d (frame %d, offset %d): got %#x want %#x",
+					i, i/(headerSize+prog.Capacity), i%(headerSize+prog.Capacity),
+					got.Bytes()[i], want.Bytes()[i])
+			}
+		}
+		t.Fatalf("length mismatch: got %d want %d", got.Len(), want.Len())
+	}
+}
+
+// TestTransmitPerfectChannelZeroAllocs pins the tentpole property: once the
+// cycle is rendered, the perfect-channel transmit path performs zero heap
+// allocations per frame.
+func TestTransmitPerfectChannelZeroAllocs(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 40, 283)
+	prog, err := NewDTreeProgram(sub, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := prog.transmitter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(io.Discard, txBufSize)
+	slot := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		if err := tx.transmitSlot(bw, slot); err != nil {
+			t.Fatal(err)
+		}
+		slot++
+	})
+	if allocs != 0 {
+		t.Fatalf("perfect-channel transmitSlot allocates %.1f objects/frame, want 0", allocs)
+	}
+}
+
+// TestRenderedSize sanity-checks the startup diagnostic.
+func TestRenderedSize(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 20, 117)
+	prog, err := NewDTreeProgram(sub, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, size, err := prog.RenderedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != prog.Sched.CycleLen() {
+		t.Errorf("frames = %d, want cycle %d", frames, prog.Sched.CycleLen())
+	}
+	if want := frames * (headerSize + prog.Capacity); size != want {
+		t.Errorf("size = %d, want %d", size, want)
+	}
+}

@@ -13,6 +13,12 @@ import (
 	"airindex/internal/channel"
 )
 
+// txBufSize is the transmit write-buffer size shared by the live server
+// and Program.Transmit, so the loss experiments and the live server
+// measure the same I/O batching (one syscall per ~64 KB instead of per
+// frame).
+const txBufSize = 64 << 10
+
 // Program is the broadcast content: the encoded index packets, the (1, m)
 // schedule that orders them with the data, and the data payload source.
 type Program struct {
@@ -22,6 +28,31 @@ type Program struct {
 	// Data returns the payload of one packet of one bucket; nil payloads
 	// are zero-filled. Payloads shorter than Capacity are padded.
 	Data func(bucket, pkt int) []byte
+
+	renderOnce sync.Once
+	rendered   *renderedCycle
+	renderErr  error
+}
+
+// Rendered returns the program's immutable rendered cycle, building it on
+// first use. The table is safe for concurrent use by any number of
+// connections. Mutating Capacity, IndexPackets, Sched or Data after the
+// first transmission is not supported.
+func (p *Program) Rendered() (*renderedCycle, error) {
+	p.renderOnce.Do(func() {
+		p.rendered, p.renderErr = renderCycle(p)
+	})
+	return p.rendered, p.renderErr
+}
+
+// RenderedSize reports the rendered cycle's frame count and memory
+// footprint in bytes, rendering it on first use (startup diagnostics).
+func (p *Program) RenderedSize() (frames, bytes int, err error) {
+	rc, err := p.Rendered()
+	if err != nil {
+		return 0, 0, err
+	}
+	return rc.cycleLen(), rc.sizeBytes(), nil
 }
 
 // Validate checks internal consistency.
@@ -107,7 +138,7 @@ type Server struct {
 	// gap in the slot numbering, as on a real fading channel.
 	Channel func() *channel.Channel
 
-	slot   atomic.Int64
+	start  time.Time
 	closed atomic.Bool
 	wg     sync.WaitGroup
 
@@ -120,7 +151,21 @@ func NewServer(ln net.Listener, prog *Program) (*Server, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{prog: prog, ln: ln, conns: make(map[net.Conn]bool)}, nil
+	return &Server{prog: prog, ln: ln, start: time.Now(), conns: make(map[net.Conn]bool)}, nil
+}
+
+// currentSlot is the server's shared broadcast clock: the slot a radio
+// tuning in right now would first hear. It is derived from a single
+// monotonic source — wall time since the server started over SlotDuration —
+// so concurrent joiners agree on the channel position regardless of how far
+// individual connection goroutines have streamed ahead. Without real-time
+// pacing there is no meaningful shared position (every connection streams
+// at its own full speed), so joiners deterministically start at slot 0.
+func (s *Server) currentSlot() int {
+	if s.SlotDuration <= 0 {
+		return 0
+	}
+	return int(time.Since(s.start) / s.SlotDuration)
 }
 
 // Addr returns the listener address.
@@ -155,26 +200,32 @@ func (s *Server) Serve() error {
 }
 
 // streamTo broadcasts frames to one connection until it errors or the
-// server closes. Writes are buffered (one syscall per ~64 KB instead of per
-// frame); with real-time pacing every frame is flushed on its slot tick.
+// server closes. Frames come from the shared rendered cycle — the
+// perfect-channel path performs no per-frame allocation or copying beyond
+// the 20-byte header patch. Writes are buffered (one syscall per ~64 KB
+// instead of per frame); with real-time pacing every frame is flushed on
+// its slot tick.
 func (s *Server) streamTo(w io.Writer) {
 	var slot int
 	if s.StartSlot != nil {
 		slot = s.StartSlot()
 	} else {
-		slot = int(s.slot.Load())
+		slot = s.currentSlot()
 	}
 	var ch *channel.Channel
 	if s.Channel != nil {
 		ch = s.Channel()
 	}
-	bw := bufio.NewWriterSize(w, 64<<10)
+	tx, err := s.prog.transmitter(ch)
+	if err != nil {
+		return
+	}
+	bw := bufio.NewWriterSize(w, txBufSize)
 	for !s.closed.Load() {
-		if err := transmitSlot(bw, s.prog, slot, ch); err != nil {
+		if err := tx.transmitSlot(bw, slot); err != nil {
 			return
 		}
 		slot++
-		s.slot.Store(int64(slot)) // informational shared channel position
 		if s.SlotDuration > 0 {
 			if err := bw.Flush(); err != nil {
 				return
@@ -185,32 +236,18 @@ func (s *Server) streamTo(w io.Writer) {
 	bw.Flush() //nolint:errcheck
 }
 
-// transmitSlot renders the frame for one absolute slot, stamps its payload
-// checksum, passes it through the optional fault channel, and writes it.
-// A dropped frame writes nothing: its slot elapses silently and the next
-// frame's slot number reveals the gap to the receiver.
-func transmitSlot(w io.Writer, p *Program, slot int, ch *channel.Channel) error {
-	h, payload := p.frameAt(slot)
-	h.CRC = Checksum(payload)
-	buf, err := marshalFrame(h, payload)
-	if err != nil {
-		return err
-	}
-	if ch != nil && !ch.Transmit(buf, headerSize) {
-		return nil
-	}
-	_, err = w.Write(buf)
-	return err
-}
-
 // Transmit streams the program's frames to w, beginning at startSlot and
 // passing every frame through ch (nil = perfect channel), until the writer
 // fails — the listener-less analogue of Server for net.Pipe tests and the
 // loss-rate experiments. Closing the pipe is how callers stop it.
 func (p *Program) Transmit(w io.Writer, startSlot int, ch *channel.Channel) error {
-	bw := bufio.NewWriterSize(w, 32<<10)
+	tx, err := p.transmitter(ch)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, txBufSize)
 	for slot := startSlot; ; slot++ {
-		if err := transmitSlot(bw, p, slot, ch); err != nil {
+		if err := tx.transmitSlot(bw, slot); err != nil {
 			return err
 		}
 	}

@@ -165,12 +165,20 @@ func TestProgramValidate(t *testing.T) {
 	if err := prog.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := *prog
+	// Program embeds a sync.Once (rendered-cycle cache), so mutate fresh
+	// builds rather than copying.
+	bad, err := NewDTreeProgram(sub, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	bad.IndexPackets = bad.IndexPackets[:len(bad.IndexPackets)-1]
 	if err := bad.Validate(); err == nil {
 		t.Error("mismatched index packet count should fail")
 	}
-	bad2 := *prog
+	bad2, err := NewDTreeProgram(sub, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	bad2.Capacity = 0
 	if err := bad2.Validate(); err == nil {
 		t.Error("zero capacity should fail")

@@ -75,15 +75,19 @@ func (pg *Paged) IndexPackets() int { return pg.Layout.PacketCount }
 // Locate answers a point query over the paged trap-tree and returns the
 // region id with the packet offsets downloaded in access order.
 func (pg *Paged) Locate(p geom.Point) (int, []int) {
-	seen := make(map[int]bool, 16)
-	var trace []int
+	return pg.LocateInto(p, nil)
+}
+
+// LocateInto is Locate appending the downloaded packet offsets into trace
+// (reset to length zero first), so Monte Carlo drivers can reuse one
+// buffer across millions of queries without per-query allocation. The
+// returned slice aliases trace's backing array when capacity suffices.
+func (pg *Paged) LocateInto(p geom.Point, trace []int) (int, []int) {
+	trace = trace[:0]
 	n := pg.Map.root
 	for n.kind != leafNode {
 		for _, pk := range pg.Layout.PacketsOf[n.id] {
-			if !seen[pk] {
-				seen[pk] = true
-				trace = append(trace, pk)
-			}
+			trace = wire.AppendTraceOnce(trace, pk)
 		}
 		switch n.kind {
 		case xNode:

@@ -65,14 +65,18 @@ func (pg *Paged) IndexPackets() int { return pg.Layout.PacketCount }
 // geometry lives in the child), so the trace covers every child inspected
 // before the containing one is found.
 func (pg *Paged) Locate(p geom.Point) (int, []int) {
-	seen := make(map[int]bool, 16)
-	var trace []int
+	return pg.LocateInto(p, nil)
+}
+
+// LocateInto is Locate appending the downloaded packet offsets into trace
+// (reset to length zero first), so Monte Carlo drivers can reuse one
+// buffer across millions of queries without per-query allocation. The
+// returned slice aliases trace's backing array when capacity suffices.
+func (pg *Paged) LocateInto(p geom.Point, trace []int) (int, []int) {
+	trace = trace[:0]
 	read := func(n *Node) {
 		for _, pk := range pg.Layout.PacketsOf[n.ID] {
-			if !seen[pk] {
-				seen[pk] = true
-				trace = append(trace, pk)
-			}
+			trace = wire.AppendTraceOnce(trace, pk)
 		}
 	}
 	n := pg.Tree.Root

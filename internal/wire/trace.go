@@ -1,0 +1,16 @@
+package wire
+
+// AppendTraceOnce appends packet pk to an index-search trace unless it is
+// already present, preserving first-visit order. Traces are a handful of
+// packets long (the paper's tuning-time metric counts them), so a linear
+// scan over the slice beats the map-based dedup it replaces by a wide
+// margin on the Monte Carlo hot path and allocates nothing beyond the
+// slice's own growth.
+func AppendTraceOnce(trace []int, pk int) []int {
+	for _, t := range trace {
+		if t == pk {
+			return trace
+		}
+	}
+	return append(trace, pk)
+}
