@@ -8,7 +8,7 @@
 //	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache|loss] [-queries n]
 //	         [-capacities 64,128,...] [-datasets uniform,hospital,park]
 //	         [-theta 1.0] [-queries-by-area] [-csv] [-seed n] [-loss-queries n]
-//	         [-workers n] [-cpuprofile f] [-memprofile f]
+//	         [-workers n] [-buildworkers n] [-cpuprofile f] [-memprofile f]
 //
 // Besides the paper's figures, the extension experiments are available as
 // figures: "ablation" (D-tree design choices), "dist" ((1,m) vs distributed
@@ -44,6 +44,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "random seed")
 		lossQ      = flag.Int("loss-queries", 200, "streamed queries per cell of the loss sweep (with -figure loss)")
 		workers    = flag.Int("workers", 0, "simulation workers per cell (0 = one per CPU); results are identical at any count")
+		buildWkrs  = flag.Int("buildworkers", 0, "D-tree build workers (0 = one per CPU); the built tree is identical at any count")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -81,7 +82,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiment.Config{Capacities: caps, Queries: *queries, Seed: *seed, ByArea: *byArea, Workers: *workers}
+	cfg := experiment.Config{Capacities: caps, Queries: *queries, Seed: *seed, ByArea: *byArea, Workers: *workers, BuildWorkers: *buildWkrs}
 
 	if *figure == "dist" {
 		for _, d := range ds {

@@ -1,10 +1,16 @@
 // Command datasetgen emits the evaluation datasets (Figure 9): the site
 // coordinates and, optionally, the Voronoi valid scopes, as CSV for
-// external plotting.
+// external plotting. The large-* presets generate the reproducible big
+// datasets the build benchmarks and manual profiling use.
 //
 // Usage:
 //
-//	datasetgen -dataset uniform|hospital|park [-scopes] [-n 1000] [-seed 1000]
+//	datasetgen -dataset uniform|hospital|park|large-uniform|large-clustered
+//	           [-scopes] [-n 1000] [-seed 1000]
+//
+// -n scales the uniform and large-* datasets (0 keeps the preset default:
+// 1000 for uniform, 50000 for large-*); hospital and park are fixed at the
+// paper's cardinalities.
 package main
 
 import (
@@ -18,21 +24,29 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("dataset", "uniform", "uniform, hospital or park")
+		name   = flag.String("dataset", "uniform", "uniform, hospital, park, large-uniform or large-clustered")
 		scopes = flag.Bool("scopes", false, "emit Voronoi valid-scope polygons instead of sites")
-		n      = flag.Int("n", 1000, "site count (uniform only)")
-		seed   = flag.Int64("seed", 1000, "seed (uniform only)")
+		n      = flag.Int("n", 0, "site count for uniform and large-* (0 = preset default)")
+		seed   = flag.Int64("seed", 1000, "seed (uniform only; large-* presets pin their own)")
 	)
 	flag.Parse()
 
 	var ds dataset.Dataset
 	switch strings.ToLower(*name) {
 	case "uniform":
-		ds = dataset.Uniform(*n, *seed)
+		count := *n
+		if count <= 0 {
+			count = 1000
+		}
+		ds = dataset.Uniform(count, *seed)
 	case "hospital":
 		ds = dataset.Hospital()
 	case "park":
 		ds = dataset.Park()
+	case "large-uniform":
+		ds = dataset.LargeUniform(*n)
+	case "large-clustered":
+		ds = dataset.LargeClustered(*n)
 	default:
 		fmt.Fprintf(os.Stderr, "datasetgen: unknown dataset %q\n", *name)
 		os.Exit(1)

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"airindex/internal/dataset"
+	"airindex/internal/region"
+)
+
+// benchSubdivision derives the valid scopes of a uniform dataset once per
+// size; the Voronoi construction is setup cost, not part of the measured op.
+var benchSubs = map[int]*region.Subdivision{}
+
+func benchSubdivision(b *testing.B, n int) *region.Subdivision {
+	b.Helper()
+	if sub, ok := benchSubs[n]; ok {
+		return sub
+	}
+	sub, err := dataset.Uniform(n, int64(n)).Subdivision()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSubs[n] = sub
+	return sub
+}
+
+// BenchmarkBuildDTree measures D-tree construction alone (partition search
+// over a prebuilt subdivision) at the scaling tiers of the build pipeline.
+func BenchmarkBuildDTree(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("N=%dk", n/1000), func(b *testing.B) {
+			sub := benchSubdivision(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"airindex/internal/region"
 )
@@ -15,6 +18,8 @@ type buildOptions struct {
 	tieBreak      bool
 	pruneParallel bool
 	weights       []float64 // access frequencies; nil = cardinality balance
+	workers       int       // subtree worker pool size; <= 0 = one per CPU
+	perNodeSort   bool      // reference path: re-sort spans at every node
 }
 
 // BuildOption customizes D-tree construction.
@@ -54,15 +59,70 @@ func WithAccessWeights(weights []float64) BuildOption {
 	return func(o *buildOptions) { o.weights = weights }
 }
 
+// WithBuildWorkers bounds the subtree worker pool: above a size cutoff the
+// left and right subtrees of a node are built as independent tasks. The
+// resulting tree — node ids, partition choices, tie-breaks — is
+// bit-identical at any worker count (TestBuildDeterministicAcrossWorkers);
+// n <= 0 means one worker per available CPU, 1 forces a sequential build.
+func WithBuildWorkers(n int) BuildOption {
+	return func(o *buildOptions) { o.workers = n }
+}
+
+// withPerNodeSort selects the reference construction path that re-sorts the
+// region spans of every node from scratch instead of partitioning the
+// pre-sorted root orders down the tree. Only equivalence tests use it.
+func withPerNodeSort() BuildOption {
+	return func(o *buildOptions) { o.perNodeSort = true }
+}
+
+// parallelSpawnMin is the subspace size below which a subtree is always
+// built inline: small subtrees are cheaper than goroutine handoff.
+const parallelSpawnMin = 128
+
+// subset carries one node's region ids sorted by each enabled style key
+// (see keyIdx); every populated slot holds the same id set.
+type subset [4][]int32
+
+// keyIdx maps a (dimension, sort key) pair to its subset slot.
+func keyIdx(dim Dimension, sortByMax bool) int {
+	k := int(dim) * 2
+	if sortByMax {
+		k++
+	}
+	return k
+}
+
+// keyVal returns the sort key value of a span for a subset slot.
+func (r regionSpan) keyVal(k int) float64 {
+	dim := Dimension(k / 2)
+	if k%2 == 1 {
+		return r.canonMax(dim)
+	}
+	return r.canonMin(dim)
+}
+
+// buildScratch is the per-task membership marker used to partition sorted
+// id lists; the epoch stamp makes reuse O(1) instead of clearing.
+type buildScratch struct {
+	mark  []int32
+	epoch int32
+}
+
 type builder struct {
 	sub   *region.Subdivision
 	spans []regionSpan
 	opts  buildOptions
+	keys  []int         // enabled subset slots, in option order
+	sem   chan struct{} // spawn tokens; nil = sequential build
+	pool  sync.Pool     // of *buildScratch
 }
 
 // Build constructs the D-tree for a subdivision by recursively partitioning
 // the region set into complementary halves (Section 4.2). The resulting
-// tree is height-balanced with exactly two children per node.
+// tree is height-balanced with exactly two children per node. Each enabled
+// style key is sorted once up front and the orders are partitioned down the
+// tree, so no node re-sorts its spans; sibling subtrees build in parallel
+// on a bounded worker pool with bit-identical output at any worker count.
 func Build(sub *region.Subdivision, opts ...BuildOption) (*Tree, error) {
 	o := buildOptions{
 		dims:          []Dimension{DimY, DimX},
@@ -91,17 +151,36 @@ func Build(sub *region.Subdivision, opts ...BuildOption) (*Tree, error) {
 		bb := sub.Regions[i].Bounds()
 		b.spans[i] = regionSpan{id: i, minX: bb.MinX, maxX: bb.MaxX, minY: bb.MinY, maxY: bb.MaxY}
 	}
+	for _, dim := range o.dims {
+		for _, byMax := range o.sortKeys {
+			if k := keyIdx(dim, byMax); !containsInt(b.keys, k) {
+				b.keys = append(b.keys, k)
+			}
+		}
+	}
 
 	t := &Tree{Sub: sub, opts: o}
 	if sub.N() == 1 {
 		// Degenerate dataset: no partitions; Locate answers 0 directly.
 		return t, nil
 	}
-	ids := make([]int, sub.N())
-	for i := range ids {
-		ids[i] = i
+
+	var root subset
+	for _, k := range b.keys {
+		root[k] = b.sortedIDs(sub.N(), k)
 	}
-	ref, err := b.split(ids)
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		b.sem = make(chan struct{}, workers-1)
+	}
+	b.pool.New = func() interface{} { return &buildScratch{mark: make([]int32, sub.N())} }
+
+	sc := b.pool.Get().(*buildScratch)
+	ref, err := b.split(root, sc)
+	b.pool.Put(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -110,23 +189,80 @@ func Build(sub *region.Subdivision, opts ...BuildOption) (*Tree, error) {
 	return t, nil
 }
 
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedIDs returns all region ids ordered by (key value, id); the id
+// tie-break makes every order — and therefore the whole tree — a pure
+// function of the subdivision.
+func (b *builder) sortedIDs(n, k int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(x, y int) bool {
+		vx, vy := b.spans[ids[x]].keyVal(k), b.spans[ids[y]].keyVal(k)
+		if vx != vy {
+			return vx < vy
+		}
+		return ids[x] < ids[y]
+	})
+	return ids
+}
+
 // split recursively partitions the region set and returns a reference to
-// the subtree (or a data pointer for a single region).
-func (b *builder) split(ids []int) (ChildRef, error) {
+// the subtree (or a data pointer for a single region). Sibling subtrees may
+// build concurrently; nothing they compute depends on scheduling, so the
+// result is identical to the sequential recursion.
+func (b *builder) split(sub subset, sc *buildScratch) (ChildRef, error) {
+	ids := sub[b.keys[0]]
 	if len(ids) == 1 {
-		return ChildRef{Data: ids[0]}, nil
+		return ChildRef{Data: int(ids[0])}, nil
 	}
-	cand, err := b.choosePartition(ids)
+	cand, err := b.choosePartition(sub)
 	if err != nil {
 		return ChildRef{}, err
 	}
-	left, err := b.split(cand.left)
-	if err != nil {
-		return ChildRef{}, err
+	leftSub, rightSub := b.partitionSubset(sub, cand.left, sc)
+
+	var left, right ChildRef
+	var lerr, rerr error
+	spawned := false
+	if b.sem != nil && len(ids) >= parallelSpawnMin {
+		select {
+		case b.sem <- struct{}{}:
+			spawned = true
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-b.sem }()
+				lsc := b.pool.Get().(*buildScratch)
+				left, lerr = b.split(leftSub, lsc)
+				b.pool.Put(lsc)
+			}()
+			right, rerr = b.split(rightSub, sc)
+			wg.Wait()
+		default:
+		}
 	}
-	right, err := b.split(cand.right)
-	if err != nil {
-		return ChildRef{}, err
+	if !spawned {
+		left, lerr = b.split(leftSub, sc)
+		if lerr == nil {
+			right, rerr = b.split(rightSub, sc)
+		}
+	}
+	if lerr != nil {
+		return ChildRef{}, lerr
+	}
+	if rerr != nil {
+		return ChildRef{}, rerr
 	}
 	return ChildRef{Node: &Node{
 		Dim:        cand.style.dim,
@@ -140,6 +276,32 @@ func (b *builder) split(ids []int) (ChildRef, error) {
 		NumRegions: len(ids),
 		InterProb:  cand.interProb,
 	}}, nil
+}
+
+// partitionSubset splits every enabled sorted order into the ids of the
+// chosen left subspace and the rest, preserving relative order — the
+// pre-sorted orders flow down the tree instead of being rebuilt per node.
+// The scratch stays usable by the caller afterwards.
+func (b *builder) partitionSubset(sub subset, left []int, sc *buildScratch) (ls, rs subset) {
+	sc.epoch++
+	e := sc.epoch
+	for _, id := range left {
+		sc.mark[id] = e
+	}
+	for _, k := range b.keys {
+		src := sub[k]
+		l := make([]int32, 0, len(left))
+		r := make([]int32, 0, len(src)-len(left))
+		for _, id := range src {
+			if sc.mark[id] == e {
+				l = append(l, id)
+			} else {
+				r = append(r, id)
+			}
+		}
+		ls[k], rs[k] = l, r
+	}
+	return ls, rs
 }
 
 // assignIDs numbers nodes in breadth-first order and fills Tree.Nodes; the

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"airindex/internal/testutil"
+)
+
+// TestBuildDeterministicAcrossWorkers pins the hard requirement on the
+// parallel builder: node ids, partition choices and tie-breaks — the whole
+// marshaled tree — are bit-identical at any worker count.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	for _, n := range []int{2, 3, 17, 150, 400} {
+		sub, _ := testutil.RandomVoronoi(t, n, int64(n))
+		var want []byte
+		for _, workers := range []int{1, 4, 8} {
+			tree, err := Build(sub, WithBuildWorkers(workers))
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			data, err := tree.Marshal()
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: marshal: %v", n, workers, err)
+			}
+			if want == nil {
+				want = data
+				continue
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("n=%d: tree at workers=%d differs from workers=1", n, workers)
+			}
+		}
+	}
+}
+
+// TestPresortedOrdersMatchPerNodeSort verifies the pre-sorted span orders
+// partitioned down the tree reproduce, at every node, exactly what a fresh
+// per-node (key, id) sort computes — across default, single-style,
+// no-tie-break and access-weighted builds, at several worker counts.
+func TestPresortedOrdersMatchPerNodeSort(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 230, 9)
+	weights := make([]float64, sub.N())
+	for i := range weights {
+		weights[i] = float64((i*2654435761)%97) + 0.5
+	}
+	variants := []struct {
+		name string
+		opts []BuildOption
+	}{
+		{"default", nil},
+		{"single-style", []BuildOption{WithSingleStyle(DimX, true)}},
+		{"no-tie-break", []BuildOption{WithoutTieBreak()}},
+		{"weighted", []BuildOption{WithAccessWeights(weights)}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			ref, err := Build(sub, append([]BuildOption{withPerNodeSort(), WithBuildWorkers(1)}, v.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4, 8} {
+				tree, err := Build(sub, append([]BuildOption{WithBuildWorkers(workers)}, v.opts...)...)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got, err := tree.Marshal()
+				if err != nil {
+					t.Fatalf("workers=%d: marshal: %v", workers, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("workers=%d: fast path differs from per-node-sort reference", workers)
+				}
+			}
+		})
+	}
+}

@@ -52,61 +52,52 @@ func (r regionSpan) canonMax(d Dimension) float64 {
 	return r.maxX
 }
 
-// evaluate runs Algorithm 1 (PartitionSize) for one style over the given
-// region ids of the current space.
-func (b *builder) evaluate(ids []int, st style) (candidate, error) {
-	spans := make([]regionSpan, len(ids))
-	for i, id := range ids {
-		spans[i] = b.spans[id]
-	}
-	key := func(r regionSpan) float64 {
-		if st.sortByMax {
-			return r.canonMax(st.dim)
-		}
-		return r.canonMin(st.dim)
-	}
-	sort.SliceStable(spans, func(i, j int) bool { return key(spans[i]) < key(spans[j]) })
-
+// evaluate runs Algorithm 1 (PartitionSize) for one style over the current
+// space, whose region ids arrive already sorted by the style's key (with
+// ids breaking ties) — either propagated down from the root orders or
+// re-sorted by the reference path.
+func (b *builder) evaluate(sorted []int32, st style) (candidate, error) {
+	n := len(sorted)
 	k := st.leftCount
 	if k == weightedSplit {
 		// Access-weighted build: cut at the weighted median of the sorted
 		// order so both subspaces carry about half the query mass.
 		var total float64
-		for _, sp := range spans {
-			total += b.opts.weights[sp.id]
+		for _, id := range sorted {
+			total += b.opts.weights[id]
 		}
 		var acc float64
-		k = len(spans) - 1
-		for i, sp := range spans[:len(spans)-1] {
-			acc += b.opts.weights[sp.id]
+		k = n - 1
+		for i, id := range sorted[:n-1] {
+			acc += b.opts.weights[id]
 			if acc >= total/2 {
 				k = i + 1
 				break
 			}
 		}
 	}
-	if k <= 0 || k >= len(ids) {
-		return candidate{}, fmt.Errorf("core: left count %d out of range for %d regions", k, len(ids))
+	if k <= 0 || k >= n {
+		return candidate{}, fmt.Errorf("core: left count %d out of range for %d regions", k, n)
 	}
 	left := make([]int, 0, k)
-	right := make([]int, 0, len(ids)-k)
-	for i, sp := range spans {
+	right := make([]int, 0, n-k)
+	for i, id := range sorted {
 		if i < k {
-			left = append(left, sp.id)
+			left = append(left, int(id))
 		} else {
-			right = append(right, sp.id)
+			right = append(right, int(id))
 		}
 	}
 
 	// right_lmc: canonical leftmost coordinate of the righthand subspace;
 	// left_rmc: canonical rightmost coordinate of the lefthand subspace.
 	cutLo := math.Inf(1)
-	for _, sp := range spans[k:] {
-		cutLo = math.Min(cutLo, sp.canonMin(st.dim))
+	for _, id := range sorted[k:] {
+		cutLo = math.Min(cutLo, b.spans[id].canonMin(st.dim))
 	}
 	cutHi := math.Inf(-1)
-	for _, sp := range spans[:k] {
-		cutHi = math.Max(cutHi, sp.canonMax(st.dim))
+	for _, id := range sorted[:k] {
+		cutHi = math.Max(cutHi, b.spans[id].canonMax(st.dim))
 	}
 
 	// Construct the extent of the lefthand subspace and prune/truncate it
@@ -152,7 +143,7 @@ func (b *builder) evaluate(ids []int, st style) (candidate, error) {
 				pruned: true, // the whole extent fell left of the line
 			}, nil
 		}
-		return candidate{}, fmt.Errorf("core: empty partition for style %+v over %d regions", st, len(ids))
+		return candidate{}, fmt.Errorf("core: empty partition for style %+v over %d regions", st, n)
 	}
 
 	chains := geom.ChainSegments(kept)
@@ -171,7 +162,7 @@ func (b *builder) evaluate(ids []int, st style) (candidate, error) {
 		style: st, left: left, right: right,
 		polylines: polylines, points: points,
 		cutLo: cutLo, cutHi: cutHi,
-		interProb: b.interProb(ids, st.dim, cutLo, cutHi),
+		interProb: b.interProb(sorted, st.dim, cutLo, cutHi),
 		pruned:    pruned,
 		truncated: truncated,
 	}, nil
@@ -179,8 +170,10 @@ func (b *builder) evaluate(ids []int, st style) (candidate, error) {
 
 // interProb returns the probability (under uniform queries) that a query in
 // the current space falls in the interlocking band [cutLo, cutHi] shared by
-// both subspaces.
-func (b *builder) interProb(ids []int, d Dimension, cutLo, cutHi float64) float64 {
+// both subspaces. The ids arrive in the evaluated style's sort order, so
+// the float accumulation order — and the resulting probability down to the
+// last bit — is a pure function of the subdivision and style.
+func (b *builder) interProb(ids []int32, d Dimension, cutLo, cutHi float64) float64 {
 	if cutHi <= cutLo {
 		return 0
 	}
@@ -206,9 +199,10 @@ const weightedSplit = -1
 
 // choosePartition evaluates every enabled style for the current space and
 // picks the one with the smallest partition size, breaking ties by the
-// lowest inter-prob (Section 4.2).
-func (b *builder) choosePartition(ids []int) (candidate, error) {
-	n := len(ids)
+// lowest inter-prob (Section 4.2). Each style reads its pre-sorted id order
+// straight from the subset (the reference path re-sorts instead).
+func (b *builder) choosePartition(sub subset) (candidate, error) {
+	n := len(sub[b.keys[0]])
 	half := n / 2
 	counts := []int{half}
 	if n%2 == 1 {
@@ -230,7 +224,11 @@ func (b *builder) choosePartition(ids []int) (candidate, error) {
 	found := false
 	var firstErr error
 	for _, st := range styles {
-		cand, err := b.evaluate(ids, st)
+		sorted := sub[keyIdx(st.dim, st.sortByMax)]
+		if b.opts.perNodeSort {
+			sorted = b.resort(sub[b.keys[0]], st)
+		}
+		cand, err := b.evaluate(sorted, st)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -250,4 +248,20 @@ func (b *builder) choosePartition(ids []int) (candidate, error) {
 		return candidate{}, fmt.Errorf("core: no valid partition for %d regions: %w", n, firstErr)
 	}
 	return best, nil
+}
+
+// resort re-derives a style's sorted order from scratch for the current
+// space: the per-node reference path the propagated orders are verified
+// against in TestPresortedOrdersMatchPerNodeSort.
+func (b *builder) resort(ids []int32, st style) []int32 {
+	k := keyIdx(st.dim, st.sortByMax)
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(x, y int) bool {
+		vx, vy := b.spans[out[x]].keyVal(k), b.spans[out[y]].keyVal(k)
+		if vx != vy {
+			return vx < vy
+		}
+		return out[x] < out[y]
+	})
+	return out
 }

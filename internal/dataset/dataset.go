@@ -135,6 +135,33 @@ func Paper() []Dataset {
 	return []Dataset{Uniform(1000, 1000), Hospital(), Park()}
 }
 
+// LargeUniform is the scaling preset for build benchmarks and profiling: n
+// uniform sites (default 50000 when n <= 0) under a fixed seed, so any run
+// at the same n reproduces the same dataset.
+func LargeUniform(n int) Dataset {
+	if n <= 0 {
+		n = 50000
+	}
+	return Uniform(n, 50*1000*1000)
+}
+
+// LargeClustered is the clustered scaling preset: cluster count grows with
+// sqrt(n) at roughly constant within-cluster density, preserving the
+// HOSPITAL/PARK-like skew that stresses the grid's expanding-ring search at
+// any size (default 50000 when n <= 0).
+func LargeClustered(n int) Dataset {
+	if n <= 0 {
+		n = 50000
+	}
+	clusters := int(math.Sqrt(float64(n)))
+	if clusters < 4 {
+		clusters = 4
+	}
+	return Clustered(fmt.Sprintf("LARGE-CLUSTERED(%d)", n), ClusterSpec{
+		N: n, Clusters: clusters, Sigma: 300, UniformShare: 0.05, Seed: int64(77 * n),
+	})
+}
+
 // generator accumulates sites while enforcing the minimum separation.
 type generator struct {
 	rng   *rand.Rand

@@ -61,23 +61,72 @@ type indexCacheEntry struct {
 // structures for a dataset. The trap-tree's random insertion order derives
 // from seed.
 func Build(ds dataset.Dataset, seed int64) (*Built, error) {
+	return BuildWithWorkers(ds, seed, 0)
+}
+
+// BuildWithWorkers is Build with an explicit D-tree build worker count
+// (<= 0 means one per CPU; the tree is identical at any count). The
+// subdivision is derived first — every family consumes it — and the three
+// packet-independent index families then build concurrently; each family is
+// deterministic on its own, so the concurrency never changes any result.
+func BuildWithWorkers(ds dataset.Dataset, seed int64, buildWorkers int) (*Built, error) {
 	sub, err := ds.Subdivision()
 	if err != nil {
 		return nil, err
 	}
-	dt, err := core.Build(sub)
+	b := &Built{Data: ds, Sub: sub}
+	err = gather(
+		func() error {
+			dt, err := core.Build(sub, core.WithBuildWorkers(buildWorkers))
+			if err != nil {
+				return fmt.Errorf("%s: d-tree: %w", ds.Name, err)
+			}
+			b.DTree = dt
+			return nil
+		},
+		func() error {
+			tr, err := triantree.Build(sub)
+			if err != nil {
+				return fmt.Errorf("%s: trian-tree: %w", ds.Name, err)
+			}
+			b.Trian = tr
+			return nil
+		},
+		func() error {
+			tp, err := traptree.Build(sub, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return fmt.Errorf("%s: trap-tree: %w", ds.Name, err)
+			}
+			b.Trap = tp
+			return nil
+		},
+	)
 	if err != nil {
-		return nil, fmt.Errorf("%s: d-tree: %w", ds.Name, err)
+		return nil, err
 	}
-	tr, err := triantree.Build(sub)
-	if err != nil {
-		return nil, fmt.Errorf("%s: trian-tree: %w", ds.Name, err)
+	return b, nil
+}
+
+// gather runs the given tasks concurrently and waits for all of them;
+// the error of the lowest-indexed failure is returned, so the surfaced
+// error does not depend on goroutine scheduling.
+func gather(fns ...func() error) error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
 	}
-	tp, err := traptree.Build(sub, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, fmt.Errorf("%s: trap-tree: %w", ds.Name, err)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	return &Built{Data: ds, Sub: sub, DTree: dt, Trian: tr, Trap: tp}, nil
+	return nil
 }
 
 // Indexes pages the structures for one packet capacity (and builds the
@@ -99,22 +148,45 @@ func (b *Built) Indexes(capacity int) ([]Index, error) {
 	return e.indexes, e.err
 }
 
+// buildIndexes pages the four index families for one capacity
+// concurrently; paging is read-only over the built structures and the
+// R*-tree bulk-load is deterministic, so the slice is identical to a
+// sequential build.
 func (b *Built) buildIndexes(capacity int) ([]Index, error) {
-	dp, err := b.DTree.Page(wire.DTreeParams(capacity))
+	var (
+		dp  *core.Paged
+		trp *triantree.Paged
+		tpp *traptree.Paged
+		ra  *rstar.AirIndex
+	)
+	err := gather(
+		func() (err error) {
+			if dp, err = b.DTree.Page(wire.DTreeParams(capacity)); err != nil {
+				return fmt.Errorf("d-tree page(%d): %w", capacity, err)
+			}
+			return nil
+		},
+		func() (err error) {
+			if trp, err = b.Trian.Page(wire.DecompositionParams(capacity)); err != nil {
+				return fmt.Errorf("trian-tree page(%d): %w", capacity, err)
+			}
+			return nil
+		},
+		func() (err error) {
+			if tpp, err = b.Trap.Page(wire.DecompositionParams(capacity)); err != nil {
+				return fmt.Errorf("trap-tree page(%d): %w", capacity, err)
+			}
+			return nil
+		},
+		func() (err error) {
+			if ra, err = rstar.BuildAir(b.Sub, wire.RStarParams(capacity)); err != nil {
+				return fmt.Errorf("r*-tree(%d): %w", capacity, err)
+			}
+			return nil
+		},
+	)
 	if err != nil {
-		return nil, fmt.Errorf("d-tree page(%d): %w", capacity, err)
-	}
-	trp, err := b.Trian.Page(wire.DecompositionParams(capacity))
-	if err != nil {
-		return nil, fmt.Errorf("trian-tree page(%d): %w", capacity, err)
-	}
-	tpp, err := b.Trap.Page(wire.DecompositionParams(capacity))
-	if err != nil {
-		return nil, fmt.Errorf("trap-tree page(%d): %w", capacity, err)
-	}
-	ra, err := rstar.BuildAir(b.Sub, wire.RStarParams(capacity))
-	if err != nil {
-		return nil, fmt.Errorf("r*-tree(%d): %w", capacity, err)
+		return nil, err
 	}
 	return []Index{
 		dtreeIndex{dp},

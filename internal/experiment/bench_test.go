@@ -16,6 +16,23 @@ func benchBuilt(b *testing.B) *Built {
 	return built
 }
 
+// BenchmarkBuildAll measures the whole cold path from sites to the
+// packet-independent index structures — Voronoi valid scopes, subdivision,
+// D-tree, trian-tree and trap-tree — at the build-pipeline scaling tiers.
+func BenchmarkBuildAll(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run("N="+strconv.Itoa(n/1000)+"k", func(b *testing.B) {
+			ds := dataset.Uniform(n, int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(ds, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMeasureIndexes measures the Monte Carlo query engine alone
 // (indexes prebuilt): the cost of one full (dataset, capacity) cell.
 func BenchmarkMeasureIndexes(b *testing.B) {

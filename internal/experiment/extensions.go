@@ -93,7 +93,7 @@ type CacheResult struct {
 // which any LRU-style policy approaches for a static broadcast).
 func RunCached(ds dataset.Dataset, capacity int, cacheSizes []int, cfg Config) ([]CacheResult, error) {
 	cfg = cfg.withDefaults()
-	b, err := Build(ds, cfg.Seed)
+	b, err := BuildWithWorkers(ds, cfg.Seed, cfg.BuildWorkers)
 	if err != nil {
 		return nil, err
 	}

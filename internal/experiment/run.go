@@ -27,6 +27,11 @@ type Config struct {
 	// count: the query stream is always drawn sequentially and per-query
 	// costs are reduced in query order.
 	Workers int
+	// BuildWorkers caps the D-tree construction worker pool (<= 0 means
+	// one per available CPU, 1 forces a sequential build). Like Workers,
+	// the count never changes any result: the built tree is bit-identical
+	// at any setting.
+	BuildWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -226,7 +231,7 @@ func RunAll(ds []dataset.Dataset, cfg Config) ([]Measurement, error) {
 		wg.Add(1)
 		go func(i int, d dataset.Dataset) {
 			defer wg.Done()
-			b, err := Build(d, cfg.Seed)
+			b, err := BuildWithWorkers(d, cfg.Seed, cfg.BuildWorkers)
 			if err != nil {
 				errs[i] = err
 				return

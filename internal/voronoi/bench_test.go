@@ -1,0 +1,23 @@
+package voronoi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkVoronoiCells measures full valid-scope construction at the
+// dataset sizes of the build-pipeline scaling work: the paper's N (~1k) and
+// the two larger tiers the ROADMAP targets. One op = one complete diagram.
+func BenchmarkVoronoiCells(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("N=%dk", n/1000), func(b *testing.B) {
+			sites := randomSites(n, int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Cells(area, sites); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,224 @@
+package voronoi
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"airindex/internal/geom"
+)
+
+// clusteredSites crowds n sites into a tiny box in one corner of the
+// service area, the degenerate case where the whole population lands in a
+// handful of grid buckets and the ring search collapses to the sorted scan.
+func clusteredSites(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	sites := make([]geom.Point, 0, n)
+	seen := map[geom.Point]bool{}
+	for len(sites) < n {
+		p := geom.Pt(10+rng.Float64()*20, 10+rng.Float64()*20)
+		if !seen[p] {
+			seen[p] = true
+			sites = append(sites, p)
+		}
+	}
+	return sites
+}
+
+// TestCellsGridMatchesSorted pins the tentpole equivalence: the
+// grid-pruned path clips candidates in the same (distance, id) order as
+// the full per-site sort, so the polygons are identical to the last bit.
+func TestCellsGridMatchesSorted(t *testing.T) {
+	cases := []struct {
+		name  string
+		sites []geom.Point
+	}{
+		{"uniform-64", randomSites(64, 7)},
+		{"uniform-300", randomSites(300, 8)},
+		{"uniform-900", randomSites(900, 9)},
+		{"clustered-one-bucket-200", clusteredSites(200, 10)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			grid, err := cellsGrid(area, tc.sites)
+			if err != nil {
+				t.Fatalf("grid: %v", err)
+			}
+			sorted, err := cellsSorted(area, tc.sites)
+			if err != nil {
+				t.Fatalf("sorted: %v", err)
+			}
+			for i := range tc.sites {
+				g, s := grid[i], sorted[i]
+				if len(g) != len(s) {
+					t.Fatalf("site %d: grid cell has %d vertices, sorted %d", i, len(g), len(s))
+				}
+				for j := range g {
+					if g[j] != s[j] {
+						t.Fatalf("site %d vertex %d: grid %v != sorted %v", i, j, g[j], s[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGridCandidateOrderAndCompleteness checks the iterator contract the
+// clip loop relies on: every site is yielded exactly once, in ascending
+// (distance, id) order.
+func TestGridCandidateOrderAndCompleteness(t *testing.T) {
+	for _, sites := range [][]geom.Point{randomSites(500, 21), clusteredSites(150, 22)} {
+		g := newSiteGrid(area, sites)
+		rng := rand.New(rand.NewSource(23))
+		for q := 0; q < 50; q++ {
+			p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+			it := g.near(sites, p, nil)
+			seen := make(map[int]bool, len(sites))
+			lastD2, lastID := -1.0, -1
+			for {
+				id, d2, ok := it.next()
+				if !ok {
+					break
+				}
+				if seen[id] {
+					t.Fatalf("site %d yielded twice", id)
+				}
+				seen[id] = true
+				if d2 < lastD2 || (d2 == lastD2 && id <= lastID) {
+					t.Fatalf("order violation: (%v,%d) after (%v,%d)", d2, id, lastD2, lastID)
+				}
+				if got := p.Dist2(sites[id]); got != d2 {
+					t.Fatalf("site %d: reported d2 %v, actual %v", id, d2, got)
+				}
+				lastD2, lastID = d2, id
+			}
+			if len(seen) != len(sites) {
+				t.Fatalf("iterator yielded %d of %d sites", len(seen), len(sites))
+			}
+		}
+	}
+}
+
+// TestGridNearestMatchesBruteForce is the property test cross-checking the
+// grid's candidate search against the NearestSite brute-force scan. Both
+// break distance ties by the lowest id.
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	for _, sites := range [][]geom.Point{randomSites(800, 31), clusteredSites(120, 32)} {
+		g := newSiteGrid(area, sites)
+		rng := rand.New(rand.NewSource(33))
+		for q := 0; q < 3000; q++ {
+			p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+			got := g.nearestIn(sites, p)
+			want := NearestSite(sites, p)
+			if got != want {
+				t.Fatalf("query %v: grid nearest %d (d2=%v), brute force %d (d2=%v)",
+					p, got, p.Dist2(sites[got]), want, p.Dist2(sites[want]))
+			}
+		}
+		// Site locations themselves must resolve to their own id.
+		for i, s := range sites {
+			if got := g.nearestIn(sites, s); got != i {
+				t.Fatalf("site %d: nearest at its own location = %d", i, got)
+			}
+		}
+	}
+}
+
+// TestCellsGridDuplicateSites checks duplicate detection survives on the
+// grid path (large N), not just the sorted fallback.
+func TestCellsGridDuplicateSites(t *testing.T) {
+	sites := randomSites(100, 41)
+	sites = append(sites, sites[17])
+	_, err := Cells(area, sites)
+	if err == nil {
+		t.Fatal("duplicate sites should fail")
+	}
+	if !strings.Contains(err.Error(), "duplicate") && !strings.Contains(err.Error(), "vanish") {
+		t.Fatalf("unexpected duplicate-site error: %v", err)
+	}
+}
+
+// TestGridInsertRemove exercises the dynamic bucket maintenance the
+// Maintainer relies on.
+func TestGridInsertRemove(t *testing.T) {
+	sites := randomSites(100, 51)
+	g := newSiteGrid(area, sites[:60])
+	for i := 60; i < 100; i++ {
+		g.insert(i, sites[i])
+	}
+	for _, i := range []int{5, 59, 60, 99} {
+		g.remove(i, sites[i])
+	}
+	if g.count != 96 {
+		t.Fatalf("count = %d, want 96", g.count)
+	}
+	alive := map[int]bool{}
+	it := g.near(sites, geom.Pt(5000, 5000), nil)
+	for {
+		id, _, ok := it.next()
+		if !ok {
+			break
+		}
+		alive[id] = true
+	}
+	if len(alive) != 96 {
+		t.Fatalf("iterator sees %d sites, want 96", len(alive))
+	}
+	for _, i := range []int{5, 59, 60, 99} {
+		if alive[i] {
+			t.Fatalf("removed site %d still enumerated", i)
+		}
+	}
+}
+
+// TestMaintainerMatchesFreshCells checks that after a mixed update
+// sequence the incrementally maintained scopes equal a from-scratch
+// diagram of the live sites.
+func TestMaintainerMatchesFreshCells(t *testing.T) {
+	sites := randomSites(80, 61)
+	m, err := NewMaintainer(area, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	for op := 0; op < 60; op++ {
+		switch rng.Intn(3) {
+		case 0:
+			if _, err := m.Add(geom.Pt(rng.Float64()*10000, rng.Float64()*10000)); err != nil {
+				t.Fatalf("op %d add: %v", op, err)
+			}
+		case 1:
+			ids, _ := m.LiveSites()
+			if err := m.Remove(ids[rng.Intn(len(ids))]); err != nil {
+				t.Fatalf("op %d remove: %v", op, err)
+			}
+		default:
+			ids, _ := m.LiveSites()
+			if _, err := m.Move(ids[rng.Intn(len(ids))], geom.Pt(rng.Float64()*10000, rng.Float64()*10000)); err != nil {
+				t.Fatalf("op %d move: %v", op, err)
+			}
+		}
+	}
+	ids, live := m.LiveSites()
+	fresh, err := Cells(area, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, id := range ids {
+		cell, err := m.Cell(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Maintained and fresh cells are built by different clip sequences,
+		// so compare geometrically: equal area and mutual containment of
+		// vertices (within predicate tolerance).
+		if d := cell.Area() - fresh[k].Area(); d > 1e-6 || d < -1e-6 {
+			t.Fatalf("site %d: maintained area %v, fresh %v", id, cell.Area(), fresh[k].Area())
+		}
+		for _, v := range fresh[k] {
+			if !cell.Contains(v) {
+				t.Fatalf("site %d: fresh vertex %v outside maintained cell", id, v)
+			}
+		}
+	}
+}

@@ -2,7 +2,7 @@ package voronoi
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"airindex/internal/geom"
 	"airindex/internal/region"
@@ -14,12 +14,24 @@ import (
 // new bisector; removing a site rebuilds only the cells that absorb the
 // vacated territory. Site ids are stable (removal leaves a tombstone), so
 // the broadcast server can keep bucket numbering consistent.
+//
+// Live sites are bucketed in the same uniform grid Cells builds with, so
+// every update enumerates candidates nearest-first through expanding grid
+// rings instead of rescanning (and sorting) all live sites.
 type Maintainer struct {
 	area  geom.Rect
 	sites []geom.Point
 	cells []geom.Polygon
 	alive []bool
 	n     int // alive count
+
+	grid *siteGrid
+	// maxRadius is an upper bound on the largest distance from any live
+	// site to a vertex of its own cell. It lets Add stop scanning once no
+	// farther cell could possibly reach the new site. Cells only shrink on
+	// Add and are recomputed on Remove, so the bound is raised whenever a
+	// cell is (re)built and never lowered — conservative but always valid.
+	maxRadius float64
 }
 
 // NewMaintainer builds the initial diagram.
@@ -34,11 +46,36 @@ func NewMaintainer(area geom.Rect, sites []geom.Point) (*Maintainer, error) {
 		cells: cells,
 		alive: make([]bool, len(sites)),
 		n:     len(sites),
+		grid:  newSiteGrid(area, sites),
 	}
 	for i := range m.alive {
 		m.alive[i] = true
 	}
+	for i, c := range cells {
+		m.raiseRadius(maxDistTo(c, sites[i]))
+	}
 	return m, nil
+}
+
+func (m *Maintainer) raiseRadius(r float64) {
+	if r > m.maxRadius {
+		m.maxRadius = r
+	}
+}
+
+// maybeRegrid re-dimensions the grid when the live population has drifted
+// far from what the buckets were sized for.
+func (m *Maintainer) maybeRegrid() {
+	if m.n <= 4*m.grid.builtFor && 4*m.n >= m.grid.builtFor {
+		return
+	}
+	g := dimensionGrid(m.area, m.n)
+	for j, alive := range m.alive {
+		if alive {
+			g.insert(j, m.sites[j])
+		}
+	}
+	m.grid = g
 }
 
 // Len returns the number of live sites.
@@ -66,16 +103,20 @@ func (m *Maintainer) Add(p geom.Point) (int, error) {
 	if !m.area.Contains(p) {
 		return 0, fmt.Errorf("voronoi: site %v outside the service area", p)
 	}
-	for j, alive := range m.alive {
-		if alive && m.sites[j].Dist(p) < 1e-9 {
+	// The new cell: clip the area against bisectors, nearest-first. A
+	// zero-distance candidate is a duplicate of a live site.
+	cell := m.area.Polygon()
+	it := m.grid.near(m.sites, p, nil)
+	for {
+		j, d2, ok := it.next()
+		if !ok {
+			break
+		}
+		d := math.Sqrt(d2)
+		if d < 1e-9 {
 			return 0, fmt.Errorf("voronoi: duplicate of live site %d", j)
 		}
-	}
-	// The new cell: clip the area against bisectors, nearest-first.
-	cell := m.area.Polygon()
-	order := m.aliveByDistance(p)
-	for _, j := range order {
-		if m.sites[j].Dist(p)/2 > maxDistTo(cell, p) {
+		if d/2 > maxDistTo(cell, p) {
 			break
 		}
 		cell = geom.ClipHalfPlane(cell, geom.Bisector(p, m.sites[j]))
@@ -83,9 +124,20 @@ func (m *Maintainer) Add(p geom.Point) (int, error) {
 			return 0, fmt.Errorf("voronoi: new site %v has an empty scope (near-duplicate?)", p)
 		}
 	}
-	// Clip every neighbor that loses territory: one half-plane each.
-	for _, j := range order {
-		if m.sites[j].Dist(p)/2 > maxDistTo(m.cells[j], m.sites[j]) {
+	// Clip every neighbor that loses territory: one half-plane each. A site
+	// farther than twice the largest live cell radius cannot be reached by
+	// the new scope, and neither can anything beyond it.
+	it = m.grid.near(m.sites, p, it.buffer())
+	for {
+		j, d2, ok := it.next()
+		if !ok {
+			break
+		}
+		d := math.Sqrt(d2)
+		if d/2 > m.maxRadius {
+			break
+		}
+		if d/2 > maxDistTo(m.cells[j], m.sites[j]) {
 			continue // the new site cannot reach cell j
 		}
 		clipped := geom.ClipHalfPlane(m.cells[j], geom.Bisector(m.sites[j], p))
@@ -99,6 +151,9 @@ func (m *Maintainer) Add(p geom.Point) (int, error) {
 	m.cells = append(m.cells, cell)
 	m.alive = append(m.alive, true)
 	m.n++
+	m.grid.insert(id, p)
+	m.raiseRadius(maxDistTo(cell, p))
+	m.maybeRegrid()
 	return id, nil
 }
 
@@ -115,19 +170,28 @@ func (m *Maintainer) Remove(id int) error {
 	reach := 2 * maxDistTo(m.cells[id], s)
 	m.alive[id] = false
 	m.n--
-	for _, j := range m.aliveByDistance(s) {
-		if m.sites[j].Dist(s) > reach {
+	m.grid.remove(id, s)
+	it := m.grid.near(m.sites, s, nil)
+	for {
+		j, d2, ok := it.next()
+		if !ok {
+			break
+		}
+		if math.Sqrt(d2) > reach {
 			break // too far to have bordered the removed cell
 		}
 		cell, err := m.computeCell(j)
 		if err != nil {
 			m.alive[id] = true
 			m.n++
+			m.grid.insert(id, s)
 			return err
 		}
 		m.cells[j] = cell
+		m.raiseRadius(maxDistTo(cell, m.sites[j]))
 	}
 	m.cells[id] = nil
+	m.maybeRegrid()
 	return nil
 }
 
@@ -145,11 +209,16 @@ func (m *Maintainer) Move(id int, to geom.Point) (int, error) {
 func (m *Maintainer) computeCell(id int) (geom.Polygon, error) {
 	me := m.sites[id]
 	cell := m.area.Polygon()
-	for _, j := range m.aliveByDistance(me) {
+	it := m.grid.near(m.sites, me, nil)
+	for {
+		j, d2, ok := it.next()
+		if !ok {
+			break
+		}
 		if j == id {
 			continue
 		}
-		if m.sites[j].Dist(me)/2 > maxDistTo(cell, me) {
+		if math.Sqrt(d2)/2 > maxDistTo(cell, me) {
 			break
 		}
 		cell = geom.ClipHalfPlane(cell, geom.Bisector(me, m.sites[j]))
@@ -158,21 +227,6 @@ func (m *Maintainer) computeCell(id int) (geom.Polygon, error) {
 		}
 	}
 	return cell, nil
-}
-
-// aliveByDistance returns live site ids ordered by distance from p
-// (excluding exact self-matches is the caller's business).
-func (m *Maintainer) aliveByDistance(p geom.Point) []int {
-	out := make([]int, 0, m.n)
-	for j, alive := range m.alive {
-		if alive {
-			out = append(out, j)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool {
-		return p.Dist2(m.sites[out[a]]) < p.Dist2(m.sites[out[b]])
-	})
-	return out
 }
 
 // LiveSites returns the live sites and their ids.

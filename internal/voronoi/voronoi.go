@@ -4,20 +4,29 @@
 // i is exactly the region where i is the correct answer.
 //
 // Cells are built independently per site by intersecting the service-area
-// rectangle with the dominance half-plane of the site against every other
-// site. This is O(N^2) point-site comparisons overall, entirely robust, and
-// easily fast enough for the paper's dataset sizes (N <= ~1100); a
-// nearest-first pruning cut makes typical datasets far cheaper than the
-// worst case.
+// rectangle with the dominance half-plane of the site against other sites,
+// visited nearest-first so a radius early-exit prunes everything beyond the
+// cell's reach. Candidates are enumerated through a uniform grid over the
+// sites (expanding-ring search), so on uniform or mildly clustered datasets
+// each site touches only its O(1) neighborhood and the whole diagram costs
+// O(N) expected cell clips; the worst case (all sites crowded into one grid
+// bucket) degrades to the sorted O(N^2 log N) scan of small datasets, which
+// is also the fallback used below gridMinSites.
 package voronoi
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"airindex/internal/geom"
 	"airindex/internal/region"
 )
+
+// gridMinSites is the site count below which Cells skips grid construction
+// and uses the direct sorted scan: at these sizes the full sort is cheaper
+// than building the grid.
+const gridMinSites = 32
 
 // Cells computes the clipped Voronoi cell of every site. The i-th returned
 // polygon is the valid scope of sites[i]. Sites must be distinct and lie
@@ -31,9 +40,29 @@ func Cells(area geom.Rect, sites []geom.Point) ([]geom.Polygon, error) {
 			return nil, fmt.Errorf("voronoi: site %d (%v) outside service area", i, s)
 		}
 	}
+	if len(sites) < gridMinSites {
+		return cellsSorted(area, sites)
+	}
+	return cellsGrid(area, sites)
+}
+
+// cellsGrid builds every cell through one shared site grid. The grid's
+// (distance, id) enumeration order matches the sorted path exactly, so both
+// produce identical polygons; TestCellsGridMatchesSorted pins that.
+func cellsGrid(area geom.Rect, sites []geom.Point) ([]geom.Polygon, error) {
+	g := newSiteGrid(area, sites)
 	out := make([]geom.Polygon, len(sites))
+	var scratch []gridCand
 	for i := range sites {
-		cell, err := cellOf(area, sites, i)
+		it := g.near(sites, sites[i], scratch)
+		cell, err := clipCell(area, sites, i, func() (int, float64, bool) {
+			id, d2, ok := it.next()
+			if ok && id == i { // skip the site's own zero-distance entry
+				id, d2, ok = it.next()
+			}
+			return id, d2, ok
+		})
+		scratch = it.buffer()
 		if err != nil {
 			return nil, err
 		}
@@ -42,38 +71,66 @@ func Cells(area geom.Rect, sites []geom.Point) ([]geom.Polygon, error) {
 	return out, nil
 }
 
-// cellOf clips the area rectangle by the bisector half-plane against every
-// other site, visiting sites nearest-first so the cell shrinks quickly and
-// distant sites are pruned by a radius test.
-func cellOf(area geom.Rect, sites []geom.Point, i int) (geom.Polygon, error) {
-	me := sites[i]
-	order := make([]int, 0, len(sites)-1)
-	for j := range sites {
-		if j != i {
-			order = append(order, j)
+// cellsSorted is the direct path for small or degenerate site sets: per
+// site, one (distance, id) sort of all other sites with distances computed
+// once up front, then the same nearest-first clip loop.
+func cellsSorted(area geom.Rect, sites []geom.Point) ([]geom.Polygon, error) {
+	out := make([]geom.Polygon, len(sites))
+	cands := make([]gridCand, 0, len(sites)-1)
+	for i := range sites {
+		cands = cands[:0]
+		for j := range sites {
+			if j != i {
+				cands = append(cands, gridCand{d2: sites[i].Dist2(sites[j]), id: int32(j)})
+			}
 		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d2 != cands[b].d2 {
+				return cands[a].d2 < cands[b].d2
+			}
+			return cands[a].id < cands[b].id
+		})
+		k := 0
+		cell, err := clipCell(area, sites, i, func() (int, float64, bool) {
+			if k >= len(cands) {
+				return 0, 0, false
+			}
+			c := cands[k]
+			k++
+			return int(c.id), c.d2, true
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cell
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return me.Dist2(sites[order[a]]) < me.Dist2(sites[order[b]])
-	})
+	return out, nil
+}
 
+// clipCell clips the area rectangle by the bisector half-plane against the
+// candidates yielded by next in ascending (distance, id) order, stopping at
+// the radius early-exit: a site farther than twice the cell's max distance
+// from the owner cannot cut the cell, and neither can anything after it.
+func clipCell(area geom.Rect, sites []geom.Point, i int, next func() (int, float64, bool)) (geom.Polygon, error) {
+	me := sites[i]
 	cell := area.Polygon()
-	for _, j := range order {
-		d := me.Dist(sites[j])
+	for {
+		j, d2, ok := next()
+		if !ok {
+			return cell, nil
+		}
+		d := math.Sqrt(d2)
 		if d == 0 {
 			return nil, fmt.Errorf("voronoi: duplicate sites %d and %d at %v", i, j, me)
 		}
-		// A site farther than twice the cell's max distance from me cannot
-		// cut the cell: its bisector passes beyond every cell vertex.
 		if d/2 > maxDistTo(cell, me) {
-			break
+			return cell, nil
 		}
 		cell = geom.ClipHalfPlane(cell, geom.Bisector(me, sites[j]))
 		if cell == nil {
 			return nil, fmt.Errorf("voronoi: cell of site %d vanished (near-duplicate sites?)", i)
 		}
 	}
-	return cell, nil
 }
 
 func maxDistTo(pg geom.Polygon, p geom.Point) float64 {
@@ -103,7 +160,8 @@ func Subdivision(area geom.Rect, sites []geom.Point) (*region.Subdivision, error
 
 // NearestSite returns the index of the site nearest to p by brute force;
 // tests use it to cross-check that locating p in the subdivision yields the
-// same answer as a direct nearest-neighbor scan.
+// same answer as a direct nearest-neighbor scan, and as ground truth for
+// the grid's candidate enumeration.
 func NearestSite(sites []geom.Point, p geom.Point) int {
 	best, bestD := -1, 0.0
 	for i, s := range sites {
