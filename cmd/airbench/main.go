@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache|loss] [-queries n]
+//	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache|loss|churn] [-queries n]
 //	         [-capacities 64,128,...] [-datasets uniform,hospital,park]
 //	         [-theta 1.0] [-queries-by-area] [-csv] [-seed n] [-loss-queries n]
 //	         [-workers n] [-buildworkers n] [-cpuprofile f] [-memprofile f]
@@ -13,10 +13,12 @@
 // Besides the paper's figures, the extension experiments are available as
 // figures: "ablation" (D-tree design choices), "dist" ((1,m) vs distributed
 // indexing), "skew" (balanced vs access-weighted D-tree under Zipf access),
-// "cache" (client-side pinning of hot index packets), and "loss" (latency
-// and tuning of the streamed access protocol under unreliable channels —
+// "cache" (client-side pinning of hot index packets), "loss" (latency and
+// tuning of the streamed access protocol under unreliable channels —
 // Bernoulli, Gilbert-Elliott and bit-corruption fault models, run against
-// the live frame stream at the first listed capacity).
+// the live frame stream at the first listed capacity), and "churn" (latency
+// and tuning penalty of hot program swaps while sites are added, removed
+// and moved under live queries).
 package main
 
 import (
@@ -42,7 +44,7 @@ func main() {
 		byArea     = flag.Bool("queries-by-area", false, "sample queries uniformly by area instead of by region")
 		csvOut     = flag.Bool("csv", false, "emit raw measurements as CSV")
 		seed       = flag.Int64("seed", 42, "random seed")
-		lossQ      = flag.Int("loss-queries", 200, "streamed queries per cell of the loss sweep (with -figure loss)")
+		lossQ      = flag.Int("loss-queries", 200, "streamed queries per cell of the loss/churn sweeps (with -figure loss or churn)")
 		workers    = flag.Int("workers", 0, "simulation workers per cell (0 = one per CPU); results are identical at any count")
 		buildWkrs  = flag.Int("buildworkers", 0, "D-tree build workers (0 = one per CPU); the built tree is identical at any count")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -115,6 +117,20 @@ func main() {
 				continue
 			}
 			fmt.Printf("=== Unreliable channel, %s, %d B packets ===\n%s\n", d.Name, caps[0], experiment.LossTables(ps))
+		}
+		return
+	}
+	if *figure == "churn" {
+		for _, d := range ds {
+			ps, err := experiment.RunChurn(d, caps[0], experiment.ChurnLevels(), *lossQ, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				fmt.Print(experiment.ChurnCSV(ps))
+				continue
+			}
+			fmt.Printf("=== Live reconfiguration, %s, %d B packets ===\n%s\n", d.Name, caps[0], experiment.ChurnTables(ps))
 		}
 		return
 	}

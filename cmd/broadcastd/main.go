@@ -4,23 +4,36 @@
 // organizes the wireless channel. The channel can be made unreliable with
 // the -loss/-burst/-corrupt flags (internal/channel fault models), in which
 // case clients recover via the checksum and the next-index pointers. With
-// -demo it also connects a client, runs a few queries through the streamed
-// access protocol, and reports latency, tuning and recovery counts.
+// -churn the site population changes while serving: random add/remove/move
+// batches run through the incremental Voronoi maintainer and each rebuilt
+// program is hot-swapped onto the air under a new generation, which live
+// clients follow by restarting any query the swap caught mid-flight.
+// SIGINT/SIGTERM drain connections to their cycle boundary before exiting.
+// With -demo it also connects a client, runs a few queries through the
+// streamed access protocol, and reports latency, tuning and recovery
+// counts.
 //
 // Usage:
 //
 //	broadcastd [-addr :7343] [-dataset hospital] [-capacity 256]
 //	           [-slot-duration 0] [-seed 1]
-//	           [-loss 0] [-burst 1] [-corrupt 0] [-demo]
+//	           [-loss 0] [-burst 1] [-corrupt 0]
+//	           [-churn 0] [-churn-ops 4] [-write-timeout 30s]
+//	           [-drain-timeout 10s] [-demo]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"airindex/internal/channel"
 	"airindex/internal/dataset"
@@ -35,10 +48,14 @@ func main() {
 		n        = flag.Int("n", 1000, "site count (uniform only)")
 		capacity = flag.Int("capacity", 256, "packet capacity in bytes")
 		slotDur  = flag.Duration("slot-duration", 0, "real-time pacing per slot (0 = full speed)")
-		seed     = flag.Int64("seed", 1, "seed for start slots, demo queries and fault models (reproducible runs)")
+		seed     = flag.Int64("seed", 1, "seed for start slots, demo queries, churn and fault models (reproducible runs)")
 		loss     = flag.Float64("loss", 0, "frame loss rate per connection, [0, 1)")
 		burst    = flag.Float64("burst", 1, "mean loss-burst length in frames; > 1 selects bursty Gilbert-Elliott loss")
 		corrupt  = flag.Float64("corrupt", 0, "payload bit-corruption rate of delivered frames, [0, 1)")
+		churn    = flag.Duration("churn", 0, "interval between site-churn batches hot-swapped onto the air (0 = static program)")
+		churnOps = flag.Int("churn-ops", 4, "site add/remove/move operations per churn batch")
+		writeTO  = flag.Duration("write-timeout", 30*time.Second, "per-write deadline; stalled clients are evicted (0 = never)")
+		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget before stragglers are severed")
 		demo     = flag.Bool("demo", false, "run a demo client against the server and exit")
 	)
 	flag.Parse()
@@ -54,13 +71,28 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown dataset %q", *name))
 	}
-	sub, err := ds.Subdivision()
-	if err != nil {
-		fatal(err)
-	}
-	prog, err := stream.NewDTreeProgram(sub, *capacity, 0)
-	if err != nil {
-		fatal(err)
+
+	// With churn the swapper owns the program pipeline (Voronoi maintainer
+	// -> D-tree build -> rendered cycle); a static run compiles one program
+	// the classic way.
+	var sw *stream.Swapper
+	var prog *stream.Program
+	if *churn > 0 {
+		var err error
+		sw, err = stream.NewSwapper(ds.Area, ds.Sites, *capacity, 0)
+		if err != nil {
+			fatal(err)
+		}
+		prog = sw.Program()
+	} else {
+		sub, err := ds.Subdivision()
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = stream.NewDTreeProgram(sub, *capacity, 0)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -71,9 +103,16 @@ func main() {
 		fatal(err)
 	}
 	srv.SlotDuration = *slotDur
+	srv.WriteTimeout = *writeTO
+	srv.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "broadcastd: "+format+"\n", args...)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	cycle := prog.Sched.CycleLen()
 	srv.StartSlot = func() int { return rng.Intn(cycle) }
+	if sw != nil {
+		sw.Bind(srv)
+	}
 
 	spec := channel.Spec{Loss: *loss, Burst: *burst, Corrupt: *corrupt, Seed: *seed}
 	if err := spec.Validate(); err != nil {
@@ -98,16 +137,43 @@ func main() {
 		fmt.Printf("broadcastd: unreliable channel: %s loss %.2f%% (burst %.1f), corruption %.2f%%, seed %d\n",
 			spec.Model(spec.Seed).Name(), 100**loss, *burst, 100**corrupt, *seed)
 	}
+	if sw != nil {
+		fmt.Printf("broadcastd: live churn: %d site ops every %v, hot-swapped at cycle boundaries\n", *churnOps, *churn)
+	}
 
-	if !*demo {
-		if err := srv.Serve(); err != nil {
-			fatal(err)
-		}
-		return
+	stopChurn := make(chan struct{})
+	if sw != nil {
+		go runChurn(sw, *churn, *churnOps, ds.N(), *seed+99, stopChurn)
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
+
+	if !*demo {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		select {
+		case sig := <-sigs:
+			fmt.Printf("broadcastd: %v: draining connections (budget %v)\n", sig, *drainTO)
+			close(stopChurn)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "broadcastd: drain incomplete:", err)
+			}
+			if err := <-serveErr; err != nil && !errors.Is(err, stream.ErrServerClosed) {
+				fatal(err)
+			}
+			fmt.Println("broadcastd: stopped")
+			return
+		case err := <-serveErr:
+			if err != nil && !errors.Is(err, stream.ErrServerClosed) {
+				fatal(err)
+			}
+			return
+		}
+	}
+
 	client, err := stream.Dial(ln.Addr().String(), *capacity)
 	if err != nil {
 		fatal(err)
@@ -128,17 +194,79 @@ func main() {
 		if res.Recoveries > 0 || res.LostSlots > 0 || res.CorruptFrames > 0 {
 			fmt.Printf(", recovered %d (lost %d slots, %d corrupt)", res.Recoveries, res.LostSlots, res.CorruptFrames)
 		}
+		if res.EpochRestarts > 0 {
+			fmt.Printf(", %d epoch restarts", res.EpochRestarts)
+		}
+		if sw != nil {
+			fmt.Printf(" [gen %d]", res.Generation)
+		}
 		fmt.Println()
 	}
 	client.Close()
 	if spec.Enabled() {
 		fmt.Printf("channel: %v\n", stats.Snapshot())
 	}
-	srv.Close()
-	if err := <-serveErr; err != nil {
+	close(stopChurn)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "broadcastd: drain incomplete:", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, stream.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "broadcastd: serve:", err)
 		os.Exit(1)
 	}
+}
+
+// runChurn applies a random site batch through the swapper at every tick,
+// keeping the live population near n0, until stop closes.
+func runChurn(sw *stream.Swapper, every time.Duration, opsPerBatch, n0 int, seed int64, stop chan struct{}) {
+	rng := rand.New(rand.NewSource(seed))
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		ids := sw.LiveSiteIDs()
+		ops := make([]stream.SiteOp, 0, opsPerBatch)
+		for len(ops) < opsPerBatch {
+			p := geom.Pt(
+				dataset.Area.MinX+rng.Float64()*dataset.Area.W(),
+				dataset.Area.MinY+rng.Float64()*dataset.Area.H(),
+			)
+			switch k := rng.Intn(3); {
+			case k == 0 || len(ids) <= n0/2:
+				ops = append(ops, stream.SiteOp{Kind: stream.OpAdd, P: p})
+			case k == 1 && len(ids) > n0/2:
+				j := ids[rng.Intn(len(ids))]
+				ops = append(ops, stream.SiteOp{Kind: stream.OpRemove, ID: j})
+				ids = dropID(ids, j)
+			default:
+				j := ids[rng.Intn(len(ids))]
+				ops = append(ops, stream.SiteOp{Kind: stream.OpMove, ID: j, P: p})
+				ids = dropID(ids, j)
+			}
+		}
+		gen, applied, err := sw.Apply(ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "broadcastd: churn:", err)
+			continue
+		}
+		fmt.Printf("broadcastd: generation %d on the air (%d site ops, %d live sites)\n", gen, len(applied), sw.Len())
+	}
+}
+
+func dropID(ids []int, id int) []int {
+	out := make([]int, 0, len(ids))
+	for _, j := range ids {
+		if j != id {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -1,0 +1,247 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"time"
+
+	"airindex/internal/dataset"
+	"airindex/internal/geom"
+	"airindex/internal/stream"
+)
+
+// This file hosts the live-reconfiguration extension experiment: how much
+// access latency and tuning a hot program swap costs the clients that are
+// querying while the site population churns. Each cell runs a real TCP
+// server with a stream.Swapper applying add/remove/move batches
+// concurrently with the measured queries, so the numbers include every
+// protocol effect — mid-query epoch restarts, abandoned index walks,
+// re-probes, and the dozing backoff.
+
+// ChurnPoint is one cell of the sweep: one churn level (site operations
+// applied while the cell's queries run) measured over live streamed
+// queries.
+type ChurnPoint struct {
+	Dataset string
+	Ops     int // site operations applied during the cell (0 = static baseline)
+	Queries int
+
+	Swaps int // program generations published (successful batches)
+
+	AvgLatency       float64 // slots, probe to final frame observed
+	AvgTuning        float64 // active-radio packets, recovery included
+	AvgEpochRestarts float64 // whole-query restarts forced by swaps, per query
+	RestartedFrac    float64 // fraction of queries that hit at least one swap
+}
+
+// ChurnLevels returns the sweep's default churn levels (site operations per
+// cell of `queries` queries).
+func ChurnLevels() []int { return []int{0, 8, 32, 128} }
+
+// churnBatch assembles one random add/remove/move batch that keeps the
+// live population hovering around n0.
+func churnBatch(sw *stream.Swapper, rng *rand.Rand, n0, size int) []stream.SiteOp {
+	ids := sw.LiveSiteIDs()
+	ops := make([]stream.SiteOp, 0, size)
+	for len(ops) < size {
+		randomPt := geom.Pt(
+			dataset.Area.MinX+rng.Float64()*dataset.Area.W(),
+			dataset.Area.MinY+rng.Float64()*dataset.Area.H(),
+		)
+		switch k := rng.Intn(3); {
+		case k == 0 || len(ids) <= n0/2:
+			ops = append(ops, stream.SiteOp{Kind: stream.OpAdd, P: randomPt})
+		case k == 1 && len(ids) > n0/2:
+			j := ids[rng.Intn(len(ids))]
+			ops = append(ops, stream.SiteOp{Kind: stream.OpRemove, ID: j})
+			ids = dropID(ids, j)
+		default:
+			j := ids[rng.Intn(len(ids))]
+			ops = append(ops, stream.SiteOp{Kind: stream.OpMove, ID: j, P: randomPt})
+			ids = dropID(ids, j)
+		}
+	}
+	return ops
+}
+
+func dropID(ids []int, id int) []int {
+	out := make([]int, 0, len(ids))
+	for _, j := range ids {
+		if j != id {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// RunChurn sweeps churn level over live streamed queries against one
+// dataset at one packet capacity. Levels should include 0 (the static
+// baseline every penalty is measured against). Every query must resolve to
+// the region correct for the generation it completed under, or the sweep
+// fails — churn degrades latency and tuning, never correctness.
+func RunChurn(ds dataset.Dataset, capacity int, levels []int, queries int, seed int64) ([]ChurnPoint, error) {
+	if queries <= 0 {
+		queries = 100
+	}
+	var out []ChurnPoint
+	for _, ops := range levels {
+		pt, err := runChurnCell(ds, capacity, ops, queries, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: churn level %d: %w", ops, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// runChurnCell measures one churn level over a fresh server. The driver
+// goroutine applies batches while the measuring client queries, so swaps
+// land mid-query; batches are paced across the run by query count.
+func runChurnCell(ds dataset.Dataset, capacity, churnOps, queries int, seed int64) (ChurnPoint, error) {
+	sw, err := stream.NewSwapper(ds.Area, ds.Sites, capacity, 0)
+	if err != nil {
+		return ChurnPoint{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ChurnPoint{}, err
+	}
+	srv, err := stream.NewServer(ln, sw.Program())
+	if err != nil {
+		ln.Close()
+		return ChurnPoint{}, err
+	}
+	sw.Bind(srv)
+	go srv.Serve() //nolint:errcheck
+	defer srv.Close()
+
+	client, err := stream.Dial(srv.Addr().String(), capacity)
+	if err != nil {
+		return ChurnPoint{}, err
+	}
+	defer client.Close()
+
+	// The driver owns all swapper mutations — it composes each batch from
+	// the live site ids at apply time (composing in the query goroutine
+	// would race with its own earlier, still-in-flight batches) and applies
+	// it concurrently with the queries being measured.
+	const batchSize = 4
+	batches := make(chan int, 1)
+	driverDone := make(chan error, 1)
+	go func() {
+		defer close(driverDone)
+		drng := rand.New(rand.NewSource(seed + int64(churnOps)*31 + 1))
+		for n := range batches {
+			if _, _, err := sw.Apply(churnBatch(sw, drng, ds.N(), n)); err != nil {
+				driverDone <- err
+				return
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(seed + int64(churnOps)*31))
+	pt := ChurnPoint{Dataset: ds.Name, Ops: churnOps, Queries: queries}
+	sent := 0
+	every := 1
+	if churnOps > 0 {
+		if every = queries * batchSize / churnOps; every < 1 {
+			every = 1
+		}
+	}
+	restarted := 0
+	for q := 0; q < queries; q++ {
+		if churnOps > 0 && sent < churnOps && q%every == 0 {
+			n := batchSize
+			if n > churnOps-sent {
+				n = churnOps - sent
+			}
+			select {
+			case batches <- n:
+				sent += n
+			case err := <-driverDone:
+				close(batches)
+				return pt, err
+			}
+		}
+		p := geom.Pt(
+			dataset.Area.MinX+rng.Float64()*dataset.Area.W(),
+			dataset.Area.MinY+rng.Float64()*dataset.Area.H(),
+		)
+		res, err := client.Query(p)
+		if err != nil {
+			close(batches)
+			return pt, fmt.Errorf("query %d at %v: %w", q, p, err)
+		}
+		g := sw.Generation(res.Generation)
+		if g == nil {
+			close(batches)
+			return pt, fmt.Errorf("query %d: unknown generation %d", q, res.Generation)
+		}
+		if want := g.Sub.Locate(p); res.Bucket != want && !g.Sub.Regions[res.Bucket].Poly.Contains(p) {
+			close(batches)
+			return pt, fmt.Errorf("query %d at %v: bucket %d, want %d (generation %d)", q, p, res.Bucket, want, res.Generation)
+		}
+		if err := stream.VerifyStampedData(res.Data, capacity, res.Bucket); err != nil {
+			close(batches)
+			return pt, fmt.Errorf("query %d: %w", q, err)
+		}
+		pt.AvgLatency += res.Latency
+		pt.AvgTuning += float64(res.TotalTuning())
+		pt.AvgEpochRestarts += float64(res.EpochRestarts)
+		if res.EpochRestarts > 0 {
+			restarted++
+		}
+	}
+	close(batches)
+	if err, ok := <-driverDone; ok && err != nil {
+		return pt, err
+	}
+	qf := float64(queries)
+	pt.AvgLatency /= qf
+	pt.AvgTuning /= qf
+	pt.AvgEpochRestarts /= qf
+	pt.RestartedFrac = float64(restarted) / qf
+	pt.Swaps = int(sw.Current().Gen - 1)
+
+	// Disconnect before draining: a connected client that has stopped
+	// reading would hold its connection short of the cycle boundary.
+	client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return pt, fmt.Errorf("shutdown after churn cell: %w", err)
+	}
+	return pt, nil
+}
+
+// ChurnTables renders the sweep: latency, tuning, and restart penalty as
+// functions of the churn level.
+func ChurnTables(ps []ChurnPoint) string {
+	if len(ps) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — live reconfiguration cost vs churn (site ops per %d queries)\n",
+		ps[0].Dataset, ps[0].Queries)
+	fmt.Fprintf(&b, "%-10s %8s %14s %14s %16s %16s\n",
+		"ops", "swaps", "avg latency", "avg tuning", "epoch restarts", "restarted frac")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%-10d %8d %14.3f %14.3f %16.4f %16.4f\n",
+			p.Ops, p.Swaps, p.AvgLatency, p.AvgTuning, p.AvgEpochRestarts, p.RestartedFrac)
+	}
+	return b.String()
+}
+
+// ChurnCSV renders the sweep as comma-separated rows for external plotting.
+func ChurnCSV(ps []ChurnPoint) string {
+	var b strings.Builder
+	b.WriteString("dataset,ops,queries,swaps,avg_latency,avg_tuning,avg_epoch_restarts,restarted_frac\n")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.4f,%.4f,%.4f,%.4f\n",
+			p.Dataset, p.Ops, p.Queries, p.Swaps, p.AvgLatency, p.AvgTuning, p.AvgEpochRestarts, p.RestartedFrac)
+	}
+	return b.String()
+}

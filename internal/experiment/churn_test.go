@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"airindex/internal/dataset"
+)
+
+// TestChurnSweep pins the acceptance shape of the live-reconfiguration
+// experiment: every query at every churn level resolves correctly against
+// the generation it completed under (RunChurn fails otherwise), the static
+// baseline sees no swaps and no restarts, and churned cells actually
+// published generations.
+func TestChurnSweep(t *testing.T) {
+	ds := dataset.Uniform(40, 6100)
+	levels := []int{0, 16, 48}
+	ps, err := RunChurn(ds, 256, levels, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != len(levels) {
+		t.Fatalf("got %d points, want %d", len(ps), len(levels))
+	}
+	base := ps[0]
+	if base.Ops != 0 || base.Swaps != 0 {
+		t.Fatalf("baseline cell saw %d ops, %d swaps; want 0, 0", base.Ops, base.Swaps)
+	}
+	if base.AvgEpochRestarts != 0 || base.RestartedFrac != 0 {
+		t.Fatalf("baseline cell restarted: %+v", base)
+	}
+	for _, p := range ps[1:] {
+		if p.Swaps == 0 {
+			t.Errorf("churn level %d published no generations", p.Ops)
+		}
+		if p.AvgLatency <= 0 || p.AvgTuning <= 0 {
+			t.Errorf("churn level %d: degenerate averages %+v", p.Ops, p)
+		}
+	}
+
+	tables := ChurnTables(ps)
+	if !strings.Contains(tables, "live reconfiguration cost") {
+		t.Fatalf("tables missing header:\n%s", tables)
+	}
+	csv := ChurnCSV(ps)
+	if got := strings.Count(csv, "\n"); got != len(ps)+1 {
+		t.Fatalf("csv has %d lines, want %d", got, len(ps)+1)
+	}
+	if !strings.HasPrefix(csv, "dataset,ops,queries,swaps,") {
+		t.Fatalf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+}

@@ -34,7 +34,7 @@ func BenchmarkTransmitPerfectChannel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := tx.transmitSlot(bw, i); err != nil {
+		if err := tx.transmitSlot(bw, i, i, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +57,7 @@ func BenchmarkTransmitLossyChannel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := tx.transmitSlot(bw, i); err != nil {
+		if err := tx.transmitSlot(bw, i, i, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -30,16 +31,33 @@ type Client struct {
 
 	cur     Header // last frame's header
 	started bool
+
+	// Epoch pinning: a query pins the generation it probed and every
+	// subsequent frame must match, so a hot program swap is detected the
+	// moment the first new-generation frame is observed — before any stale
+	// index pointer can be dereferenced into a wrong answer.
+	expectGen uint32
+	genPinned bool
 }
 
 // Attempt bounds: how many index copies (resp. broadcast cycles) a query
 // may burn recovering one index packet (resp. its data bucket) before the
 // channel is declared hopeless. At 10% loss a retry fails with probability
 // well under 1/2, so 16 attempts leave a vanishing residual.
+// maxEpochRestarts separately bounds how many whole-query restarts a
+// reconfiguring broadcast may force before the client gives up; each swap
+// bumps the generation once, so hitting the bound means the server is
+// swapping faster than a query completes.
 const (
 	maxIndexAttempts  = 16
 	maxBucketAttempts = 16
+	maxEpochRestarts  = 8
 )
+
+// errStaleGeneration reports that a frame from a different broadcast
+// generation arrived while a query had its epoch pinned: the index layout
+// and bucket numbering the query accumulated belong to a dead program.
+var errStaleGeneration = errors.New("stream: broadcast generation changed mid-query")
 
 // Result is the outcome of one streamed query.
 type Result struct {
@@ -55,7 +73,10 @@ type Result struct {
 
 	LostSlots     int // slot-number gaps observed (frames the channel dropped)
 	CorruptFrames int // downloaded frames whose payload failed the checksum
-	Recoveries    int // recovery actions: index-copy resyncs + bucket retries
+	Recoveries    int // recovery actions: index-copy resyncs + bucket retries + epoch restarts
+
+	Generation    uint32 // broadcast generation the answer was resolved against
+	EpochRestarts int    // whole-query restarts forced by mid-query program swaps
 
 	FirstSlot int // absolute slot of the initial probe
 	LastSlot  int // absolute slot of the final frame observed
@@ -110,6 +131,19 @@ func (c *Client) advance(res *Result, parseIf func(Header) bool) (Header, []byte
 	if res != nil {
 		res.LastSlot = int(h.Slot)
 	}
+	if c.genPinned && h.Gen != c.expectGen {
+		// The broadcast was hot-swapped under the query. Discard the
+		// payload so the stream stays frame-aligned, count the skim, and
+		// surface the epoch change instead of letting the caller decode a
+		// frame of a program it holds no valid pointers into.
+		if _, err := c.r.Discard(int(h.PayloadLen)); err != nil {
+			return Header{}, nil, false, err
+		}
+		if res != nil {
+			res.DozedFrames++
+		}
+		return h, nil, false, errStaleGeneration
+	}
 	if !parseIf(h) {
 		if _, err := c.r.Discard(int(h.PayloadLen)); err != nil {
 			return Header{}, nil, false, err
@@ -156,21 +190,67 @@ func (c *Client) seek(target int, res *Result) (Header, []byte, bool, bool, erro
 	}
 }
 
-// Query resolves the data instance for point p from the live stream.
+// Query resolves the data instance for point p from the live stream. When
+// a hot program swap lands mid-query, the query abandons every stale index
+// pointer, backs off briefly, and re-issues itself against the new
+// generation — up to maxEpochRestarts times — accumulating the wasted
+// tuning and latency into the same Result rather than ever returning an
+// answer resolved against a dead program.
 func (c *Client) Query(p geom.Point) (Result, error) {
 	var res Result
+	c.genPinned = false
+	for restart := 0; ; restart++ {
+		err := c.queryOnce(p, &res, restart)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, errStaleGeneration) {
+			return res, err
+		}
+		// Epoch restart: the accumulated index cache, bucket id, and any
+		// partial download describe the old program. The radio was awake
+		// when the revealing frame arrived, so the slot is charged to
+		// recovery; latency keeps running from the original probe.
+		c.genPinned = false
+		res.EpochRestarts++
+		res.Recoveries++
+		res.TuneRecover++
+		res.Data = res.Data[:0]
+		if res.EpochRestarts >= maxEpochRestarts {
+			return res, fmt.Errorf("stream: query abandoned after %d epoch restarts (broadcast reconfiguring faster than queries complete)", maxEpochRestarts)
+		}
+	}
+}
+
+// queryOnce runs one full access-protocol pass (probe, index search, bucket
+// download) against a single pinned generation, accumulating counters into
+// res. It returns errStaleGeneration the moment any frame reveals a swap.
+func (c *Client) queryOnce(p geom.Point, res *Result, restart int) error {
+	// Backoff after an epoch restart: doze restart frames before re-probing,
+	// so consecutive restarts spread out instead of hammering the stream the
+	// instant each new generation appears.
+	for i := 0; i < restart; i++ {
+		if _, _, _, err := c.advance(res, func(Header) bool { return false }); err != nil {
+			return err
+		}
+		res.DozedFrames++
+	}
 
 	// Initial probe: parse the next frame to learn where the next index
-	// copy starts. Only the header matters here, so a corrupt payload does
+	// copy starts and pin the generation the whole query must resolve
+	// against. Only the header matters here, so a corrupt payload does
 	// not hurt — the energy was spent either way.
-	probe, _, _, err := c.advance(&res, parseAlways)
+	probe, _, _, err := c.advance(res, parseAlways)
 	if err != nil {
-		return res, err
+		return err
 	}
-	res.TuneProbe = 1
-	first := int(probe.Slot)
-	res.FirstSlot = first
-	idxBase := first + int(probe.NextIndex)
+	c.expectGen, c.genPinned = probe.Gen, true
+	res.Generation = probe.Gen
+	res.TuneProbe++
+	if res.TuneProbe == 1 {
+		res.FirstSlot = int(probe.Slot)
+	}
+	idxBase := int(probe.Slot) + int(probe.NextIndex)
 
 	// Index search: feed the D-tree byte decoder from the live stream. The
 	// provider caches parsed packets (client memory); an offset that has
@@ -188,7 +268,7 @@ func (c *Client) Query(p geom.Point) (Result, error) {
 				idxBase = int(c.cur.Slot) + int(c.cur.NextIndex)
 				target = idxBase + k
 			}
-			h, payload, corrupt, ok, err := c.seek(target, &res)
+			h, payload, corrupt, ok, err := c.seek(target, res)
 			if err != nil {
 				return nil, err
 			}
@@ -216,7 +296,7 @@ func (c *Client) Query(p geom.Point) (Result, error) {
 	}
 	bucket, _, err := core.ClientLocateFrom(get, c.capacity, p)
 	if err != nil {
-		return res, err
+		return err
 	}
 	res.Bucket = bucket
 
@@ -241,9 +321,9 @@ func (c *Client) Query(p geom.Point) (Result, error) {
 		return attempts < maxBucketAttempts
 	}
 	for {
-		h, payload, corrupt, err := c.advance(&res, wants)
+		h, payload, corrupt, err := c.advance(res, wants)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if payload == nil && !corrupt {
 			res.DozedFrames++
@@ -284,9 +364,9 @@ func (c *Client) Query(p geom.Point) (Result, error) {
 		res.Data = append(res.Data, payload...)
 		collected++
 		if collected == expect {
-			res.Latency = float64(int(h.Slot) + 1 - first)
-			return res, nil
+			res.Latency = float64(int(h.Slot) + 1 - res.FirstSlot)
+			return nil
 		}
 	}
-	return res, fmt.Errorf("stream: bucket %d not retrieved intact after %d attempts", bucket, maxBucketAttempts)
+	return fmt.Errorf("stream: bucket %d not retrieved intact after %d attempts", bucket, maxBucketAttempts)
 }

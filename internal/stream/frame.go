@@ -27,28 +27,41 @@ const (
 const frameMagic = 0x4158 // "AX"
 
 // frameVersion is the wire-format version. v1 was the checksum-less
-// 16-byte header; v2 claims the former pad byte as a version field and
-// appends a CRC32 payload checksum so receivers can detect corruption.
-const frameVersion = 2
+// 16-byte header; v2 claimed the former pad byte as a version field and
+// appended a CRC32 payload checksum; v3 adds the 32-bit broadcast
+// generation so clients detect live program swaps (site churn) and abandon
+// stale index state instead of decoding the wrong program.
+const frameVersion = 3
 
 // headerSize is the fixed frame-header length in bytes.
-const headerSize = 20
+const headerSize = 24
 
 // Header describes one broadcast frame. Every frame carries the offset to
 // the start of the next index copy — the paper's "pointer to the root of
 // the next index" present in every packet — so a client can probe at any
-// moment, and a CRC over the payload so it can tell a damaged download
-// from a good one.
+// moment, a CRC over the payload so it can tell a damaged download from a
+// good one, and the generation of the program it belongs to so a mid-query
+// hot swap is detected the instant the first new-generation frame is
+// observed.
 type Header struct {
 	Kind       uint8
 	Slot       uint32 // absolute slot number, strictly increasing
 	Seq        uint32 // index: packet offset in the copy; data: bucket<<8 | packet-in-bucket
 	NextIndex  uint32 // slots from this frame to the next index-copy start
 	PayloadLen uint16
+	Gen        uint32 // broadcast program generation (bumped by every hot swap)
 	CRC        uint32 // IEEE CRC32 of the payload
 }
 
-// DataSeq packs a data frame's sequence field.
+// MaxBucketPackets bounds the packets of one data bucket: DataSeq keeps
+// the packet-in-bucket in the low 8 bits of the sequence field, so a
+// bucket spanning more packets would silently alias. Program validation
+// rejects such programs at build time.
+const MaxBucketPackets = 256
+
+// DataSeq packs a data frame's sequence field. pkt must be below
+// MaxBucketPackets; Program.Validate enforces that before any frame is
+// rendered.
 func DataSeq(bucket, pkt int) uint32 { return uint32(bucket)<<8 | uint32(pkt&0xff) }
 
 // Bucket extracts the bucket id from a data frame's sequence field.
@@ -66,9 +79,9 @@ func Checksum(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
 // verbatim — the transmit path stamps it before the fault middleware may
 // damage the payload, so corruption on the air is detectable. Header
 // layout, little endian: magic(2) kind(1) version(1) slot(4) seq(4)
-// payloadLen(2) nextIndex(2) crc(4). The 16-bit next-index delta bounds
-// one (1, m) data segment plus index copy at 65535 slots, ample for every
-// paper configuration.
+// payloadLen(2) nextIndex(2) gen(4) crc(4). The 16-bit next-index delta
+// bounds one (1, m) data segment plus index copy at 65535 slots, ample for
+// every paper configuration.
 func marshalFrame(h Header, payload []byte) ([]byte, error) {
 	if len(payload) != int(h.PayloadLen) {
 		return nil, fmt.Errorf("stream: payload %d bytes, header says %d", len(payload), h.PayloadLen)
@@ -84,7 +97,8 @@ func marshalFrame(h Header, payload []byte) ([]byte, error) {
 	binary.LittleEndian.PutUint32(buf[8:], h.Seq)
 	binary.LittleEndian.PutUint16(buf[12:], h.PayloadLen)
 	binary.LittleEndian.PutUint16(buf[14:], uint16(h.NextIndex))
-	binary.LittleEndian.PutUint32(buf[16:], h.CRC)
+	binary.LittleEndian.PutUint32(buf[16:], h.Gen)
+	binary.LittleEndian.PutUint32(buf[20:], h.CRC)
 	copy(buf[headerSize:], payload)
 	return buf, nil
 }
@@ -119,6 +133,7 @@ func readHeader(r io.Reader) (Header, error) {
 		Seq:        binary.LittleEndian.Uint32(buf[8:]),
 		PayloadLen: binary.LittleEndian.Uint16(buf[12:]),
 		NextIndex:  uint32(binary.LittleEndian.Uint16(buf[14:])),
-		CRC:        binary.LittleEndian.Uint32(buf[16:]),
+		Gen:        binary.LittleEndian.Uint32(buf[16:]),
+		CRC:        binary.LittleEndian.Uint32(buf[20:]),
 	}, nil
 }

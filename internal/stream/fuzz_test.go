@@ -66,10 +66,11 @@ func FuzzReadFrame(f *testing.F) {
 }
 
 // TestReadHeaderRejectsForeignVersions pins the version gate: v1 frames
-// (pad byte zero) and future versions must be refused, not misparsed.
+// (pad byte zero), the 20-byte v2, and future versions must be refused, not
+// misparsed.
 func TestReadHeaderRejectsForeignVersions(t *testing.T) {
 	valid := frameBytes(t, Header{Kind: KindIndex, Slot: 1, PayloadLen: 4, NextIndex: 9}, []byte{1, 2, 3, 4})
-	for _, v := range []byte{0, 1, 3, 0xff} {
+	for _, v := range []byte{0, 1, 2, 0xff} {
 		frame := append([]byte(nil), valid...)
 		frame[3] = v
 		if _, err := readHeader(bytes.NewReader(frame)); err == nil {

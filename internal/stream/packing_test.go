@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"airindex/internal/broadcast"
+)
+
+// TestDataSeqAliasingHazard documents why MaxBucketPackets exists: the
+// packet-in-bucket lives in 8 bits of the sequence field, so packets 256
+// apart in an oversized bucket would be indistinguishable on the air and a
+// client could assemble a bucket out of the wrong packets without noticing.
+func TestDataSeqAliasingHazard(t *testing.T) {
+	if DataSeq(3, 0) != DataSeq(3, MaxBucketPackets) {
+		t.Fatal("expected aliasing at MaxBucketPackets — if this stopped aliasing, the wire format grew and the validation limit must move with it")
+	}
+	if DataSeq(3, MaxBucketPackets-1) == DataSeq(3, MaxBucketPackets) {
+		t.Fatal("distinct in-range packets must not alias")
+	}
+	h := Header{Kind: KindData, Seq: DataSeq(7, 255)}
+	if h.Bucket() != 7 || h.BucketPacket() != 255 {
+		t.Fatalf("round trip (7, 255) -> (%d, %d)", h.Bucket(), h.BucketPacket())
+	}
+}
+
+// TestProgramRejectsOversizedBuckets pins the guard: a program whose
+// schedule splits a bucket across more than MaxBucketPackets packets must
+// be rejected before a single frame is rendered, with an error that names
+// the limit.
+func TestProgramRejectsOversizedBuckets(t *testing.T) {
+	sched, err := broadcast.NewSchedule(1, 4, MaxBucketPackets+1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &Program{
+		Capacity:     64,
+		IndexPackets: [][]byte{make([]byte, 64)},
+		Sched:        sched,
+	}
+	err = prog.Validate()
+	if err == nil {
+		t.Fatal("oversized bucket accepted")
+	}
+	if !strings.Contains(err.Error(), "8-bit") {
+		t.Fatalf("error %q does not explain the packing limit", err)
+	}
+	if _, rerr := prog.Rendered(); rerr == nil {
+		t.Fatal("oversized bucket rendered")
+	}
+	// The largest legal bucket must still validate.
+	sched, err = broadcast.NewSchedule(1, 4, MaxBucketPackets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := &Program{
+		Capacity:     64,
+		IndexPackets: [][]byte{make([]byte, 64)},
+		Sched:        sched,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("bucket of exactly MaxBucketPackets rejected: %v", err)
+	}
+}

@@ -32,6 +32,10 @@ func NewDTreeProgram(sub *region.Subdivision, capacity, m int) (*Program, error)
 		return nil, fmt.Errorf("stream: subdivision of %d regions produced an empty index", sub.N())
 	}
 	bucketPackets := params.DataBucketPackets()
+	if bucketPackets > MaxBucketPackets {
+		return nil, fmt.Errorf("stream: capacity %d splits each %d B data instance into %d packets, beyond the wire format's %d-packet bucket limit",
+			capacity, params.DataInstanceSize, bucketPackets, MaxBucketPackets)
+	}
 	if m <= 0 {
 		m = broadcast.OptimalM(len(packets), sub.N()*bucketPackets)
 	}

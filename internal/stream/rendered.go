@@ -89,18 +89,23 @@ func (p *Program) transmitter(ch *channel.Channel) (*transmitter, error) {
 	return &transmitter{rc: rc, ch: ch}, nil
 }
 
-// transmitSlot writes the frame for one absolute slot. The perfect-channel
-// path patches the slot number into the connection's header scratch and
+// transmitSlot writes the frame whose content sits at cycle position rel,
+// stamped with the absolute slot number abs and the program generation gen
+// (both header patches; the payload CRC is unaffected). abs and rel differ
+// once a hot swap has replaced the program mid-connection: slot numbering
+// runs on uninterrupted while content restarts at the new cycle's origin.
+// The perfect-channel path patches the connection's header scratch and
 // writes the shared payload without copying or allocating; the fault path
 // assembles the frame in pooled scratch (the middleware may flip payload
 // bits), forwards it through the channel, and writes it unless dropped. A
 // dropped frame writes nothing: its slot elapses silently and the next
 // frame's slot number reveals the gap to the receiver.
-func (t *transmitter) transmitSlot(w *bufio.Writer, slot int) error {
-	f := &t.rc.frames[slot%len(t.rc.frames)]
+func (t *transmitter) transmitSlot(w *bufio.Writer, abs, rel int, gen uint32) error {
+	f := &t.rc.frames[rel%len(t.rc.frames)]
 	if t.ch == nil {
 		copy(t.hdr[:], f.hdr[:])
-		binary.LittleEndian.PutUint32(t.hdr[4:], uint32(slot))
+		binary.LittleEndian.PutUint32(t.hdr[4:], uint32(abs))
+		binary.LittleEndian.PutUint32(t.hdr[16:], gen)
 		if _, err := w.Write(t.hdr[:]); err != nil {
 			return err
 		}
@@ -110,7 +115,8 @@ func (t *transmitter) transmitSlot(w *bufio.Writer, slot int) error {
 	bp := framePool.Get().(*[]byte)
 	buf := append((*bp)[:0], f.hdr[:]...)
 	buf = append(buf, f.payload...)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(slot))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(abs))
+	binary.LittleEndian.PutUint32(buf[16:], gen)
 	var err error
 	if t.ch.Transmit(buf, headerSize) {
 		_, err = w.Write(buf)

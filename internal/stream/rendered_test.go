@@ -14,6 +14,7 @@ import (
 // reference the optimized path must match byte for byte.
 func legacyTransmitSlot(w io.Writer, p *Program, slot int) error {
 	h, payload := p.frameAt(slot)
+	h.Gen = 1 // the transmit path stamps the generation; gen 1 = fresh server
 	h.CRC = Checksum(payload)
 	buf, err := marshalFrame(h, payload)
 	if err != nil {
@@ -43,7 +44,7 @@ func TestRenderedCycleMatchesFrameAt(t *testing.T) {
 	var got bytes.Buffer
 	bw := bufio.NewWriterSize(&got, txBufSize)
 	for s := 0; s < slots; s++ {
-		if err := tx.transmitSlot(bw, s); err != nil {
+		if err := tx.transmitSlot(bw, s, s, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -83,7 +84,7 @@ func TestTransmitPerfectChannelZeroAllocs(t *testing.T) {
 	bw := bufio.NewWriterSize(io.Discard, txBufSize)
 	slot := 0
 	allocs := testing.AllocsPerRun(2000, func() {
-		if err := tx.transmitSlot(bw, slot); err != nil {
+		if err := tx.transmitSlot(bw, slot, slot, 1); err != nil {
 			t.Fatal(err)
 		}
 		slot++

@@ -2,9 +2,12 @@ package stream
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +21,11 @@ import (
 // measure the same I/O batching (one syscall per ~64 KB instead of per
 // frame).
 const txBufSize = 64 << 10
+
+// ErrServerClosed is returned by Serve after Close or Shutdown, so callers
+// can tell a deliberate stop from an accept failure (net/http's
+// ErrServerClosed convention).
+var ErrServerClosed = errors.New("stream: server closed")
 
 // Program is the broadcast content: the encoded index packets, the (1, m)
 // schedule that orders them with the data, and the data payload source.
@@ -69,6 +77,12 @@ func (p *Program) Validate() error {
 	if len(p.IndexPackets) != p.Sched.IndexPackets {
 		return fmt.Errorf("stream: %d index packets, schedule says %d", len(p.IndexPackets), p.Sched.IndexPackets)
 	}
+	if p.Sched.BucketPackets > MaxBucketPackets {
+		// DataSeq keeps the packet-in-bucket in 8 bits; a larger bucket
+		// would silently alias packets MaxBucketPackets apart on the air.
+		return fmt.Errorf("stream: %d packets per data bucket exceeds the wire format's limit of %d (packet-in-bucket is an 8-bit field)",
+			p.Sched.BucketPackets, MaxBucketPackets)
+	}
 	for k, pkt := range p.IndexPackets {
 		if len(pkt) != p.Capacity {
 			return fmt.Errorf("stream: index packet %d has %d bytes", k, len(pkt))
@@ -113,15 +127,27 @@ func (p *Program) frameAt(slot int) (Header, []byte) {
 	return h, payload
 }
 
+// liveProgram pairs a program with the generation number it broadcasts
+// under. The pair is published atomically so connection goroutines always
+// see a consistent (program, generation) and never a torn swap.
+type liveProgram struct {
+	prog *Program
+	gen  uint32
+}
+
 // Server broadcasts a Program. Each connection receives its own contiguous
 // frame stream beginning at the server's current slot position when it
 // tuned in — like switching on a radio — and advances independently, so a
 // slow client does not stall a fast one (a real channel would drop frames
 // instead; per-connection pacing keeps the protocol identical from the
 // client's point of view).
+//
+// The program can be replaced while serving (Swap): each connection picks
+// up the new program at its next cycle boundary, keeps the absolute slot
+// numbering running uninterrupted, and stamps every frame with the
+// program's generation so clients detect the change.
 type Server struct {
-	prog *Program
-	ln   net.Listener
+	ln net.Listener
 
 	// SlotDuration throttles the broadcast to real time; zero streams at
 	// full speed (useful for tests and simulations).
@@ -138,21 +164,83 @@ type Server struct {
 	// gap in the slot numbering, as on a real fading channel.
 	Channel func() *channel.Channel
 
-	start  time.Time
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	// WriteTimeout bounds every underlying connection write. A receiver
+	// that cannot drain the broadcast for this long is evicted (counted in
+	// Evictions) instead of pinning a goroutine and its buffers forever.
+	// Zero disables the deadline.
+	WriteTimeout time.Duration
+
+	// Logf, when set, receives lifecycle diagnostics: recovered connection
+	// panics and slow-client evictions.
+	Logf func(format string, args ...any)
+
+	cur    atomic.Pointer[liveProgram]
+	swapMu sync.Mutex // serializes Swap against Swap and against shutdown
+
+	start     time.Time
+	closed    atomic.Bool // hard stop: connections exit at the next slot
+	draining  atomic.Bool // soft stop: connections exit at the next cycle boundary
+	wg        sync.WaitGroup
+	evictions atomic.Int64
+	panics    atomic.Int64
 
 	mu    sync.Mutex
 	conns map[net.Conn]bool
 }
 
 // NewServer wraps a listener. Serve must be called to start accepting.
+// The initial program broadcasts as generation 1.
 func NewServer(ln net.Listener, prog *Program) (*Server, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{prog: prog, ln: ln, start: time.Now(), conns: make(map[net.Conn]bool)}, nil
+	s := &Server{ln: ln, start: time.Now(), conns: make(map[net.Conn]bool)}
+	s.cur.Store(&liveProgram{prog: prog, gen: 1})
+	return s, nil
 }
+
+// Swap validates, renders, and publishes a new broadcast program, returning
+// the generation it will broadcast under. Every connection switches at its
+// next cycle boundary — the first slot of the new program is an index-copy
+// start, so the trailing frames of the old cycle still point at a valid
+// index root. The packet capacity must not change across a swap: clients
+// size their reads from the probe frame and cannot follow a capacity
+// change.
+func (s *Server) Swap(next *Program) (uint32, error) {
+	if err := next.Validate(); err != nil {
+		return 0, err
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if s.closed.Load() || s.draining.Load() {
+		return 0, ErrServerClosed
+	}
+	cur := s.cur.Load()
+	if next.Capacity != cur.prog.Capacity {
+		return 0, fmt.Errorf("stream: swap changes packet capacity %d -> %d; live clients cannot follow", cur.prog.Capacity, next.Capacity)
+	}
+	// Render before publishing so connections never pay the build cost on
+	// their hot path (and a render failure leaves the old program live).
+	if _, err := next.Rendered(); err != nil {
+		return 0, err
+	}
+	gen := cur.gen + 1
+	s.cur.Store(&liveProgram{prog: next, gen: gen})
+	return gen, nil
+}
+
+// Generation returns the generation of the currently published program.
+func (s *Server) Generation() uint32 { return s.cur.Load().gen }
+
+// Program returns the currently published program.
+func (s *Server) Program() *Program { return s.cur.Load().prog }
+
+// Evictions reports how many slow clients were evicted by WriteTimeout.
+func (s *Server) Evictions() int64 { return s.evictions.Load() }
+
+// RecoveredPanics reports how many connection goroutines panicked and were
+// contained without taking the server down.
+func (s *Server) RecoveredPanics() int64 { return s.panics.Load() }
 
 // currentSlot is the server's shared broadcast clock: the slot a radio
 // tuning in right now would first hear. It is derived from a single
@@ -171,14 +259,26 @@ func (s *Server) currentSlot() int {
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Serve accepts connections until the listener closes; every connection
-// receives the broadcast starting from the shared current slot.
+// stopping reports whether the server has begun any form of shutdown.
+func (s *Server) stopping() bool { return s.closed.Load() || s.draining.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the server is closed or shut down, in
+// which case it returns ErrServerClosed; every connection receives the
+// broadcast starting from the shared current slot. A panic in one
+// connection's stream is recovered and counted — one poisoned connection
+// cannot take the broadcast down for everyone else.
 func (s *Server) Serve() error {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			if s.closed.Load() {
-				return nil
+			if s.stopping() {
+				return ErrServerClosed
 			}
 			return err
 		}
@@ -194,18 +294,44 @@ func (s *Server) Serve() error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
+			defer func() {
+				if r := recover(); r != nil {
+					s.panics.Add(1)
+					s.logf("stream: connection %v: recovered panic: %v", conn.RemoteAddr(), r)
+				}
+			}()
 			s.streamTo(conn)
 		}()
 	}
 }
 
+// deadlineWriter arms a write deadline before every underlying write, so a
+// receiver that stops draining surfaces os.ErrDeadlineExceeded instead of
+// blocking the connection goroutine forever.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	if w.timeout > 0 {
+		w.conn.SetWriteDeadline(time.Now().Add(w.timeout)) //nolint:errcheck
+	}
+	return w.conn.Write(p)
+}
+
 // streamTo broadcasts frames to one connection until it errors or the
-// server closes. Frames come from the shared rendered cycle — the
+// server stops. Frames come from the shared rendered cycle — the
 // perfect-channel path performs no per-frame allocation or copying beyond
-// the 20-byte header patch. Writes are buffered (one syscall per ~64 KB
+// the 24-byte header patch. Writes are buffered (one syscall per ~64 KB
 // instead of per frame); with real-time pacing every frame is flushed on
 // its slot tick.
-func (s *Server) streamTo(w io.Writer) {
+//
+// At every cycle boundary the goroutine checks for a swapped program and,
+// when draining, exits — so a graceful shutdown always completes the cycle
+// in flight, and a swap never tears an index copy or a bucket in half.
+func (s *Server) streamTo(conn net.Conn) {
+	lp := s.cur.Load()
 	var slot int
 	if s.StartSlot != nil {
 		slot = s.StartSlot()
@@ -216,18 +342,39 @@ func (s *Server) streamTo(w io.Writer) {
 	if s.Channel != nil {
 		ch = s.Channel()
 	}
-	tx, err := s.prog.transmitter(ch)
+	tx, err := lp.prog.transmitter(ch)
 	if err != nil {
 		return
 	}
-	bw := bufio.NewWriterSize(w, txBufSize)
+	cycle := lp.prog.Sched.CycleLen()
+	// Content position is slot-contentBase: zero for a fresh connection
+	// (frame content at absolute slot s is s % cycle, as always), rebased
+	// to the swap slot when a new program takes over mid-connection.
+	contentBase := 0
+	bw := bufio.NewWriterSize(&deadlineWriter{conn: conn, timeout: s.WriteTimeout}, txBufSize)
 	for !s.closed.Load() {
-		if err := tx.transmitSlot(bw, slot); err != nil {
+		if (slot-contentBase)%cycle == 0 {
+			if s.draining.Load() {
+				break
+			}
+			if next := s.cur.Load(); next.gen != lp.gen {
+				ntx, terr := next.prog.transmitter(ch)
+				if terr != nil {
+					return
+				}
+				lp, tx = next, ntx
+				cycle = lp.prog.Sched.CycleLen()
+				contentBase = slot
+			}
+		}
+		if err := tx.transmitSlot(bw, slot, slot-contentBase, lp.gen); err != nil {
+			s.noteWriteError(conn, err)
 			return
 		}
 		slot++
 		if s.SlotDuration > 0 {
 			if err := bw.Flush(); err != nil {
+				s.noteWriteError(conn, err)
 				return
 			}
 			time.Sleep(s.SlotDuration)
@@ -236,10 +383,21 @@ func (s *Server) streamTo(w io.Writer) {
 	bw.Flush() //nolint:errcheck
 }
 
+// noteWriteError classifies a failed connection write: a deadline
+// expiration is a slow-client eviction worth counting; anything else is an
+// ordinary disconnect.
+func (s *Server) noteWriteError(conn net.Conn, err error) {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		s.evictions.Add(1)
+		s.logf("stream: evicted slow client %v: %v", conn.RemoteAddr(), err)
+	}
+}
+
 // Transmit streams the program's frames to w, beginning at startSlot and
 // passing every frame through ch (nil = perfect channel), until the writer
 // fails — the listener-less analogue of Server for net.Pipe tests and the
-// loss-rate experiments. Closing the pipe is how callers stop it.
+// loss-rate experiments. Frames carry generation 1, matching a freshly
+// started server. Closing the pipe is how callers stop it.
 func (p *Program) Transmit(w io.Writer, startSlot int, ch *channel.Channel) error {
 	tx, err := p.transmitter(ch)
 	if err != nil {
@@ -247,15 +405,49 @@ func (p *Program) Transmit(w io.Writer, startSlot int, ch *channel.Channel) erro
 	}
 	bw := bufio.NewWriterSize(w, txBufSize)
 	for slot := startSlot; ; slot++ {
-		if err := tx.transmitSlot(bw, slot); err != nil {
+		if err := tx.transmitSlot(bw, slot, slot, 1); err != nil {
 			return err
 		}
 	}
 }
 
-// Close stops accepting, severs every active stream, and waits for the
-// per-connection goroutines to exit.
+// Shutdown stops accepting and drains gracefully: every connection streams
+// on to its next cycle boundary — completing the index copy or bucket in
+// flight — flushes, and exits. If ctx expires before the drain completes,
+// the stragglers are severed immediately and ctx.Err() is returned; a
+// clean drain returns nil. Serve returns ErrServerClosed in either case.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	lnErr := s.ln.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.closed.Store(true)
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.closed.Store(true)
+	if err == nil && lnErr != nil && !errors.Is(lnErr, net.ErrClosed) {
+		err = lnErr
+	}
+	return err
+}
+
+// Close stops accepting, severs every active stream immediately, and waits
+// for the per-connection goroutines to exit. Safe to call after Shutdown.
 func (s *Server) Close() error {
+	s.draining.Store(true)
 	s.closed.Store(true)
 	err := s.ln.Close()
 	s.mu.Lock()
@@ -264,5 +456,8 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
 	return err
 }

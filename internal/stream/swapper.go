@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"airindex/internal/geom"
+	"airindex/internal/region"
+	"airindex/internal/voronoi"
+)
+
+// Site churn: the live-reconfiguration pipeline. A Swapper owns the
+// broadcast's site population through a voronoi.Maintainer; each Apply
+// batch mutates the diagram incrementally (bit-identical to a from-scratch
+// rebuild, see internal/voronoi), rebuilds the D-tree program off the
+// serving hot path, and publishes it to the bound Server, which rolls every
+// connection over at its next cycle boundary under a bumped generation.
+
+// SiteOp kinds.
+const (
+	OpAdd = iota
+	OpRemove
+	OpMove
+)
+
+// SiteOp is one site mutation of an Apply batch.
+type SiteOp struct {
+	Kind int
+	ID   int        // Remove, Move: the live site id to touch
+	P    geom.Point // Add, Move: the (new) location
+}
+
+// Generation is one published broadcast program together with the ground
+// truth it was built from, kept so verifiers can check a query answer
+// against the exact program its generation stamp names — even after later
+// swaps replaced it on the air.
+type Generation struct {
+	Gen  uint32
+	Sub  *region.Subdivision // the subdivision the program indexes
+	IDs  []int               // region index -> stable site id
+	Prog *Program
+}
+
+// Swapper drives live reconfiguration end to end. All methods are safe for
+// concurrent use; Apply batches serialize against each other.
+type Swapper struct {
+	capacity int
+	m        int
+
+	mu    sync.Mutex
+	maint *voronoi.Maintainer
+	gens  map[uint32]*Generation
+	cur   *Generation
+	srv   *Server // nil until Bind
+}
+
+// NewSwapper builds the initial program (generation 1) for the given sites.
+// m <= 0 picks the optimal number of index copies per cycle.
+func NewSwapper(area geom.Rect, sites []geom.Point, capacity, m int) (*Swapper, error) {
+	maint, err := voronoi.NewMaintainer(area, sites)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Swapper{capacity: capacity, m: m, maint: maint, gens: make(map[uint32]*Generation)}
+	gen, err := sw.buildLocked(1)
+	if err != nil {
+		return nil, err
+	}
+	sw.remember(gen)
+	return sw, nil
+}
+
+// buildLocked snapshots the maintainer and compiles a program; the caller
+// holds mu (or, in NewSwapper, exclusive ownership).
+func (sw *Swapper) buildLocked(gen uint32) (*Generation, error) {
+	sub, ids, err := sw.maint.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := NewDTreeProgram(sub, sw.capacity, sw.m)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := prog.Rendered(); err != nil {
+		return nil, err
+	}
+	return &Generation{Gen: gen, Sub: sub, IDs: ids, Prog: prog}, nil
+}
+
+func (sw *Swapper) remember(g *Generation) {
+	sw.gens[g.Gen] = g
+	sw.cur = g
+}
+
+// Program returns the most recently built program (for NewServer).
+func (sw *Swapper) Program() *Program { return sw.Current().Prog }
+
+// Bind attaches the swapper to the server its programs publish to. The
+// server must have been built from sw.Program() so generation numbering
+// lines up (NewServer starts at generation 1, as does NewSwapper).
+func (sw *Swapper) Bind(srv *Server) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.srv = srv
+}
+
+// Current returns the latest built generation.
+func (sw *Swapper) Current() *Generation {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.cur
+}
+
+// Generation returns the published generation gen, or nil if unknown.
+func (sw *Swapper) Generation(gen uint32) *Generation {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.gens[gen]
+}
+
+// Len returns the current number of live sites.
+func (sw *Swapper) Len() int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.maint.Len()
+}
+
+// LiveSiteIDs returns the ids of the live sites.
+func (sw *Swapper) LiveSiteIDs() []int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	ids, _ := sw.maint.LiveSites()
+	return ids
+}
+
+// Apply runs one batch of site operations through the maintainer, rebuilds
+// the broadcast program in this goroutine (off the serving hot path), and —
+// when bound — publishes it to the server, returning the new generation.
+// An operation that fails stops the batch: operations already applied stay
+// applied and ARE published (the diagram is valid after every op), so the
+// broadcast never reflects a half-applied operation, only a shortened
+// batch. The returned ids slice maps batch position -> resulting site id
+// (new id for Add/Move, the removed id echoed for Remove), valid for the
+// prefix that succeeded.
+func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	ids = make([]int, 0, len(ops))
+	var opErr error
+	for _, op := range ops {
+		var id int
+		switch op.Kind {
+		case OpAdd:
+			id, opErr = sw.maint.Add(op.P)
+		case OpRemove:
+			id, opErr = op.ID, sw.maint.Remove(op.ID)
+		case OpMove:
+			id, opErr = sw.maint.Move(op.ID, op.P)
+		default:
+			opErr = fmt.Errorf("stream: unknown site op kind %d", op.Kind)
+		}
+		if opErr != nil {
+			break
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 && opErr != nil {
+		// Nothing changed; keep the current generation on the air.
+		return sw.cur.Gen, nil, opErr
+	}
+	next := sw.cur.Gen + 1
+	g, err := sw.buildLocked(next)
+	if err != nil {
+		return sw.cur.Gen, ids, err
+	}
+	// Record the generation before publishing: a client may pin it and
+	// look up its ground truth the instant the first swapped frame is on
+	// the air, which can be before Swap even returns.
+	prev := sw.cur
+	sw.remember(g)
+	if sw.srv != nil {
+		if _, err := sw.srv.Swap(g.Prog); err != nil {
+			delete(sw.gens, g.Gen)
+			sw.cur = prev
+			return prev.Gen, ids, err
+		}
+	}
+	return next, ids, opErr
+}

@@ -10,40 +10,73 @@ import (
 
 // Maintainer keeps a set of Voronoi valid scopes up to date as data
 // instances appear and disappear between broadcast cycles, recomputing only
-// the affected cells: adding a site clips each neighbor once against one
-// new bisector; removing a site rebuilds only the cells that absorb the
-// vacated territory. Site ids are stable (removal leaves a tombstone), so
+// the affected cells. Site ids are stable (removal leaves a tombstone), so
 // the broadcast server can keep bucket numbering consistent.
 //
-// Live sites are bucketed in the same uniform grid Cells builds with, so
-// every update enumerates candidates nearest-first through expanding grid
-// rings instead of rescanning (and sorting) all live sites.
+// Every touched cell is rebuilt from scratch through the same nearest-first
+// clip sequence Cells uses, and per-cell build metadata (cellMeta) decides
+// exactly which cells an update can touch, so maintained cells are
+// bit-identical to a full rebuild of the live site set — the invariant the
+// live broadcast swap (stream.Swapper) relies on, pinned by
+// TestMaintainerBitIdenticalProperty.
 type Maintainer struct {
 	area  geom.Rect
 	sites []geom.Point
 	cells []geom.Polygon
+	meta  []cellMeta
 	alive []bool
 	n     int // alive count
 
 	grid *siteGrid
-	// maxRadius is an upper bound on the largest distance from any live
-	// site to a vertex of its own cell. It lets Add stop scanning once no
-	// farther cell could possibly reach the new site. Cells only shrink on
-	// Add and are recomputed on Remove, so the bound is raised whenever a
-	// cell is (re)built and never lowered — conservative but always valid.
-	maxRadius float64
+}
+
+// cellMeta records how a cell was built: the candidate sites actually
+// clipped against (in nearest-first order) and the squared distance of the
+// candidate that triggered the radius early-exit (+Inf when the enumeration
+// was exhausted, in which case every live site is in clipped). Together
+// they characterize exactly which site mutations can alter the cell's
+// bytes:
+//
+//   - every clipped candidate lies strictly nearer than the break
+//     candidate, and breakDist/2 exceeds the final cell's circumradius, so
+//     a site added at or beyond the break distance is never clipped and
+//     leaves the nearest-first clip sequence — hence the exact float64
+//     vertices — untouched;
+//   - a removed site the cell never clipped was enumerated at or after the
+//     break (or never), so removing it cannot change the sequence either.
+//
+// Cells failing these tests are rebuilt from scratch, which re-establishes
+// exact metadata for the new site set.
+type cellMeta struct {
+	clipped    []int32
+	breakDist2 float64
+}
+
+// hasClipped reports whether site id was part of the cell's clip sequence.
+func (c *cellMeta) hasClipped(id int) bool {
+	for _, j := range c.clipped {
+		if int(j) == id {
+			return true
+		}
+	}
+	return false
 }
 
 // NewMaintainer builds the initial diagram.
 func NewMaintainer(area geom.Rect, sites []geom.Point) (*Maintainer, error) {
-	cells, err := Cells(area, sites)
-	if err != nil {
-		return nil, err
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("voronoi: no sites")
+	}
+	for i, s := range sites {
+		if !area.Contains(s) {
+			return nil, fmt.Errorf("voronoi: site %d (%v) outside service area", i, s)
+		}
 	}
 	m := &Maintainer{
 		area:  area,
 		sites: append([]geom.Point(nil), sites...),
-		cells: cells,
+		cells: make([]geom.Polygon, len(sites)),
+		meta:  make([]cellMeta, len(sites)),
 		alive: make([]bool, len(sites)),
 		n:     len(sites),
 		grid:  newSiteGrid(area, sites),
@@ -51,16 +84,14 @@ func NewMaintainer(area geom.Rect, sites []geom.Point) (*Maintainer, error) {
 	for i := range m.alive {
 		m.alive[i] = true
 	}
-	for i, c := range cells {
-		m.raiseRadius(maxDistTo(c, sites[i]))
+	for i := range sites {
+		cell, meta, err := m.computeCell(i)
+		if err != nil {
+			return nil, err
+		}
+		m.cells[i], m.meta[i] = cell, meta
 	}
 	return m, nil
-}
-
-func (m *Maintainer) raiseRadius(r float64) {
-	if r > m.maxRadius {
-		m.maxRadius = r
-	}
 }
 
 // maybeRegrid re-dimensions the grid when the live population has drifted
@@ -97,68 +128,66 @@ func (m *Maintainer) Cell(id int) (geom.Polygon, error) {
 	return m.cells[id].Clone(), nil
 }
 
-// Add inserts a new site and returns its id. Only the cells the new site's
-// scope carves territory from are touched.
+// Add inserts a new site and returns its id. Only the cells whose clip
+// sequence the new site can enter — those whose break candidate lies
+// farther than the new site — are rebuilt.
 func (m *Maintainer) Add(p geom.Point) (int, error) {
 	if !m.area.Contains(p) {
 		return 0, fmt.Errorf("voronoi: site %v outside the service area", p)
 	}
-	// The new cell: clip the area against bisectors, nearest-first. A
-	// zero-distance candidate is a duplicate of a live site.
-	cell := m.area.Polygon()
-	it := m.grid.near(m.sites, p, nil)
-	for {
-		j, d2, ok := it.next()
-		if !ok {
-			break
-		}
-		d := math.Sqrt(d2)
-		if d < 1e-9 {
-			return 0, fmt.Errorf("voronoi: duplicate of live site %d", j)
-		}
-		if d/2 > maxDistTo(cell, p) {
-			break
-		}
-		cell = geom.ClipHalfPlane(cell, geom.Bisector(p, m.sites[j]))
-		if cell == nil {
-			return 0, fmt.Errorf("voronoi: new site %v has an empty scope (near-duplicate?)", p)
-		}
+	if j := m.grid.nearestIn(m.sites, p); j >= 0 && m.sites[j].Dist(p) < 1e-9 {
+		return 0, fmt.Errorf("voronoi: duplicate of live site %d", j)
 	}
-	// Clip every neighbor that loses territory: one half-plane each. A site
-	// farther than twice the largest live cell radius cannot be reached by
-	// the new scope, and neither can anything beyond it.
-	it = m.grid.near(m.sites, p, it.buffer())
-	for {
-		j, d2, ok := it.next()
-		if !ok {
-			break
+	var affected []int
+	for j, alive := range m.alive {
+		if alive && p.Dist2(m.sites[j]) < m.meta[j].breakDist2 {
+			affected = append(affected, j)
 		}
-		d := math.Sqrt(d2)
-		if d/2 > m.maxRadius {
-			break
-		}
-		if d/2 > maxDistTo(m.cells[j], m.sites[j]) {
-			continue // the new site cannot reach cell j
-		}
-		clipped := geom.ClipHalfPlane(m.cells[j], geom.Bisector(m.sites[j], p))
-		if clipped == nil {
-			return 0, fmt.Errorf("voronoi: site %d's scope vanished (near-duplicate insert?)", j)
-		}
-		m.cells[j] = clipped
 	}
 	id := len(m.sites)
 	m.sites = append(m.sites, p)
-	m.cells = append(m.cells, cell)
+	m.cells = append(m.cells, nil)
+	m.meta = append(m.meta, cellMeta{})
 	m.alive = append(m.alive, true)
 	m.n++
 	m.grid.insert(id, p)
-	m.raiseRadius(maxDistTo(cell, p))
+	rollback := func() {
+		m.grid.remove(id, p)
+		m.sites = m.sites[:id]
+		m.cells = m.cells[:id]
+		m.meta = m.meta[:id]
+		m.alive = m.alive[:id]
+		m.n--
+	}
+	cell, meta, err := m.computeCell(id)
+	if err != nil {
+		rollback()
+		return 0, fmt.Errorf("voronoi: new site %v has an empty scope (near-duplicate?)", p)
+	}
+	m.cells[id], m.meta[id] = cell, meta
+	var touched []int
+	for _, j := range affected {
+		nc, nm, err := m.computeCell(j)
+		if err != nil {
+			// Undo the insert, then restore the neighbors already rebuilt
+			// with the doomed site present.
+			rollback()
+			for _, k := range touched {
+				if rc, rm, rerr := m.computeCell(k); rerr == nil {
+					m.cells[k], m.meta[k] = rc, rm
+				}
+			}
+			return 0, err
+		}
+		m.cells[j], m.meta[j] = nc, nm
+		touched = append(touched, j)
+	}
 	m.maybeRegrid()
 	return id, nil
 }
 
-// Remove deletes a site; its territory is redistributed among the sites
-// whose bisectors could have bounded the removed cell, which are rebuilt.
+// Remove deletes a site; exactly the cells that clipped against it — the
+// only ones whose clip sequence its absence can alter — are rebuilt.
 func (m *Maintainer) Remove(id int) error {
 	if id < 0 || id >= len(m.sites) || !m.alive[id] {
 		return fmt.Errorf("voronoi: no live site %d", id)
@@ -166,31 +195,35 @@ func (m *Maintainer) Remove(id int) error {
 	if m.n == 1 {
 		return fmt.Errorf("voronoi: cannot remove the last site")
 	}
+	var affected []int
+	for j, alive := range m.alive {
+		if alive && j != id && m.meta[j].hasClipped(id) {
+			affected = append(affected, j)
+		}
+	}
 	s := m.sites[id]
-	reach := 2 * maxDistTo(m.cells[id], s)
 	m.alive[id] = false
 	m.n--
 	m.grid.remove(id, s)
-	it := m.grid.near(m.sites, s, nil)
-	for {
-		j, d2, ok := it.next()
-		if !ok {
-			break
-		}
-		if math.Sqrt(d2) > reach {
-			break // too far to have bordered the removed cell
-		}
-		cell, err := m.computeCell(j)
+	var touched []int
+	for _, j := range affected {
+		cell, meta, err := m.computeCell(j)
 		if err != nil {
+			// Restore the site, then the cells already rebuilt without it.
 			m.alive[id] = true
 			m.n++
 			m.grid.insert(id, s)
+			for _, k := range touched {
+				if rc, rm, rerr := m.computeCell(k); rerr == nil {
+					m.cells[k], m.meta[k] = rc, rm
+				}
+			}
 			return err
 		}
-		m.cells[j] = cell
-		m.raiseRadius(maxDistTo(cell, m.sites[j]))
+		m.cells[j], m.meta[j] = cell, meta
+		touched = append(touched, j)
 	}
-	m.cells[id] = nil
+	m.cells[id], m.meta[id] = nil, cellMeta{}
 	m.maybeRegrid()
 	return nil
 }
@@ -205,10 +238,13 @@ func (m *Maintainer) Move(id int, to geom.Point) (int, error) {
 	return m.Add(to)
 }
 
-// computeCell rebuilds one cell from scratch with nearest-first pruning.
-func (m *Maintainer) computeCell(id int) (geom.Polygon, error) {
+// computeCell rebuilds one cell from scratch with nearest-first pruning —
+// arithmetic-identical to the clip loop Cells runs — and records the build
+// metadata that future updates consult.
+func (m *Maintainer) computeCell(id int) (geom.Polygon, cellMeta, error) {
 	me := m.sites[id]
 	cell := m.area.Polygon()
+	meta := cellMeta{breakDist2: math.Inf(1)}
 	it := m.grid.near(m.sites, me, nil)
 	for {
 		j, d2, ok := it.next()
@@ -218,15 +254,21 @@ func (m *Maintainer) computeCell(id int) (geom.Polygon, error) {
 		if j == id {
 			continue
 		}
-		if math.Sqrt(d2)/2 > maxDistTo(cell, me) {
+		d := math.Sqrt(d2)
+		if d == 0 {
+			return nil, meta, fmt.Errorf("voronoi: duplicate sites %d and %d at %v", id, j, me)
+		}
+		if d/2 > maxDistTo(cell, me) {
+			meta.breakDist2 = d2
 			break
 		}
 		cell = geom.ClipHalfPlane(cell, geom.Bisector(me, m.sites[j]))
 		if cell == nil {
-			return nil, fmt.Errorf("voronoi: cell of site %d vanished", id)
+			return nil, meta, fmt.Errorf("voronoi: cell of site %d vanished", id)
 		}
+		meta.clipped = append(meta.clipped, int32(j))
 	}
-	return cell, nil
+	return cell, meta, nil
 }
 
 // LiveSites returns the live sites and their ids.

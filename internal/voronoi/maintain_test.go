@@ -1,6 +1,7 @@
 package voronoi
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -197,4 +198,98 @@ func TestMaintainerMove(t *testing.T) {
 		t.Error("moved site outside its new cell")
 	}
 	checkAgainstRebuild(t, m)
+}
+
+// requireBitIdentical asserts every live maintained cell is bitwise equal —
+// vertex count and exact float64 coordinates — to the cell a from-scratch
+// Cells rebuild of the live site set produces. This is the invariant the
+// live broadcast hot swap (stream.Swapper) relies on: a program built from
+// a Maintainer snapshot must be byte-identical to one built from scratch.
+func requireBitIdentical(t *testing.T, m *Maintainer, ctx string) {
+	t.Helper()
+	ids, sites := m.LiveSites()
+	want, err := Cells(area, sites)
+	if err != nil {
+		t.Fatalf("%s: rebuild: %v", ctx, err)
+	}
+	for k, id := range ids {
+		got := m.cells[id]
+		if len(got) != len(want[k]) {
+			t.Fatalf("%s: site %d: %d vertices incremental, %d rebuilt", ctx, id, len(got), len(want[k]))
+		}
+		for v := range got {
+			if got[v] != want[k][v] {
+				t.Fatalf("%s: site %d vertex %d: incremental %v, rebuilt %v", ctx, id, v, got[v], want[k][v])
+			}
+		}
+	}
+}
+
+// TestMaintainerBitIdenticalProperty drives random add/remove/move
+// sequences through the Maintainer across several seeds and population
+// scales (spanning the sorted-path and grid-path regimes of Cells, and
+// forcing regrids) and requires bit-identical cells after every operation
+// batch.
+func TestMaintainerBitIdenticalProperty(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		ops  int
+		seed int64
+	}{
+		{8, 120, 601},   // below gridMinSites: rebuild takes the sorted path
+		{40, 200, 602},  // grid path
+		{150, 300, 603}, // grid path, heavier neighborhoods
+	} {
+		rng := rand.New(rand.NewSource(tc.seed))
+		m, err := NewMaintainer(area, randomSites(tc.n, tc.seed+7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[int]bool{}
+		for i := 0; i < tc.n; i++ {
+			live[i] = true
+		}
+		pick := func() int {
+			k := rng.Intn(len(live))
+			for id := range live {
+				if k == 0 {
+					return id
+				}
+				k--
+			}
+			panic("unreachable")
+		}
+		requireBitIdentical(t, m, "initial")
+		for op := 0; op < tc.ops; op++ {
+			ctx := ""
+			switch r := rng.Float64(); {
+			case r < 0.40 || len(live) < 4:
+				id, err := m.Add(geom.Pt(rng.Float64()*10000, rng.Float64()*10000))
+				if err != nil {
+					t.Fatalf("n=%d op %d add: %v", tc.n, op, err)
+				}
+				live[id] = true
+				ctx = fmt.Sprintf("n=%d op %d add -> %d", tc.n, op, id)
+			case r < 0.70:
+				id := pick()
+				if err := m.Remove(id); err != nil {
+					t.Fatalf("n=%d op %d remove %d: %v", tc.n, op, id, err)
+				}
+				delete(live, id)
+				ctx = fmt.Sprintf("n=%d op %d remove %d", tc.n, op, id)
+			default:
+				id := pick()
+				nid, err := m.Move(id, geom.Pt(rng.Float64()*10000, rng.Float64()*10000))
+				if err != nil {
+					t.Fatalf("n=%d op %d move %d: %v", tc.n, op, id, err)
+				}
+				delete(live, id)
+				live[nid] = true
+				ctx = fmt.Sprintf("n=%d op %d move %d -> %d", tc.n, op, id, nid)
+			}
+			// Checking after every op keeps the failure context tight; it is
+			// what makes this a property test rather than an endpoint check.
+			requireBitIdentical(t, m, ctx)
+		}
+	}
 }
