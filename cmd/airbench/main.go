@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 		datasets   = flag.String("datasets", "uniform,hospital,park", "datasets to evaluate")
 		byArea     = flag.Bool("queries-by-area", false, "sample queries uniformly by area instead of by region")
 		csvOut     = flag.Bool("csv", false, "emit raw measurements as CSV")
+		jsonOut    = flag.Bool("json", false, "emit raw measurements as JSON; loss/churn cells carry per-cell observability snapshots")
 		seed       = flag.Int64("seed", 42, "random seed")
 		lossQ      = flag.Int("loss-queries", 200, "streamed queries per cell of the loss/churn sweeps (with -figure loss or churn)")
 		workers    = flag.Int("workers", 0, "simulation workers per cell (0 = one per CPU); results are identical at any count")
@@ -92,6 +94,10 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			if *jsonOut {
+				emitJSON(map[string]any{"figure": "dist", "dataset": d.Name, "points": ms})
+				continue
+			}
 			if *csvOut {
 				fmt.Print(experiment.CSV(ms))
 				continue
@@ -112,6 +118,10 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			if *jsonOut {
+				emitJSON(map[string]any{"figure": "loss", "dataset": d.Name, "capacity": caps[0], "points": ps})
+				continue
+			}
 			if *csvOut {
 				fmt.Print(experiment.LossCSV(ps))
 				continue
@@ -126,6 +136,10 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			if *jsonOut {
+				emitJSON(map[string]any{"figure": "churn", "dataset": d.Name, "capacity": caps[0], "points": ps})
+				continue
+			}
 			if *csvOut {
 				fmt.Print(experiment.ChurnCSV(ps))
 				continue
@@ -139,6 +153,10 @@ func main() {
 			ms, err := experiment.RunSkewed(d, cfg, *theta)
 			if err != nil {
 				fatal(err)
+			}
+			if *jsonOut {
+				emitJSON(map[string]any{"figure": "skew", "dataset": d.Name, "theta": *theta, "points": ms})
+				continue
 			}
 			if *csvOut {
 				fmt.Print(experiment.CSV(ms))
@@ -167,6 +185,10 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			if *jsonOut {
+				emitJSON(map[string]any{"figure": "ablation", "dataset": d.Name, "points": ms})
+				continue
+			}
 			if *csvOut {
 				fmt.Print(experiment.CSV(ms))
 				continue
@@ -185,6 +207,10 @@ func main() {
 	ms, err := experiment.RunAll(ds, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonOut {
+		emitJSON(map[string]any{"figure": *figure, "points": ms})
+		return
 	}
 	if *csvOut {
 		fmt.Print(experiment.CSV(ms))
@@ -209,6 +235,15 @@ func main() {
 		}
 		fmt.Printf("=== Figure %s ===\n", f)
 		fmt.Print(experiment.Figure(ms, figures[f]))
+	}
+}
+
+// emitJSON writes one figure's result document to stdout.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 }
 

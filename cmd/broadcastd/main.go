@@ -19,7 +19,12 @@
 //	           [-slot-duration 0] [-seed 1]
 //	           [-loss 0] [-burst 1] [-corrupt 0]
 //	           [-churn 0] [-churn-ops 4] [-write-timeout 30s]
-//	           [-drain-timeout 10s] [-demo]
+//	           [-drain-timeout 10s] [-debug-addr ""] [-demo]
+//
+// With -debug-addr the daemon also serves an HTTP debug endpoint:
+// /metrics (the server counters and histograms as JSON), /healthz (cycle
+// position, generation on the air, connection count) and /trace (recent
+// per-query Probe→Answer traces; populated by the -demo client).
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +44,7 @@ import (
 	"airindex/internal/channel"
 	"airindex/internal/dataset"
 	"airindex/internal/geom"
+	"airindex/internal/obs"
 	"airindex/internal/stream"
 )
 
@@ -56,6 +63,7 @@ func main() {
 		churnOps = flag.Int("churn-ops", 4, "site add/remove/move operations per churn batch")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "per-write deadline; stalled clients are evicted (0 = never)")
 		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget before stragglers are severed")
+		dbgAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz and /trace on this HTTP address (empty = disabled)")
 		demo     = flag.Bool("demo", false, "run a demo client against the server and exit")
 	)
 	flag.Parse()
@@ -130,6 +138,23 @@ func main() {
 		fatal(err)
 	}
 
+	// Debug endpoint: server metrics, health, and the query traces the
+	// demo client records.
+	traces := obs.NewTraceLog(256)
+	if *dbgAddr != "" {
+		dln, err := net.Listen("tcp", *dbgAddr)
+		if err != nil {
+			fatal(err)
+		}
+		handler := obs.NewHandler(srv.Metrics().Registry(), func() any { return srv.Health() }, traces)
+		go func() {
+			if err := http.Serve(dln, handler); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "broadcastd: debug endpoint:", err)
+			}
+		}()
+		fmt.Printf("broadcastd: debug endpoint on http://%s (/metrics /healthz /trace)\n", dln.Addr())
+	}
+
 	fmt.Printf("broadcastd: %s, %d instances, %d B packets, index %d packets, m=%d, cycle %d slots, listening on %s\n",
 		ds.Name, ds.N(), *capacity, len(prog.IndexPackets), prog.Sched.M, cycle, ln.Addr())
 	fmt.Printf("broadcastd: rendered cycle cached: %d frames, %.1f KB\n", frames, float64(bytes)/1024)
@@ -178,6 +203,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	client.Metrics = stream.NewClientMetrics()
+	client.Traces = traces
 
 	qrng := rand.New(rand.NewSource(*seed))
 	for q := 0; q < 8; q++ {
@@ -201,6 +228,10 @@ func main() {
 			fmt.Printf(" [gen %d]", res.Generation)
 		}
 		fmt.Println()
+	}
+	if lat, tune := client.Metrics.LatencySlots.Snapshot(), client.Metrics.TuningPackets.Snapshot(); lat.Count > 0 {
+		fmt.Printf("demo: %d queries, latency p50 %d / p99 %d slots, tuning p50 %d / p99 %d packets\n",
+			lat.Count, lat.P50, lat.P99, tune.P50, tune.P99)
 	}
 	client.Close()
 	if spec.Enabled() {

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDebugEndpointEndToEnd builds the real broadcastd binary, runs it in
+// demo mode with -debug-addr, and exercises the three debug endpoints
+// against the live process: /healthz while the broadcast is on the air,
+// /metrics after frames have been transmitted, and /trace after the demo
+// client has completed queries. This is the end-to-end proof that the
+// observability layer is reachable from outside the process.
+func TestDebugEndpointEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "broadcastd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Pace slots at 2ms so the demo stays alive long enough to be probed.
+	cmd := exec.Command(bin,
+		"-demo", "-dataset", "uniform", "-n", "40", "-capacity", "128",
+		"-slot-duration", "2ms", "-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// done is closed (not sent to) once the daemon exits, so every select
+	// below and the cleanup defer can all wait on it.
+	var waitErr error
+	done := make(chan struct{})
+	go func() { waitErr = cmd.Wait(); close(done) }()
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck
+		<-done
+	}()
+
+	// Scan the daemon's output for the debug address and the first
+	// completed demo query; keep draining afterwards so the child never
+	// blocks on a full pipe.
+	debugURL := make(chan string, 1)
+	queryDone := make(chan struct{})
+	var mu sync.Mutex
+	var tailBuf strings.Builder
+	tail := func() string { mu.Lock(); defer mu.Unlock(); return tailBuf.String() }
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sawQuery := false
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			tailBuf.WriteString(line + "\n")
+			mu.Unlock()
+			if _, rest, ok := strings.Cut(line, "debug endpoint on http://"); ok {
+				debugURL <- "http://" + strings.Fields(rest)[0]
+			}
+			if !sawQuery && strings.HasPrefix(line, "query (") {
+				sawQuery = true
+				close(queryDone)
+			}
+		}
+	}()
+
+	var base string
+	select {
+	case base = <-debugURL:
+	case <-done:
+		t.Fatalf("daemon exited before announcing the debug endpoint: %v\n%s", waitErr, tail())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("no debug endpoint announced\n%s", tail())
+	}
+
+	// /healthz: the broadcast clock is live and generation 1 is on the air.
+	var health struct {
+		Generation  uint32  `json:"generation"`
+		CycleLen    int     `json:"cycle_len"`
+		Progress    float64 `json:"cycle_progress"`
+		ConnsActive int64   `json:"conns_active"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Generation != 1 || health.CycleLen <= 0 {
+		t.Fatalf("healthz = %+v", health)
+	}
+	if health.Progress < 0 || health.Progress >= 1 {
+		t.Fatalf("healthz cycle_progress = %v, want [0, 1)", health.Progress)
+	}
+
+	// /trace after the demo client finishes its first query.
+	select {
+	case <-queryDone:
+	case <-done:
+		t.Fatalf("daemon exited before completing a demo query: %v\n%s", waitErr, tail())
+	case <-time.After(60 * time.Second):
+		t.Fatalf("no demo query completed\n%s", tail())
+	}
+	var trace struct {
+		Total  uint64 `json:"total"`
+		Traces []struct {
+			Bucket int `json:"bucket"`
+			Steps  []struct {
+				Kind string `json:"kind"`
+				Slot int    `json:"slot"`
+			} `json:"steps"`
+		} `json:"traces"`
+	}
+	getJSON(t, base+"/trace", &trace)
+	if trace.Total == 0 || len(trace.Traces) == 0 {
+		t.Fatalf("trace endpoint empty after a completed query: %+v", trace)
+	}
+	if steps := trace.Traces[0].Steps; len(steps) == 0 || steps[0].Kind != "probe" {
+		t.Fatalf("trace steps = %+v, want a probe-first sequence", steps)
+	}
+
+	// /metrics: frames have gone out to the demo client.
+	var metrics map[string]any
+	getJSON(t, base+"/metrics", &metrics)
+	for _, key := range []string{"frames_written", "bytes_written", "conns_total", "swap_latency_ns"} {
+		if _, ok := metrics[key]; !ok {
+			t.Fatalf("metrics payload missing %q: %v", key, metrics)
+		}
+	}
+	if fw, _ := metrics["frames_written"].(float64); fw <= 0 {
+		t.Fatalf("frames_written = %v, want > 0", metrics["frames_written"])
+	}
+
+	// The daemon must then finish its demo run cleanly on its own.
+	select {
+	case <-done:
+		if waitErr != nil {
+			t.Fatalf("daemon exited with %v\n%s", waitErr, tail())
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("daemon did not finish the demo run\n%s", tail())
+	}
+	if !strings.Contains(tail(), "demo: 8 queries") {
+		t.Fatalf("demo summary missing from output\n%s", tail())
+	}
+}
+
+// getJSON fetches url and decodes the JSON body, retrying briefly — the
+// endpoint may be a few milliseconds from accepting connections.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				err = rerr
+			} else if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("%s: status %s: %s", url, resp.Status, body)
+			} else if err = json.Unmarshal(body, v); err == nil {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

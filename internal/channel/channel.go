@@ -67,20 +67,29 @@ func (c *Channel) Stats() *Stats { return c.stats }
 // false when the channel drops the frame; on corruption the frame is
 // modified in place.
 func (c *Channel) Transmit(frame []byte, payloadStart int) bool {
+	return c.TransmitFault(frame, payloadStart) != Drop
+}
+
+// TransmitFault is Transmit reporting the fault the channel assigned to
+// the frame, so instrumented transmit paths (internal/obs) can count
+// deliveries, drops and corruptions separately. A frame whose corruption
+// could not land (empty payload) reports Deliver.
+func (c *Channel) TransmitFault(frame []byte, payloadStart int) Fault {
 	c.stats.sent.Add(1)
 	switch c.model.Next() {
 	case Drop:
 		c.stats.dropped.Add(1)
-		return false
+		return Drop
 	case Corrupt:
 		if payloadStart < len(frame) {
 			payload := frame[payloadStart:]
 			bit := c.rng.Intn(len(payload) * 8)
 			payload[bit/8] ^= 1 << uint(bit%8)
 			c.stats.corrupted.Add(1)
+			return Corrupt
 		}
 	}
-	return true
+	return Deliver
 }
 
 // Stats aggregates frame counters across the channels (connections) of one

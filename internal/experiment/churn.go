@@ -35,6 +35,12 @@ type ChurnPoint struct {
 	AvgTuning        float64 // active-radio packets, recovery included
 	AvgEpochRestarts float64 // whole-query restarts forced by swaps, per query
 	RestartedFrac    float64 // fraction of queries that hit at least one swap
+
+	// Obs holds the cell's full observability snapshot — the live server's
+	// frame/connection/swap metrics (including the swap-latency histogram)
+	// and the client's distributions — keyed "server" and "client" (JSON
+	// output only).
+	Obs map[string]any `json:",omitempty"`
 }
 
 // ChurnLevels returns the sweep's default churn levels (site operations per
@@ -123,6 +129,8 @@ func runChurnCell(ds dataset.Dataset, capacity, churnOps, queries int, seed int6
 		return ChurnPoint{}, err
 	}
 	defer client.Close()
+	cm := stream.NewClientMetrics()
+	client.Metrics = cm
 
 	// The driver owns all swapper mutations — it composes each batch from
 	// the live site ids at apply time (composing in the query goroutine
@@ -205,6 +213,7 @@ func runChurnCell(ds dataset.Dataset, capacity, churnOps, queries int, seed int6
 	pt.AvgEpochRestarts /= qf
 	pt.RestartedFrac = float64(restarted) / qf
 	pt.Swaps = int(sw.Current().Gen - 1)
+	pt.Obs = map[string]any{"server": srv.Metrics().Snapshot(), "client": cm.Snapshot()}
 
 	// Disconnect before draining: a connected client that has stopped
 	// reading would hold its connection short of the cycle boundary.

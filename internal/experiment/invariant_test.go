@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+
+	"airindex/internal/dataset"
+	"airindex/internal/geom"
+)
+
+// The cross-index invariant suite checks the property every comparison in
+// Figures 10-13 rests on: all four index families answer the same queries
+// with the same data regions. A family that silently resolved a point to a
+// wrong (even adjacent) region would skew its latency and tuning curves
+// without any other test noticing.
+
+// invariantDatasets are randomized inputs spanning both site distributions;
+// seeds are arbitrary but fixed so failures reproduce.
+func invariantDatasets() []dataset.Dataset {
+	return []dataset.Dataset{
+		dataset.Uniform(60, 101),
+		dataset.Uniform(220, 102),
+		dataset.Clustered("CLUSTERED(150)", dataset.ClusterSpec{N: 150, Clusters: 5, Sigma: 600, UniformShare: 0.1, Seed: 103}),
+	}
+}
+
+// agreesWith reports whether an index's answer matches the ground-truth
+// region: the same id, or — for points on shared borders, where either
+// neighbor is a correct answer — a region that geometrically contains the
+// point. This is the same tolerance the live churn verifier applies.
+func agreesWith(b *Built, got, want int, p geom.Point) bool {
+	if got == want {
+		return true
+	}
+	return got >= 0 && b.Sub.Regions[got].Poly.Contains(p)
+}
+
+// realizedTuneSlots replays a search trace under the access protocol's
+// tuning rule — a forward offset is fetched from the current index copy, a
+// backward one (legal for the DAG-shaped trian/trap families) from the next
+// copy — and returns the absolute slots tuned, which must come out strictly
+// increasing: a broadcast client can never tune backwards in time.
+func realizedTuneSlots(trace []int, indexPackets, cycleLen int) []int {
+	slots := make([]int, 0, len(trace))
+	copyStart, cur := 0, 0
+	for _, off := range trace {
+		target := copyStart + off
+		if target < cur {
+			copyStart += cycleLen
+			target = copyStart + off
+		}
+		cur = target + 1
+		slots = append(slots, target)
+	}
+	return slots
+}
+
+func TestCrossIndexRegionAgreement(t *testing.T) {
+	for _, ds := range invariantDatasets() {
+		b, err := Build(ds, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		for _, capacity := range []int{64, 256, 1024} {
+			indexes, err := b.Indexes(capacity)
+			if err != nil {
+				t.Fatalf("%s(%d): %v", ds.Name, capacity, err)
+			}
+			rng := rand.New(rand.NewSource(int64(capacity)))
+			for i := 0; i < 1000; i++ {
+				p := geom.Pt(rng.Float64()*dataset.Area.W(), rng.Float64()*dataset.Area.H())
+				want := b.Sub.Locate(p)
+				if want < 0 {
+					t.Fatalf("%s: ground truth failed to resolve %v", ds.Name, p)
+				}
+				for _, idx := range indexes {
+					got, trace := idx.Locate(p)
+					if !agreesWith(b, got, want, p) {
+						t.Fatalf("%s/%s(%d): %v resolved to region %d, subdivision says %d",
+							ds.Name, idx.Name(), capacity, p, got, want)
+					}
+					if len(trace) == 0 {
+						t.Fatalf("%s/%s(%d): empty trace for %v", ds.Name, idx.Name(), capacity, p)
+					}
+					// The fast path the measurement harness uses must agree
+					// with the allocation path exactly, including the trace.
+					il, ok := idx.(intoLocator)
+					if !ok {
+						t.Fatalf("%s/%s(%d): index does not implement LocateInto", ds.Name, idx.Name(), capacity)
+					}
+					got2, trace2 := il.LocateInto(p, nil)
+					if got2 != got || len(trace2) != len(trace) {
+						t.Fatalf("%s/%s(%d): LocateInto(%v) = (%d, %d offsets), Locate = (%d, %d offsets)",
+							ds.Name, idx.Name(), capacity, p, got2, len(trace2), got, len(trace))
+					}
+					for j := range trace {
+						if trace[j] != trace2[j] {
+							t.Fatalf("%s/%s(%d): LocateInto trace diverges at step %d: %d != %d",
+								ds.Name, idx.Name(), capacity, j, trace2[j], trace[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraceTuningMonotone checks every family's traced tuning sequence is
+// monotone in slot order once mapped onto the broadcast: offsets stay in
+// the index segment, never repeat back to back, and the realized tune-in
+// slots strictly increase. For the pointer-forward families (D-tree,
+// R*-tree) the raw offsets themselves must already be strictly increasing —
+// a backward pointer there would cost a silent extra cycle per query.
+func TestTraceTuningMonotone(t *testing.T) {
+	forwardOnly := map[string]bool{"D-tree": true, "R*-tree": true}
+	for _, ds := range invariantDatasets() {
+		b, err := Build(ds, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		for _, capacity := range []int{64, 512} {
+			indexes, err := b.Indexes(capacity)
+			if err != nil {
+				t.Fatalf("%s(%d): %v", ds.Name, capacity, err)
+			}
+			rng := rand.New(rand.NewSource(int64(capacity) + 1))
+			for i := 0; i < 1000; i++ {
+				p := geom.Pt(rng.Float64()*dataset.Area.W(), rng.Float64()*dataset.Area.H())
+				for _, idx := range indexes {
+					_, trace := idx.Locate(p)
+					n := idx.IndexPackets()
+					for j, off := range trace {
+						if off < 0 || off >= n {
+							t.Fatalf("%s/%s(%d): trace offset %d outside index segment [0,%d)",
+								ds.Name, idx.Name(), capacity, off, n)
+						}
+						if j > 0 && off == trace[j-1] {
+							t.Fatalf("%s/%s(%d): trace re-downloads offset %d back to back",
+								ds.Name, idx.Name(), capacity, off)
+						}
+						if forwardOnly[idx.Name()] && j > 0 && off < trace[j-1] {
+							t.Fatalf("%s/%s(%d): backward pointer %d after %d in a forward-only family",
+								ds.Name, idx.Name(), capacity, off, trace[j-1])
+						}
+					}
+					slots := realizedTuneSlots(trace, n, n)
+					for j := 1; j < len(slots); j++ {
+						if slots[j] <= slots[j-1] {
+							t.Fatalf("%s/%s(%d): realized tuning not monotone: slot %d after slot %d (trace %v)",
+								ds.Name, idx.Name(), capacity, slots[j], slots[j-1], trace)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -38,6 +38,11 @@ type LossPoint struct {
 
 	FramesDropped   int64 // channel-side counters over the whole cell
 	FramesCorrupted int64
+
+	// Obs holds the cell's full observability snapshot — the transmit-side
+	// frame counters and the client's latency/tuning distributions and
+	// recovery counters — keyed "server" and "client" (JSON output only).
+	Obs map[string]any `json:",omitempty"`
 }
 
 // lossSpec maps a model family and rate to a channel spec. The
@@ -97,9 +102,12 @@ func runLossCell(name string, sub *region.Subdivision, prog *stream.Program, sam
 	cliEnd, srvEnd := net.Pipe()
 	defer cliEnd.Close()
 	defer srvEnd.Close()
-	go prog.Transmit(srvEnd, int(seed)%prog.Sched.CycleLen(), ch) //nolint:errcheck
+	sm := stream.NewMetrics()
+	go prog.TransmitObserved(srvEnd, int(seed)%prog.Sched.CycleLen(), ch, sm) //nolint:errcheck
 
 	client := stream.NewClient(cliEnd, capacity)
+	cm := stream.NewClientMetrics()
+	client.Metrics = cm
 	rng := rand.New(rand.NewSource(seed + 7))
 	pt := LossPoint{Dataset: name, Model: model, Rate: rate, Queries: queries}
 	for q := 0; q < queries; q++ {
@@ -126,6 +134,7 @@ func runLossCell(name string, sub *region.Subdivision, prog *stream.Program, sam
 	pt.AvgLostSlots /= qf
 	snap := stats.Snapshot()
 	pt.FramesDropped, pt.FramesCorrupted = snap.Dropped, snap.Corrupted
+	pt.Obs = map[string]any{"server": sm.Snapshot(), "client": cm.Snapshot()}
 	return pt, nil
 }
 

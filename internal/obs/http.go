@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler builds the debug endpoints a daemon mounts on its
+// -debug-addr listener:
+//
+//	/metrics — every metric of reg as one JSON object (expvar style)
+//	/healthz — the health() value as JSON with a 200 status (nil health
+//	           serves {"ok":true}), so orchestrators can probe liveness
+//	/trace   — the most recent query traces, newest first (?n= bounds the
+//	           count, default 32)
+//
+// Any of reg, health, traces may be nil; the corresponding endpoint then
+// serves an empty value rather than failing.
+func NewHandler(reg *Registry, health func() any, traces *TraceLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			w.Write([]byte("{}\n")) //nolint:errcheck
+			return
+		}
+		reg.WriteJSON(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any = map[string]bool{"ok": true}
+		if health != nil {
+			v = health()
+		}
+		writeJSON(w, v)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		n := 32
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		ts := traces.Recent(n)
+		if ts == nil {
+			ts = []QueryTrace{}
+		}
+		writeJSON(w, map[string]any{"total": traces.Total(), "traces": ts})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	buf = append(buf, '\n')
+	w.Write(buf) //nolint:errcheck
+}

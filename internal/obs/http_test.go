@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) map[string]any {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", path, ct)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return out
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("frames_written").Add(42)
+	reg.Histogram("latency_slots", 16).Observe(100)
+	traces := NewTraceLog(8)
+	traces.Record(QueryTrace{Bucket: 3, Generation: 2, Steps: []TraceStep{{Kind: StepProbe, Slot: 10}}})
+	traces.Record(QueryTrace{Bucket: 5, Generation: 2})
+	health := func() any { return map[string]any{"generation": 2, "cycle_progress": 0.5} }
+
+	srv := httptest.NewServer(NewHandler(reg, health, traces))
+	defer srv.Close()
+
+	m := get(t, srv, "/metrics")
+	if m["frames_written"] != float64(42) {
+		t.Fatalf("/metrics frames_written = %v", m["frames_written"])
+	}
+	if _, ok := m["latency_slots"].(map[string]any); !ok {
+		t.Fatalf("/metrics latency_slots = %#v", m["latency_slots"])
+	}
+
+	h := get(t, srv, "/healthz")
+	if h["generation"] != float64(2) {
+		t.Fatalf("/healthz = %v", h)
+	}
+
+	tr := get(t, srv, "/trace?n=1")
+	if tr["total"] != float64(2) {
+		t.Fatalf("/trace total = %v", tr["total"])
+	}
+	list, ok := tr["traces"].([]any)
+	if !ok || len(list) != 1 {
+		t.Fatalf("/trace traces = %#v", tr["traces"])
+	}
+	if list[0].(map[string]any)["bucket"] != float64(5) {
+		t.Fatalf("/trace newest = %v", list[0])
+	}
+}
+
+func TestHandlerNilSources(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(nil, nil, nil))
+	defer srv.Close()
+	if m := get(t, srv, "/metrics"); len(m) != 0 {
+		t.Fatalf("/metrics with nil registry = %v", m)
+	}
+	if h := get(t, srv, "/healthz"); h["ok"] != true {
+		t.Fatalf("/healthz with nil health = %v", h)
+	}
+	tr := get(t, srv, "/trace")
+	if tr["total"] != float64(0) {
+		t.Fatalf("/trace with nil log = %v", tr)
+	}
+}

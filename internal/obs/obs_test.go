@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(128)
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Window != 100 {
+		t.Fatalf("count %d window %d, want 100/100", s.Count, s.Window)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Fatalf("min %d max %d, want 1/100", s.Min, s.Max)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean %v, want 50.5", s.Mean)
+	}
+	if s.P50 < 49 || s.P50 > 52 {
+		t.Fatalf("p50 %d out of range", s.P50)
+	}
+	if s.P99 < 98 || s.P99 > 100 {
+		t.Fatalf("p99 %d out of range", s.P99)
+	}
+}
+
+func TestHistogramWrapsRing(t *testing.T) {
+	h := NewHistogram(16)
+	for v := int64(0); v < 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count %d, want 1000", s.Count)
+	}
+	if s.Window != 16 {
+		t.Fatalf("window %d, want 16 (ring size)", s.Window)
+	}
+	// Only the most recent 16 samples survive.
+	if s.Min < 1000-16 {
+		t.Fatalf("min %d: stale sample survived the wrap", s.Min)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1024)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+	if s.Min < 0 || s.Max >= workers*per {
+		t.Fatalf("sample range [%d, %d] outside observed values", s.Min, s.Max)
+	}
+}
+
+func TestTraceLogRecentNewestFirst(t *testing.T) {
+	l := NewTraceLog(4)
+	for i := 0; i < 10; i++ {
+		l.Record(QueryTrace{Bucket: i})
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total %d, want 10", l.Total())
+	}
+	ts := l.Recent(100)
+	if len(ts) != 4 {
+		t.Fatalf("recent returned %d traces, want 4", len(ts))
+	}
+	for i, tr := range ts {
+		if want := 9 - i; tr.Bucket != want {
+			t.Fatalf("trace %d has bucket %d, want %d (newest first)", i, tr.Bucket, want)
+		}
+		if tr.ID != uint64(10-i) {
+			t.Fatalf("trace %d has id %d, want %d", i, tr.ID, 10-i)
+		}
+	}
+}
+
+func TestTraceLogNilIsNoop(t *testing.T) {
+	var l *TraceLog
+	if id := l.Record(QueryTrace{}); id != 0 {
+		t.Fatalf("nil log assigned id %d", id)
+	}
+	if l.Total() != 0 || l.Recent(5) != nil {
+		t.Fatal("nil log reported contents")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames")
+	c.Add(3)
+	r.Gauge("conns").Set(2)
+	r.Histogram("lat", 16).Observe(9)
+	r.Register("up", Func(func() any { return true }))
+	s := r.Snapshot()
+	if s["frames"] != int64(3) || s["conns"] != int64(2) || s["up"] != true {
+		t.Fatalf("snapshot = %v", s)
+	}
+	if hs, ok := s["lat"].(HistogramSnapshot); !ok || hs.Count != 1 || hs.Max != 9 {
+		t.Fatalf("histogram snapshot = %#v", s["lat"])
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x")
+}
+
+func TestAwaitAtLeast(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			time.Sleep(time.Millisecond)
+			c.Inc()
+		}
+	}()
+	if !AwaitAtLeast(c.Load, 5, 5*time.Second) {
+		t.Fatal("await missed the counter reaching 5")
+	}
+	<-done
+	if AwaitAtLeast(c.Load, 6, 10*time.Millisecond) {
+		t.Fatal("await reported an unreachable target")
+	}
+}

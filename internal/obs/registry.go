@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Var is one exported metric: anything that can report a JSON-friendly
+// value. Counter, Gauge, Histogram and Func implement it.
+type Var interface {
+	MetricValue() any
+}
+
+// Func adapts a function to a Var (uptime, derived ratios, ...).
+type Func func() any
+
+// MetricValue implements Var.
+func (f Func) MetricValue() any { return f() }
+
+// Registry is a named collection of metrics, the unit /metrics serializes.
+// Registration takes a lock; reading or writing the registered metrics
+// never does — hot paths hold direct pointers to their counters and only
+// the snapshot path walks the registry.
+type Registry struct {
+	mu   sync.Mutex
+	vars map[string]Var
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{vars: make(map[string]Var)} }
+
+// Register adds a metric under a name; registering a duplicate name is a
+// programming error and panics.
+func (r *Registry) Register(name string, v Var) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vars[name]; ok {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.vars[name] = v
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.Register(name, c)
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.Register(name, g)
+	return g
+}
+
+// Histogram registers and returns a new ring-buffer histogram.
+func (r *Registry) Histogram(name string, size int) *Histogram {
+	h := NewHistogram(size)
+	r.Register(name, h)
+	return h
+}
+
+// Snapshot reads every registered metric into a JSON-friendly map.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.vars))
+	for name, v := range r.vars {
+		out[name] = v.MetricValue()
+	}
+	return out
+}
+
+// WriteJSON serializes the registry as one indented JSON object with
+// sorted keys (encoding/json sorts map keys), the expvar-style body of
+// /metrics.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

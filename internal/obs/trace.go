@@ -1,0 +1,107 @@
+package obs
+
+import "sync"
+
+// Trace step kinds, in the order the access protocol performs them.
+const (
+	StepProbe   = "probe"   // initial probe frame; Info = NextIndex delta
+	StepIndex   = "index"   // index packet downloaded; Info = packet offset
+	StepData    = "data"    // data packet downloaded; Info = packet-in-bucket
+	StepRecover = "recover" // loss/corruption recovery action; Info = recovery count
+	StepRestart = "restart" // epoch restart forced by a hot swap; Info = restart count
+	StepAnswer  = "answer"  // query resolved; Info = bucket id
+)
+
+// TraceStep is one event of a query's Probe→Answer trace, stamped with the
+// absolute broadcast slot at which the radio observed it. A correct single
+// pass through the broadcast tunes in slot order, so the Slot sequence of
+// a healthy trace is monotone — the invariant the conformance tests check.
+type TraceStep struct {
+	Kind string `json:"kind"`
+	Slot int    `json:"slot"`
+	Info int    `json:"info"`
+}
+
+// QueryTrace is the full record of one streamed query.
+type QueryTrace struct {
+	ID            uint64      `json:"id"`
+	X             float64     `json:"x"`
+	Y             float64     `json:"y"`
+	Bucket        int         `json:"bucket"`
+	Generation    uint32      `json:"generation"`
+	Latency       float64     `json:"latency_slots"`
+	Tuning        int         `json:"tuning_packets"`
+	EpochRestarts int         `json:"epoch_restarts,omitempty"`
+	Recoveries    int         `json:"recoveries,omitempty"`
+	Err           string      `json:"err,omitempty"`
+	Steps         []TraceStep `json:"steps,omitempty"`
+}
+
+// TraceLog is a bounded in-memory ring of recent query traces. Recording
+// happens once per completed query — far off the frame hot path — so a
+// mutex is fine here; the zero-allocation contract covers only the
+// transmit path. A nil *TraceLog is a valid no-op sink, so instrumented
+// code does not need nil checks at every site.
+type TraceLog struct {
+	mu    sync.Mutex
+	ring  []QueryTrace
+	total uint64
+}
+
+// NewTraceLog builds a log keeping the most recent size traces.
+func NewTraceLog(size int) *TraceLog {
+	if size < 1 {
+		size = 1
+	}
+	return &TraceLog{ring: make([]QueryTrace, 0, size)}
+}
+
+// Record stores one trace, assigning and returning its ID (1-based, ever
+// increasing). Recording to a nil log is a no-op returning 0.
+func (l *TraceLog) Record(t QueryTrace) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	t.ID = l.total
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, t)
+	} else {
+		l.ring[int((l.total-1)%uint64(cap(l.ring)))] = t
+	}
+	return t.ID
+}
+
+// Total returns how many traces were ever recorded.
+func (l *TraceLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Recent returns up to n traces, newest first.
+func (l *TraceLog) Recent(n int) []QueryTrace {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.ring) {
+		n = len(l.ring)
+	}
+	out := make([]QueryTrace, 0, n)
+	for i := 0; i < n; i++ {
+		// Newest is at (total-1) % cap, walking backwards.
+		j := (int(l.total) - 1 - i) % cap(l.ring)
+		if j < 0 {
+			j += cap(l.ring)
+		}
+		out = append(out, l.ring[j])
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 
 	"airindex/internal/core"
 	"airindex/internal/geom"
+	"airindex/internal/obs"
 	"airindex/internal/wire"
 )
 
@@ -29,8 +30,16 @@ type Client struct {
 	conn     net.Conn // nil when constructed over a plain reader
 	capacity int
 
+	// Metrics, when set, accumulates per-query latency/tuning distributions
+	// and recovery counters; one set may be shared across clients. Traces,
+	// when set, receives one Probe→Answer trace per completed query. Both
+	// must be assigned before the first Query and are optional.
+	Metrics *ClientMetrics
+	Traces  *obs.TraceLog
+
 	cur     Header // last frame's header
 	started bool
+	steps   []obs.TraceStep // current query's trace, reused across queries
 
 	// Epoch pinning: a query pins the generation it probed and every
 	// subsequent frame must match, so a hot program swap is detected the
@@ -53,6 +62,47 @@ const (
 	maxBucketAttempts = 16
 	maxEpochRestarts  = 8
 )
+
+// maxTraceSteps bounds one query's trace so a pathological channel cannot
+// grow it without limit; the summary counters in the trace stay exact.
+const maxTraceSteps = 128
+
+// step appends one trace event for the current query; a no-op unless the
+// client has a trace log attached.
+func (c *Client) step(kind string, slot, info int) {
+	if c.Traces == nil || len(c.steps) >= maxTraceSteps {
+		return
+	}
+	c.steps = append(c.steps, obs.TraceStep{Kind: kind, Slot: slot, Info: info})
+}
+
+// finish folds a completed (or failed) query into the attached metrics and
+// trace log.
+func (c *Client) finish(p geom.Point, res *Result, err error) {
+	if c.Metrics != nil {
+		if err != nil {
+			c.Metrics.QueryErrors.Inc()
+		} else {
+			c.Metrics.observe(res)
+		}
+	}
+	if c.Traces != nil {
+		tr := obs.QueryTrace{
+			X: p.X, Y: p.Y,
+			Bucket:        res.Bucket,
+			Generation:    res.Generation,
+			Latency:       res.Latency,
+			Tuning:        res.TotalTuning(),
+			EpochRestarts: res.EpochRestarts,
+			Recoveries:    res.Recoveries,
+			Steps:         append([]obs.TraceStep(nil), c.steps...),
+		}
+		if err != nil {
+			tr.Err = err.Error()
+		}
+		c.Traces.Record(tr)
+	}
+}
 
 // errStaleGeneration reports that a frame from a different broadcast
 // generation arrived while a query had its epoch pinned: the index layout
@@ -199,12 +249,15 @@ func (c *Client) seek(target int, res *Result) (Header, []byte, bool, bool, erro
 func (c *Client) Query(p geom.Point) (Result, error) {
 	var res Result
 	c.genPinned = false
+	c.steps = c.steps[:0]
 	for restart := 0; ; restart++ {
 		err := c.queryOnce(p, &res, restart)
 		if err == nil {
+			c.finish(p, &res, nil)
 			return res, nil
 		}
 		if !errors.Is(err, errStaleGeneration) {
+			c.finish(p, &res, err)
 			return res, err
 		}
 		// Epoch restart: the accumulated index cache, bucket id, and any
@@ -216,8 +269,11 @@ func (c *Client) Query(p geom.Point) (Result, error) {
 		res.Recoveries++
 		res.TuneRecover++
 		res.Data = res.Data[:0]
+		c.step(obs.StepRestart, res.LastSlot, res.EpochRestarts)
 		if res.EpochRestarts >= maxEpochRestarts {
-			return res, fmt.Errorf("stream: query abandoned after %d epoch restarts (broadcast reconfiguring faster than queries complete)", maxEpochRestarts)
+			err := fmt.Errorf("stream: query abandoned after %d epoch restarts (broadcast reconfiguring faster than queries complete)", maxEpochRestarts)
+			c.finish(p, &res, err)
+			return res, err
 		}
 	}
 }
@@ -250,6 +306,7 @@ func (c *Client) queryOnce(p geom.Point, res *Result, restart int) error {
 	if res.TuneProbe == 1 {
 		res.FirstSlot = int(probe.Slot)
 	}
+	c.step(obs.StepProbe, int(probe.Slot), int(probe.NextIndex))
 	idxBase := int(probe.Slot) + int(probe.NextIndex)
 
 	// Index search: feed the D-tree byte decoder from the live stream. The
@@ -276,6 +333,7 @@ func (c *Client) queryOnce(p geom.Point, res *Result, restart int) error {
 				// The target frame was dropped on the air: resync at the
 				// next index copy the later frame points to.
 				res.Recoveries++
+				c.step(obs.StepRecover, int(h.Slot), res.Recoveries)
 				idxBase = int(h.Slot) + int(h.NextIndex)
 				continue
 			}
@@ -285,10 +343,12 @@ func (c *Client) queryOnce(p geom.Point, res *Result, restart int) error {
 				// Pay the wasted download and resync at the next copy.
 				res.TuneRecover++
 				res.Recoveries++
+				c.step(obs.StepRecover, int(h.Slot), res.Recoveries)
 				idxBase = int(h.Slot) + int(h.NextIndex)
 				continue
 			}
 			res.TuneIndex++
+			c.step(obs.StepIndex, int(h.Slot), k)
 			cache[k] = payload
 			return payload, nil
 		}
@@ -317,6 +377,7 @@ func (c *Client) queryOnce(p geom.Point, res *Result, restart int) error {
 		collected = 0
 		res.Data = res.Data[:0]
 		res.Recoveries++
+		c.step(obs.StepRecover, res.LastSlot, res.Recoveries)
 		attempts++
 		return attempts < maxBucketAttempts
 	}
@@ -355,16 +416,19 @@ func (c *Client) queryOnce(p geom.Point, res *Result, restart int) error {
 				// The mismatch was the bucket starting over (a whole cycle
 				// of losses): the downloaded packet begins a fresh run.
 				res.TuneData++
+				c.step(obs.StepData, int(h.Slot), 0)
 				res.Data = append(res.Data, payload...)
 				collected = 1
 			}
 			continue
 		}
 		res.TuneData++
+		c.step(obs.StepData, int(h.Slot), h.BucketPacket())
 		res.Data = append(res.Data, payload...)
 		collected++
 		if collected == expect {
 			res.Latency = float64(int(h.Slot) + 1 - res.FirstSlot)
+			c.step(obs.StepAnswer, int(h.Slot), bucket)
 			return nil
 		}
 	}

@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The conformance suite pins the wire format against golden byte vectors
+// under testdata/. Any change to the frame layout — field order, widths,
+// endianness, the version byte, the checksum — fails these tests loudly,
+// instead of silently breaking deployed clients that speak the old bytes.
+// To bless an intentional format change, bump frameVersion, regenerate the
+// v3 fixtures with `go test -run TestConformanceGoldenV3 -update-golden`,
+// and keep the old version's fixtures as rejection vectors.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden wire-format fixtures under testdata/")
+
+// wireVector is one canonical frame of the current (v3) format.
+type wireVector struct {
+	name    string
+	header  Header
+	payload []byte
+}
+
+func conformanceVectors() []wireVector {
+	idxPayload := make([]byte, 16)
+	dataPayload := make([]byte, 16)
+	for i := range idxPayload {
+		idxPayload[i] = byte(i)
+		dataPayload[i] = byte(i * 17)
+	}
+	return []wireVector{
+		{
+			name:    "frame_v3_index",
+			header:  Header{Kind: KindIndex, Slot: 0x01020304, Seq: 5, NextIndex: 7, PayloadLen: 16, Gen: 9},
+			payload: idxPayload,
+		},
+		{
+			name:    "frame_v3_data",
+			header:  Header{Kind: KindData, Slot: 1000, Seq: DataSeq(42, 3), NextIndex: 123, PayloadLen: 16, Gen: 2},
+			payload: dataPayload,
+		},
+	}
+}
+
+// legacyVectors reconstructs frames of the retired wire formats byte by
+// byte: v1 was the checksum-less 16-byte header (the former version byte
+// was zero padding), v2 claimed the pad byte as version 2 and appended a
+// CRC32 of the payload. A v3 client must reject both with a version error.
+func legacyVectors() map[string][]byte {
+	payload := make([]byte, 16)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	v1 := make([]byte, 16+len(payload))
+	binary.LittleEndian.PutUint16(v1[0:], frameMagic)
+	v1[2] = KindIndex
+	v1[3] = 0 // v1: padding, no version field
+	binary.LittleEndian.PutUint32(v1[4:], 0x01020304)
+	binary.LittleEndian.PutUint32(v1[8:], 5)
+	binary.LittleEndian.PutUint16(v1[12:], uint16(len(payload)))
+	binary.LittleEndian.PutUint16(v1[14:], 7)
+	copy(v1[16:], payload)
+
+	v2 := make([]byte, 20+len(payload))
+	binary.LittleEndian.PutUint16(v2[0:], frameMagic)
+	v2[2] = KindIndex
+	v2[3] = 2 // v2 version byte
+	binary.LittleEndian.PutUint32(v2[4:], 0x01020304)
+	binary.LittleEndian.PutUint32(v2[8:], 5)
+	binary.LittleEndian.PutUint16(v2[12:], uint16(len(payload)))
+	binary.LittleEndian.PutUint16(v2[14:], 7)
+	binary.LittleEndian.PutUint32(v2[16:], Checksum(payload))
+	copy(v2[20:], payload)
+
+	return map[string][]byte{"frame_v1": v1, "frame_v2": v2}
+}
+
+func goldenPath(name string) string { return filepath.Join("testdata", name+".hex") }
+
+func writeGolden(t *testing.T, name string, raw []byte) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath(name), []byte(hex.EncodeToString(raw)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	buf, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update-golden to generate): %v", err)
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(string(buf)))
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	return raw
+}
+
+// TestConformanceGoldenV3 pins the current wire format: marshaling the
+// canonical vectors must reproduce the golden bytes exactly, and reading
+// the golden bytes back must yield the original headers and checksums.
+func TestConformanceGoldenV3(t *testing.T) {
+	for _, v := range conformanceVectors() {
+		h := v.header
+		h.CRC = Checksum(v.payload)
+		raw, err := marshalFrame(h, v.payload)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if *updateGolden {
+			writeGolden(t, v.name, raw)
+			continue
+		}
+		want := readGolden(t, v.name)
+		if !bytes.Equal(raw, want) {
+			t.Errorf("%s: wire bytes diverged from the golden fixture\n got %x\nwant %x\n(an intentional format change must bump frameVersion and regenerate with -update-golden)",
+				v.name, raw, want)
+			continue
+		}
+		got, err := readHeader(bytes.NewReader(want))
+		if err != nil {
+			t.Fatalf("%s: readHeader: %v", v.name, err)
+		}
+		if got != h {
+			t.Errorf("%s: readHeader round-trip = %+v, want %+v", v.name, got, h)
+		}
+		if Checksum(want[headerSize:]) != got.CRC {
+			t.Errorf("%s: golden payload fails its own checksum", v.name)
+		}
+	}
+}
+
+// TestConformanceRejectsLegacyVersions: frames of the retired v1/v2
+// formats must be rejected by the version check — never misparsed into a
+// plausible-looking v3 header.
+func TestConformanceRejectsLegacyVersions(t *testing.T) {
+	for name, raw := range legacyVectors() {
+		if *updateGolden {
+			writeGolden(t, name, raw)
+			continue
+		}
+		want := readGolden(t, name)
+		if !bytes.Equal(raw, want) {
+			t.Fatalf("%s: reconstructed legacy frame diverged from its fixture\n got %x\nwant %x", name, raw, want)
+		}
+		if _, err := readHeader(bytes.NewReader(want)); err == nil || !strings.Contains(err.Error(), "frame version") {
+			t.Errorf("%s: readHeader = %v, want a frame-version rejection", name, err)
+		}
+	}
+}
+
+// TestConformanceHeaderLayout pins every field offset of the v3 header by
+// decoding the golden index frame by hand. A reordered or resized field
+// fails here even if marshal and read move together.
+func TestConformanceHeaderLayout(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating fixtures")
+	}
+	raw := readGolden(t, "frame_v3_index")
+	if len(raw) != headerSize+16 {
+		t.Fatalf("golden frame is %d bytes, want %d", len(raw), headerSize+16)
+	}
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"magic @0", uint64(binary.LittleEndian.Uint16(raw[0:])), frameMagic},
+		{"kind @2", uint64(raw[2]), KindIndex},
+		{"version @3", uint64(raw[3]), frameVersion},
+		{"slot @4", uint64(binary.LittleEndian.Uint32(raw[4:])), 0x01020304},
+		{"seq @8", uint64(binary.LittleEndian.Uint32(raw[8:])), 5},
+		{"payload_len @12", uint64(binary.LittleEndian.Uint16(raw[12:])), 16},
+		{"next_index @14", uint64(binary.LittleEndian.Uint16(raw[14:])), 7},
+		{"gen @16", uint64(binary.LittleEndian.Uint32(raw[16:])), 9},
+		{"crc @20", uint64(binary.LittleEndian.Uint32(raw[20:])), uint64(Checksum(raw[headerSize:]))},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %#x, want %#x", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestConformanceVersionByteIsAuthoritative: a frame that claims any other
+// version — including future ones — is rejected, so a future v4 rollout
+// can rely on old clients failing fast instead of misdecoding.
+func TestConformanceVersionByteIsAuthoritative(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating fixtures")
+	}
+	raw := readGolden(t, "frame_v3_index")
+	for _, ver := range []byte{0, 1, 2, 4, 255} {
+		frame := append([]byte(nil), raw...)
+		frame[3] = ver
+		if _, err := readHeader(bytes.NewReader(frame)); err == nil || !strings.Contains(err.Error(), "frame version") {
+			t.Errorf("version byte %d: readHeader = %v, want a frame-version rejection", ver, err)
+		}
+	}
+}

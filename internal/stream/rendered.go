@@ -70,23 +70,28 @@ var framePool = sync.Pool{
 }
 
 // transmitter is one connection's view of the rendered broadcast: the
-// shared frame table, the connection's optional fault channel, and a
-// persistent header scratch so the perfect-channel path allocates nothing
-// per frame.
+// shared frame table, the connection's optional fault channel, the metrics
+// sink frame outcomes are counted into, and a persistent header scratch so
+// the perfect-channel path allocates nothing per frame.
 type transmitter struct {
 	rc  *renderedCycle
 	ch  *channel.Channel
+	m   *Metrics
 	hdr [headerSize]byte
 }
 
 // transmitter builds the per-connection transmit state, rendering the
-// cycle on first use.
-func (p *Program) transmitter(ch *channel.Channel) (*transmitter, error) {
+// cycle on first use. m may be nil (a private, unread metrics set is
+// allocated), so the hot path never branches on instrumentation.
+func (p *Program) transmitter(ch *channel.Channel, m *Metrics) (*transmitter, error) {
 	rc, err := p.Rendered()
 	if err != nil {
 		return nil, err
 	}
-	return &transmitter{rc: rc, ch: ch}, nil
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &transmitter{rc: rc, ch: ch, m: m}, nil
 }
 
 // transmitSlot writes the frame whose content sits at cycle position rel,
@@ -109,8 +114,12 @@ func (t *transmitter) transmitSlot(w *bufio.Writer, abs, rel int, gen uint32) er
 		if _, err := w.Write(t.hdr[:]); err != nil {
 			return err
 		}
-		_, err := w.Write(f.payload)
-		return err
+		if _, err := w.Write(f.payload); err != nil {
+			return err
+		}
+		t.m.FramesWritten.Inc()
+		t.m.BytesWritten.Add(int64(headerSize + len(f.payload)))
+		return nil
 	}
 	bp := framePool.Get().(*[]byte)
 	buf := append((*bp)[:0], f.hdr[:]...)
@@ -118,8 +127,17 @@ func (t *transmitter) transmitSlot(w *bufio.Writer, abs, rel int, gen uint32) er
 	binary.LittleEndian.PutUint32(buf[4:], uint32(abs))
 	binary.LittleEndian.PutUint32(buf[16:], gen)
 	var err error
-	if t.ch.Transmit(buf, headerSize) {
-		_, err = w.Write(buf)
+	switch t.ch.TransmitFault(buf, headerSize) {
+	case channel.Drop:
+		t.m.FramesDropped.Inc()
+	case channel.Corrupt:
+		t.m.FramesCorrupted.Inc()
+		fallthrough
+	default:
+		if _, err = w.Write(buf); err == nil {
+			t.m.FramesWritten.Inc()
+			t.m.BytesWritten.Add(int64(len(buf)))
+		}
 	}
 	*bp = buf
 	framePool.Put(bp)

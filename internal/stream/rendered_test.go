@@ -34,7 +34,7 @@ func TestRenderedCycleMatchesFrameAt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx, err := prog.transmitter(nil)
+	tx, err := prog.transmitter(nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestTransmitPerfectChannelZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx, err := prog.transmitter(nil)
+	tx, err := prog.transmitter(nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

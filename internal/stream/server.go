@@ -177,12 +177,11 @@ type Server struct {
 	cur    atomic.Pointer[liveProgram]
 	swapMu sync.Mutex // serializes Swap against Swap and against shutdown
 
-	start     time.Time
-	closed    atomic.Bool // hard stop: connections exit at the next slot
-	draining  atomic.Bool // soft stop: connections exit at the next cycle boundary
-	wg        sync.WaitGroup
-	evictions atomic.Int64
-	panics    atomic.Int64
+	start    time.Time
+	closed   atomic.Bool // hard stop: connections exit at the next slot
+	draining atomic.Bool // soft stop: connections exit at the next cycle boundary
+	wg       sync.WaitGroup
+	metrics  *Metrics
 
 	mu    sync.Mutex
 	conns map[net.Conn]bool
@@ -194,7 +193,7 @@ func NewServer(ln net.Listener, prog *Program) (*Server, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, start: time.Now(), conns: make(map[net.Conn]bool)}
+	s := &Server{ln: ln, start: time.Now(), conns: make(map[net.Conn]bool), metrics: NewMetrics()}
 	s.cur.Store(&liveProgram{prog: prog, gen: 1})
 	return s, nil
 }
@@ -226,6 +225,7 @@ func (s *Server) Swap(next *Program) (uint32, error) {
 	}
 	gen := cur.gen + 1
 	s.cur.Store(&liveProgram{prog: next, gen: gen})
+	s.metrics.Swaps.Inc()
 	return gen, nil
 }
 
@@ -235,12 +235,15 @@ func (s *Server) Generation() uint32 { return s.cur.Load().gen }
 // Program returns the currently published program.
 func (s *Server) Program() *Program { return s.cur.Load().prog }
 
+// Metrics returns the server's observability counters (never nil).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
 // Evictions reports how many slow clients were evicted by WriteTimeout.
-func (s *Server) Evictions() int64 { return s.evictions.Load() }
+func (s *Server) Evictions() int64 { return s.metrics.Evictions.Load() }
 
 // RecoveredPanics reports how many connection goroutines panicked and were
 // contained without taking the server down.
-func (s *Server) RecoveredPanics() int64 { return s.panics.Load() }
+func (s *Server) RecoveredPanics() int64 { return s.metrics.ConnPanics.Load() }
 
 // currentSlot is the server's shared broadcast clock: the slot a radio
 // tuning in right now would first hear. It is derived from a single
@@ -285,6 +288,8 @@ func (s *Server) Serve() error {
 		s.mu.Lock()
 		s.conns[conn] = true
 		s.mu.Unlock()
+		s.metrics.ConnsTotal.Inc()
+		s.metrics.ConnsActive.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -293,10 +298,11 @@ func (s *Server) Serve() error {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
+				s.metrics.ConnsActive.Add(-1)
 			}()
 			defer func() {
 				if r := recover(); r != nil {
-					s.panics.Add(1)
+					s.metrics.ConnPanics.Inc()
 					s.logf("stream: connection %v: recovered panic: %v", conn.RemoteAddr(), r)
 				}
 			}()
@@ -342,7 +348,7 @@ func (s *Server) streamTo(conn net.Conn) {
 	if s.Channel != nil {
 		ch = s.Channel()
 	}
-	tx, err := lp.prog.transmitter(ch)
+	tx, err := lp.prog.transmitter(ch, s.metrics)
 	if err != nil {
 		return
 	}
@@ -358,7 +364,7 @@ func (s *Server) streamTo(conn net.Conn) {
 				break
 			}
 			if next := s.cur.Load(); next.gen != lp.gen {
-				ntx, terr := next.prog.transmitter(ch)
+				ntx, terr := next.prog.transmitter(ch, s.metrics)
 				if terr != nil {
 					return
 				}
@@ -388,7 +394,7 @@ func (s *Server) streamTo(conn net.Conn) {
 // ordinary disconnect.
 func (s *Server) noteWriteError(conn net.Conn, err error) {
 	if errors.Is(err, os.ErrDeadlineExceeded) {
-		s.evictions.Add(1)
+		s.metrics.Evictions.Inc()
 		s.logf("stream: evicted slow client %v: %v", conn.RemoteAddr(), err)
 	}
 }
@@ -399,7 +405,14 @@ func (s *Server) noteWriteError(conn net.Conn, err error) {
 // loss-rate experiments. Frames carry generation 1, matching a freshly
 // started server. Closing the pipe is how callers stop it.
 func (p *Program) Transmit(w io.Writer, startSlot int, ch *channel.Channel) error {
-	tx, err := p.transmitter(ch)
+	return p.TransmitObserved(w, startSlot, ch, nil)
+}
+
+// TransmitObserved is Transmit recording frame counters into m (nil
+// allocates a private, unread set), so listener-less experiments report
+// the same wire-side metrics a live server would.
+func (p *Program) TransmitObserved(w io.Writer, startSlot int, ch *channel.Channel, m *Metrics) error {
+	tx, err := p.transmitter(ch, m)
 	if err != nil {
 		return err
 	}

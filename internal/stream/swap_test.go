@@ -13,6 +13,7 @@ import (
 
 	"airindex/internal/channel"
 	"airindex/internal/geom"
+	"airindex/internal/obs"
 	"airindex/internal/testutil"
 )
 
@@ -158,11 +159,11 @@ func TestClientEpochRecovery(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		tx1, err := prog1.transmitter(nil)
+		tx1, err := prog1.transmitter(nil, nil)
 		if err != nil {
 			return
 		}
-		tx2, err := prog2.transmitter(nil)
+		tx2, err := prog2.transmitter(nil, nil)
 		if err != nil {
 			return
 		}
@@ -218,8 +219,12 @@ func TestClientEpochRecovery(t *testing.T) {
 // layer: a live TCP server under a lossy channel, a churn driver applying
 // 100+ site operations in batches, and concurrent clients querying
 // throughout — every answer must verify against the exact generation it was
-// resolved under (zero wrong answers), no query may hang, and the final
-// Shutdown must drain cleanly.
+// resolved under (zero wrong answers), no query may hang, no connection
+// goroutine may panic, and the final Shutdown must drain cleanly. The run
+// is paced entirely by observability counters — the driver waits for query
+// traffic to progress before the next swap, and the main goroutine waits
+// on the swap counter — so the test never races a fixed sleep against
+// scheduler jitter.
 func TestChurnUnderLossLive(t *testing.T) {
 	const (
 		capacity   = 256
@@ -233,15 +238,20 @@ func TestChurnUnderLossLive(t *testing.T) {
 		s.StartSlot = func() int { return 0 }
 		s.Channel = channel.Spec{Loss: 0.03, Burst: 3, Corrupt: 0.01, Seed: 4032}.Factory(stats)
 	})
+	cm := NewClientMetrics() // shared by all query clients
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 
-	// Churn driver: random add/remove/move batches against the live server.
+	// Churn driver: random add/remove/move batches against the live server,
+	// paced by the clients' query counter so every swap lands against live
+	// query traffic instead of a wall-clock guess.
 	driverErr := make(chan error, 1)
+	driverFinished := make(chan struct{})
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer close(driverFinished)
 		rng := rand.New(rand.NewSource(4033))
 		applied := 0
 		for b := 0; b < batches; b++ {
@@ -264,16 +274,21 @@ func TestChurnUnderLossLive(t *testing.T) {
 					ids = removeID(ids, j)
 				}
 			}
+			qBase := cm.Queries.Load()
 			if _, done, err := sw.Apply(ops); err != nil {
 				driverErr <- err
 				return
 			} else {
 				applied += len(done)
 			}
+			// Obs-driven readiness: at least one query must complete under
+			// the new broadcast before the next swap (the timeout is a
+			// safety net, not the pacing mechanism).
+			obs.AwaitAtLeast(cm.Queries.Load, qBase+1, 5*time.Second)
 			select {
 			case <-stop:
 				return
-			case <-time.After(2 * time.Millisecond):
+			default:
 			}
 		}
 		if applied < 100 {
@@ -294,6 +309,7 @@ func TestChurnUnderLossLive(t *testing.T) {
 				return
 			}
 			defer client.Close()
+			client.Metrics = cm
 			rng := rand.New(rand.NewSource(4040 + int64(c)))
 			for q := 0; ; q++ {
 				select {
@@ -316,27 +332,23 @@ func TestChurnUnderLossLive(t *testing.T) {
 	}
 
 	// Let the driver finish all batches, then stop the clients.
-	driverDone := make(chan struct{})
-	go func() {
-		// The driver goroutine is the first wg member; poll the swapper
-		// until all batches are visible, bounded by the test deadline.
-		for sw.Current().Gen < batches {
-			select {
-			case err := <-driverErr:
-				t.Error(err)
-				close(driverDone)
-				return
-			case <-time.After(5 * time.Millisecond):
-			}
-		}
-		close(driverDone)
-	}()
 	select {
-	case <-driverDone:
+	case <-driverFinished:
 	case err := <-clientErrs:
 		t.Fatalf("client failed during churn: %v", err)
 	case <-time.After(60 * time.Second):
 		t.Fatal("churn run hung")
+	}
+	select {
+	case err := <-driverErr:
+		t.Fatalf("driver failed: %v", err)
+	default:
+	}
+	// Every applied batch must be visible as a published swap before the
+	// clients stop (the counter increments at publish, so this returns
+	// immediately once the driver is done — it is the readiness assertion).
+	if !obs.AwaitAtLeast(srv.Metrics().Swaps.Load, batches, 30*time.Second) {
+		t.Fatalf("only %d swaps on the air after %d applied batches", srv.Metrics().Swaps.Load(), batches)
 	}
 	close(stop)
 	wg.Wait()
@@ -350,6 +362,12 @@ func TestChurnUnderLossLive(t *testing.T) {
 
 	if got := srv.Generation(); got < batches {
 		t.Fatalf("server generation %d after %d batches", got, batches)
+	}
+	if got := srv.Metrics().ConnPanics.Load(); got != 0 {
+		t.Fatalf("%d connection panics recovered during churn, want 0", got)
+	}
+	if got := cm.Queries.Load(); got == 0 {
+		t.Fatal("no queries completed during the churn run")
 	}
 
 	// Graceful drain must complete: no client is connected anymore, but the

@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"airindex/internal/geom"
 	"airindex/internal/region"
@@ -143,6 +144,7 @@ func (sw *Swapper) LiveSiteIDs() []int {
 // (new id for Add/Move, the removed id echoed for Remove), valid for the
 // prefix that succeeded.
 func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
+	start := time.Now()
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	ids = make([]int, 0, len(ops))
@@ -184,6 +186,9 @@ func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
 			sw.cur = prev
 			return prev.Gen, ids, err
 		}
+		// End-to-end reconfiguration latency: maintainer mutation + off-path
+		// rebuild + render + publish, the number capacity planning needs.
+		sw.srv.Metrics().SwapLatencyNS.Observe(time.Since(start).Nanoseconds())
 	}
 	return next, ids, opErr
 }
