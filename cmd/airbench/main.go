@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache|loss|churn] [-queries n]
-//	         [-capacities 64,128,...] [-datasets uniform,hospital,park]
+//	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache|loss|churn|shards]
+//	         [-queries n] [-capacities 64,128,...] [-datasets uniform,hospital,park]
 //	         [-theta 1.0] [-queries-by-area] [-csv] [-seed n] [-loss-queries n]
+//	         [-shardcounts 1,2,4,8] [-sites 50000] [-baselines]
 //	         [-workers n] [-buildworkers n] [-cpuprofile f] [-memprofile f]
 //
 // Besides the paper's figures, the extension experiments are available as
@@ -16,9 +17,16 @@
 // "cache" (client-side pinning of hot index packets), "loss" (latency and
 // tuning of the streamed access protocol under unreliable channels —
 // Bernoulli, Gilbert-Elliott and bit-corruption fault models, run against
-// the live frame stream at the first listed capacity), and "churn" (latency
+// the live frame stream at the first listed capacity), "churn" (latency
 // and tuning penalty of hot program swaps while sites are added, removed
-// and moved under live queries).
+// and moved under live queries), and "shards" (the multi-channel sharded
+// fabric: access latency and tuning vs channel count at the first listed
+// capacity, over a large uniform dataset of -sites sites).
+//
+// The serial trian-tree and trap-tree baseline builders are opt-in via
+// -baselines: without it the classic figures compare only the D-tree and
+// R*-tree, and large-N sweeps skip the two builders that dominate build
+// time.
 package main
 
 import (
@@ -47,6 +55,9 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit raw measurements as JSON; loss/churn cells carry per-cell observability snapshots")
 		seed       = flag.Int64("seed", 42, "random seed")
 		lossQ      = flag.Int("loss-queries", 200, "streamed queries per cell of the loss/churn sweeps (with -figure loss or churn)")
+		shardCnts  = flag.String("shardcounts", "1,2,4,8", "channel counts of the shard sweep (with -figure shards)")
+		sites      = flag.Int("sites", 50000, "site count of the shard sweep's large uniform dataset (with -figure shards)")
+		baselines  = flag.Bool("baselines", false, "also build the serial trian-tree and trap-tree baselines (opt-in: they dominate build time at large N)")
 		workers    = flag.Int("workers", 0, "simulation workers per cell (0 = one per CPU); results are identical at any count")
 		buildWkrs  = flag.Int("buildworkers", 0, "D-tree build workers (0 = one per CPU); the built tree is identical at any count")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -86,7 +97,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiment.Config{Capacities: caps, Queries: *queries, Seed: *seed, ByArea: *byArea, Workers: *workers, BuildWorkers: *buildWkrs}
+	cfg := experiment.Config{Capacities: caps, Queries: *queries, Seed: *seed, ByArea: *byArea, Workers: *workers, BuildWorkers: *buildWkrs, NoBaselines: !*baselines}
+
+	if *figure == "shards" {
+		counts, err := parseInts(*shardCnts)
+		if err != nil {
+			fatal(err)
+		}
+		d := dataset.LargeUniform(*sites)
+		ps, err := experiment.RunShards(d, caps[0], counts, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(map[string]any{"figure": "shards", "dataset": d.Name, "sites": d.N(), "capacity": caps[0], "points": ps})
+			return
+		}
+		if *csvOut {
+			fmt.Print(experiment.ShardsCSV(ps))
+			return
+		}
+		fmt.Printf("=== Sharded broadcast fabric, %s, %d B packets ===\n%s\n", d.Name, caps[0], experiment.ShardsTables(ps))
+		return
+	}
 
 	if *figure == "dist" {
 		for _, d := range ds {

@@ -13,18 +13,29 @@
 // streamed access protocol, and reports latency, tuning and recovery
 // counts.
 //
+// With -shards S (S > 1) the daemon serves a multi-channel sharded fabric
+// instead of a single channel: the service area is split into S balanced
+// spatial partitions, each broadcast on its own listener (ports base..
+// base+S-1 when -addr names a fixed port) with its own D-tree and its own
+// generation counter, and every channel's index copies carry the
+// replicated channel directory so a client's first probe routes to the
+// owning shard. All shards share one metrics registry with per-shard
+// label prefixes, and -churn republishes only the shards a batch actually
+// touched.
+//
 // Usage:
 //
 //	broadcastd [-addr :7343] [-dataset hospital] [-capacity 256]
-//	           [-slot-duration 0] [-seed 1]
+//	           [-shards 1] [-slot-duration 0] [-seed 1]
 //	           [-loss 0] [-burst 1] [-corrupt 0]
 //	           [-churn 0] [-churn-ops 4] [-write-timeout 30s]
 //	           [-drain-timeout 10s] [-debug-addr ""] [-demo]
 //
 // With -debug-addr the daemon also serves an HTTP debug endpoint:
-// /metrics (the server counters and histograms as JSON), /healthz (cycle
-// position, generation on the air, connection count) and /trace (recent
-// per-query Probe→Answer traces; populated by the -demo client).
+// /metrics (the counters and histograms of every shard as JSON), /healthz
+// (per-shard cycle position, generation on the air, connection count) and
+// /trace (recent per-query Probe→Answer traces; populated by the -demo
+// client).
 package main
 
 import (
@@ -37,57 +48,146 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"airindex/internal/channel"
 	"airindex/internal/dataset"
+	"airindex/internal/fabric"
 	"airindex/internal/geom"
 	"airindex/internal/obs"
 	"airindex/internal/stream"
 )
 
+// config carries every flag value plus which ones were set explicitly, so
+// validation can reject combinations whose defaults would silently lie
+// (churn without a pinned seed is not reproducible).
+type config struct {
+	addr     string
+	dataset  string
+	n        int
+	capacity int
+	shards   int
+	slotDur  time.Duration
+	seed     int64
+	seedSet  bool
+	loss     float64
+	burst    float64
+	corrupt  float64
+	churn    time.Duration
+	churnOps int
+	writeTO  time.Duration
+	drainTO  time.Duration
+	dbgAddr  string
+	demo     bool
+}
+
+// validateConfig rejects nonsensical flag combinations before any listener
+// is opened. It is pure so the rules are unit-testable.
+func validateConfig(c config) error {
+	switch strings.ToLower(c.dataset) {
+	case "uniform", "hospital", "park":
+	default:
+		return fmt.Errorf("unknown dataset %q (want uniform, hospital or park)", c.dataset)
+	}
+	if c.n < 1 {
+		return fmt.Errorf("-n %d: need at least one site", c.n)
+	}
+	if c.capacity < 32 {
+		return fmt.Errorf("-capacity %d: packets below 32 bytes cannot carry the frame header and payload stamps", c.capacity)
+	}
+	if c.shards < 1 {
+		return fmt.Errorf("-shards %d: need at least one channel", c.shards)
+	}
+	if c.loss < 0 || c.loss >= 1 {
+		return fmt.Errorf("-loss %v: loss rate must be in [0, 1)", c.loss)
+	}
+	if c.corrupt < 0 || c.corrupt >= 1 {
+		return fmt.Errorf("-corrupt %v: corruption rate must be in [0, 1)", c.corrupt)
+	}
+	if c.burst < 1 {
+		return fmt.Errorf("-burst %v: mean burst length must be >= 1 frame", c.burst)
+	}
+	if c.churn < 0 {
+		return fmt.Errorf("-churn %v: churn interval cannot be negative", c.churn)
+	}
+	if c.churn > 0 && !c.seedSet {
+		return fmt.Errorf("-churn %v without an explicit -seed: churned runs must be reproducible, pass -seed", c.churn)
+	}
+	if c.churnOps < 1 {
+		return fmt.Errorf("-churn-ops %d: a churn batch needs at least one site operation", c.churnOps)
+	}
+	if c.slotDur < 0 {
+		return fmt.Errorf("-slot-duration %v: cannot be negative", c.slotDur)
+	}
+	if c.writeTO < 0 {
+		return fmt.Errorf("-write-timeout %v: cannot be negative", c.writeTO)
+	}
+	if c.drainTO <= 0 {
+		return fmt.Errorf("-drain-timeout %v: must be positive", c.drainTO)
+	}
+	return nil
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", "127.0.0.1:7343", "listen address")
-		name     = flag.String("dataset", "hospital", "uniform, hospital or park")
-		n        = flag.Int("n", 1000, "site count (uniform only)")
-		capacity = flag.Int("capacity", 256, "packet capacity in bytes")
-		slotDur  = flag.Duration("slot-duration", 0, "real-time pacing per slot (0 = full speed)")
-		seed     = flag.Int64("seed", 1, "seed for start slots, demo queries, churn and fault models (reproducible runs)")
-		loss     = flag.Float64("loss", 0, "frame loss rate per connection, [0, 1)")
-		burst    = flag.Float64("burst", 1, "mean loss-burst length in frames; > 1 selects bursty Gilbert-Elliott loss")
-		corrupt  = flag.Float64("corrupt", 0, "payload bit-corruption rate of delivered frames, [0, 1)")
-		churn    = flag.Duration("churn", 0, "interval between site-churn batches hot-swapped onto the air (0 = static program)")
-		churnOps = flag.Int("churn-ops", 4, "site add/remove/move operations per churn batch")
-		writeTO  = flag.Duration("write-timeout", 30*time.Second, "per-write deadline; stalled clients are evicted (0 = never)")
-		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget before stragglers are severed")
-		dbgAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz and /trace on this HTTP address (empty = disabled)")
-		demo     = flag.Bool("demo", false, "run a demo client against the server and exit")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7343", "listen address (with -shards S > 1 and a fixed port, shard i listens on port+i)")
+	flag.StringVar(&cfg.dataset, "dataset", "hospital", "uniform, hospital or park")
+	flag.IntVar(&cfg.n, "n", 1000, "site count (uniform only)")
+	flag.IntVar(&cfg.capacity, "capacity", 256, "packet capacity in bytes")
+	flag.IntVar(&cfg.shards, "shards", 1, "broadcast channels; > 1 serves the sharded fabric with a replicated channel directory")
+	flag.DurationVar(&cfg.slotDur, "slot-duration", 0, "real-time pacing per slot (0 = full speed)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for start slots, demo queries, churn and fault models (reproducible runs)")
+	flag.Float64Var(&cfg.loss, "loss", 0, "frame loss rate per connection, [0, 1)")
+	flag.Float64Var(&cfg.burst, "burst", 1, "mean loss-burst length in frames; > 1 selects bursty Gilbert-Elliott loss")
+	flag.Float64Var(&cfg.corrupt, "corrupt", 0, "payload bit-corruption rate of delivered frames, [0, 1)")
+	flag.DurationVar(&cfg.churn, "churn", 0, "interval between site-churn batches hot-swapped onto the air (0 = static program; requires -seed)")
+	flag.IntVar(&cfg.churnOps, "churn-ops", 4, "site add/remove/move operations per churn batch")
+	flag.DurationVar(&cfg.writeTO, "write-timeout", 30*time.Second, "per-write deadline; stalled clients are evicted (0 = never)")
+	flag.DurationVar(&cfg.drainTO, "drain-timeout", 10*time.Second, "graceful-shutdown drain budget before stragglers are severed")
+	flag.StringVar(&cfg.dbgAddr, "debug-addr", "", "serve /metrics, /healthz and /trace on this HTTP address (empty = disabled)")
+	flag.BoolVar(&cfg.demo, "demo", false, "run a demo client against the server and exit")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			cfg.seedSet = true
+		}
+	})
+	if err := validateConfig(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "broadcastd: invalid flags:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var ds dataset.Dataset
-	switch strings.ToLower(*name) {
+	switch strings.ToLower(cfg.dataset) {
 	case "uniform":
-		ds = dataset.Uniform(*n, 1000)
+		ds = dataset.Uniform(cfg.n, 1000)
 	case "hospital":
 		ds = dataset.Hospital()
 	case "park":
 		ds = dataset.Park()
-	default:
-		fatal(fmt.Errorf("unknown dataset %q", *name))
 	}
 
+	if cfg.shards > 1 {
+		runSharded(cfg, ds)
+		return
+	}
+	runSingle(cfg, ds)
+}
+
+// runSingle is the classic one-channel daemon.
+func runSingle(cfg config, ds dataset.Dataset) {
 	// With churn the swapper owns the program pipeline (Voronoi maintainer
 	// -> D-tree build -> rendered cycle); a static run compiles one program
 	// the classic way.
 	var sw *stream.Swapper
 	var prog *stream.Program
-	if *churn > 0 {
+	if cfg.churn > 0 {
 		var err error
-		sw, err = stream.NewSwapper(ds.Area, ds.Sites, *capacity, 0)
+		sw, err = stream.NewSwapper(ds.Area, ds.Sites, cfg.capacity, 0)
 		if err != nil {
 			fatal(err)
 		}
@@ -97,12 +197,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		prog, err = stream.NewDTreeProgram(sub, *capacity, 0)
+		prog, err = stream.NewDTreeProgram(sub, cfg.capacity, 0)
 		if err != nil {
 			fatal(err)
 		}
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,19 +210,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv.SlotDuration = *slotDur
-	srv.WriteTimeout = *writeTO
+	srv.SlotDuration = cfg.slotDur
+	srv.WriteTimeout = cfg.writeTO
 	srv.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "broadcastd: "+format+"\n", args...)
 	}
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(cfg.seed))
 	cycle := prog.Sched.CycleLen()
 	srv.StartSlot = func() int { return rng.Intn(cycle) }
 	if sw != nil {
 		sw.Bind(srv)
 	}
 
-	spec := channel.Spec{Loss: *loss, Burst: *burst, Corrupt: *corrupt, Seed: *seed}
+	spec := channel.Spec{Loss: cfg.loss, Burst: cfg.burst, Corrupt: cfg.corrupt, Seed: cfg.seed}
 	if err := spec.Validate(); err != nil {
 		fatal(err)
 	}
@@ -141,79 +241,47 @@ func main() {
 	// Debug endpoint: server metrics, health, and the query traces the
 	// demo client records.
 	traces := obs.NewTraceLog(256)
-	if *dbgAddr != "" {
-		dln, err := net.Listen("tcp", *dbgAddr)
-		if err != nil {
-			fatal(err)
-		}
-		handler := obs.NewHandler(srv.Metrics().Registry(), func() any { return srv.Health() }, traces)
-		go func() {
-			if err := http.Serve(dln, handler); err != nil && !errors.Is(err, net.ErrClosed) {
-				fmt.Fprintln(os.Stderr, "broadcastd: debug endpoint:", err)
-			}
-		}()
-		fmt.Printf("broadcastd: debug endpoint on http://%s (/metrics /healthz /trace)\n", dln.Addr())
-	}
+	serveDebug(cfg.dbgAddr, srv.Metrics().Registry(), func() any { return srv.Health() }, traces)
 
 	fmt.Printf("broadcastd: %s, %d instances, %d B packets, index %d packets, m=%d, cycle %d slots, listening on %s\n",
-		ds.Name, ds.N(), *capacity, len(prog.IndexPackets), prog.Sched.M, cycle, ln.Addr())
+		ds.Name, ds.N(), cfg.capacity, len(prog.IndexPackets), prog.Sched.M, cycle, ln.Addr())
 	fmt.Printf("broadcastd: rendered cycle cached: %d frames, %.1f KB\n", frames, float64(bytes)/1024)
 	if spec.Enabled() {
 		fmt.Printf("broadcastd: unreliable channel: %s loss %.2f%% (burst %.1f), corruption %.2f%%, seed %d\n",
-			spec.Model(spec.Seed).Name(), 100**loss, *burst, 100**corrupt, *seed)
+			spec.Model(spec.Seed).Name(), 100*cfg.loss, cfg.burst, 100*cfg.corrupt, cfg.seed)
 	}
 	if sw != nil {
-		fmt.Printf("broadcastd: live churn: %d site ops every %v, hot-swapped at cycle boundaries\n", *churnOps, *churn)
+		fmt.Printf("broadcastd: live churn: %d site ops every %v, hot-swapped at cycle boundaries\n", cfg.churnOps, cfg.churn)
 	}
 
 	stopChurn := make(chan struct{})
 	if sw != nil {
-		go runChurn(sw, *churn, *churnOps, ds.N(), *seed+99, stopChurn)
+		go runChurn(sw, cfg.churn, cfg.churnOps, ds.N(), cfg.seed+99, stopChurn)
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
 
-	if !*demo {
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-		select {
-		case sig := <-sigs:
-			fmt.Printf("broadcastd: %v: draining connections (budget %v)\n", sig, *drainTO)
-			close(stopChurn)
-			ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
-			defer cancel()
-			if err := srv.Shutdown(ctx); err != nil {
-				fmt.Fprintln(os.Stderr, "broadcastd: drain incomplete:", err)
-			}
-			if err := <-serveErr; err != nil && !errors.Is(err, stream.ErrServerClosed) {
-				fatal(err)
-			}
-			fmt.Println("broadcastd: stopped")
-			return
-		case err := <-serveErr:
-			if err != nil && !errors.Is(err, stream.ErrServerClosed) {
-				fatal(err)
-			}
-			return
-		}
+	if !cfg.demo {
+		waitForSignal(cfg, stopChurn, []*stream.Server{srv}, serveErr)
+		return
 	}
 
-	client, err := stream.Dial(ln.Addr().String(), *capacity)
+	client, err := stream.Dial(ln.Addr().String(), cfg.capacity)
 	if err != nil {
 		fatal(err)
 	}
 	client.Metrics = stream.NewClientMetrics()
 	client.Traces = traces
 
-	qrng := rand.New(rand.NewSource(*seed))
+	qrng := rand.New(rand.NewSource(cfg.seed))
 	for q := 0; q < 8; q++ {
 		p := geom.Pt(qrng.Float64()*10000, qrng.Float64()*10000)
 		res, err := client.Query(p)
 		if err != nil {
 			fatal(err)
 		}
-		if err := stream.VerifyStampedData(res.Data, *capacity, res.Bucket); err != nil {
+		if err := stream.VerifyStampedData(res.Data, cfg.capacity, res.Bucket); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("query (%5.0f,%5.0f) -> instance %4d   latency %6.0f slots, tuned %2d packets (index %d), dozed %d frames",
@@ -237,15 +305,222 @@ func main() {
 	if spec.Enabled() {
 		fmt.Printf("channel: %v\n", stats.Snapshot())
 	}
-	close(stopChurn)
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "broadcastd: drain incomplete:", err)
+	shutdownAll(cfg, stopChurn, []*stream.Server{srv}, serveErr)
+}
+
+// runSharded serves the S-channel fabric: one listener, program and
+// generation counter per shard, a shared metrics registry with per-shard
+// prefixes, and churn that republishes only the shards a batch touched.
+func runSharded(cfg config, ds dataset.Dataset) {
+	S := cfg.shards
+	opts := fabric.Options{}
+	var fsw *fabric.Swapper
+	var progs []*stream.Program
+	var dirPackets, channels int
+	if cfg.churn > 0 {
+		var err error
+		fsw, err = fabric.NewSwapper(ds.Area, ds.Sites, S, cfg.capacity, opts)
+		if err != nil {
+			fatal(err)
+		}
+		progs = fsw.Programs()
+		dirPackets = fsw.DirPackets()
+	} else {
+		f, err := fabric.Build(ds.Area, ds.Sites, S, cfg.capacity, opts)
+		if err != nil {
+			fatal(err)
+		}
+		progs = f.Programs()
+		dirPackets = f.DirPackets
 	}
-	if err := <-serveErr; err != nil && !errors.Is(err, stream.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "broadcastd: serve:", err)
-		os.Exit(1)
+	channels = len(progs)
+
+	reg := obs.NewRegistry()
+	rng := rand.New(rand.NewSource(cfg.seed))
+	srvs := make([]*stream.Server, channels)
+	addrs := make([]string, channels)
+	serveErr := make(chan error, channels)
+	for ch := 0; ch < channels; ch++ {
+		ln, err := net.Listen("tcp", shardAddr(cfg.addr, ch))
+		if err != nil {
+			fatal(fmt.Errorf("shard %d: %w", ch, err))
+		}
+		srv, err := stream.NewServer(ln, progs[ch])
+		if err != nil {
+			fatal(err)
+		}
+		srv.UseMetrics(stream.NewMetricsIn(reg, fmt.Sprintf("shard%d_", ch)))
+		srv.SlotDuration = cfg.slotDur
+		srv.WriteTimeout = cfg.writeTO
+		shard := ch
+		srv.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, fmt.Sprintf("broadcastd: shard %d: ", shard)+format+"\n", args...)
+		}
+		cycle := progs[ch].Sched.CycleLen()
+		start := rng.Intn(cycle)
+		srv.StartSlot = func() int { return start }
+		spec := channel.Spec{Loss: cfg.loss, Burst: cfg.burst, Corrupt: cfg.corrupt, Seed: cfg.seed + int64(ch)}
+		if err := spec.Validate(); err != nil {
+			fatal(err)
+		}
+		if spec.Enabled() {
+			srv.Channel = spec.Factory(nil)
+		}
+		if fsw != nil {
+			fsw.Bind(ch, srv)
+		}
+		srvs[ch] = srv
+		addrs[ch] = ln.Addr().String()
+	}
+
+	traces := obs.NewTraceLog(256)
+	serveDebug(cfg.dbgAddr, reg, func() any {
+		health := make(map[string]any, channels)
+		for ch, srv := range srvs {
+			health[fmt.Sprintf("shard%d", ch)] = srv.Health()
+		}
+		return health
+	}, traces)
+
+	fmt.Printf("broadcastd: %s, %d instances, %d B packets, %d shards, directory %d packet(s) replicated on every channel\n",
+		ds.Name, ds.N(), cfg.capacity, channels, dirPackets)
+	for ch, srv := range srvs {
+		prog := progs[ch]
+		fmt.Printf("broadcastd: shard %d on %s: index %d packets, m=%d, cycle %d slots\n",
+			ch, srv.Addr(), len(prog.IndexPackets), prog.Sched.M, prog.Sched.CycleLen())
+	}
+	if cfg.loss > 0 || cfg.corrupt > 0 {
+		fmt.Printf("broadcastd: unreliable channels: loss %.2f%% (burst %.1f), corruption %.2f%%, per-shard seeds %d..%d\n",
+			100*cfg.loss, cfg.burst, 100*cfg.corrupt, cfg.seed, cfg.seed+int64(channels-1))
+	}
+	if fsw != nil {
+		fmt.Printf("broadcastd: live churn: %d site ops every %v, republishing only the shards each batch touches\n",
+			cfg.churnOps, cfg.churn)
+	}
+
+	stopChurn := make(chan struct{})
+	if fsw != nil {
+		go runFabricChurn(fsw, cfg.churn, cfg.churnOps, ds.N(), cfg.seed+99, stopChurn)
+	}
+	for _, srv := range srvs {
+		srv := srv
+		go func() { serveErr <- srv.Serve() }()
+	}
+
+	if !cfg.demo {
+		waitForSignal(cfg, stopChurn, srvs, serveErr)
+		return
+	}
+
+	client := fabric.NewClient(addrs, cfg.capacity)
+	client.Metrics = stream.NewClientMetrics()
+	client.Traces = traces
+	qrng := rand.New(rand.NewSource(cfg.seed))
+	for q := 0; q < 8; q++ {
+		p := geom.Pt(
+			ds.Area.MinX+qrng.Float64()*ds.Area.W(),
+			ds.Area.MinY+qrng.Float64()*ds.Area.H(),
+		)
+		entry := qrng.Intn(channels)
+		res, err := client.QueryFrom(p, entry)
+		if err != nil {
+			fatal(err)
+		}
+		if err := stream.VerifyStampedData(res.Data, cfg.capacity, res.Bucket); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("query (%5.0f,%5.0f) entry ch%d -> shard %d instance %4d   latency %6.0f slots, tuned %2d packets (dir %d, index %d), %d hop(s)",
+			p.X, p.Y, entry, res.Shard, res.Global, res.Latency, res.TotalTuning(), res.TuneDirectory, res.TuneIndex, res.Hops)
+		if res.Recoveries > 0 || res.LostSlots > 0 || res.CorruptFrames > 0 {
+			fmt.Printf(", recovered %d (lost %d slots, %d corrupt)", res.Recoveries, res.LostSlots, res.CorruptFrames)
+		}
+		if res.EpochRestarts > 0 {
+			fmt.Printf(", %d epoch restarts", res.EpochRestarts)
+		}
+		if fsw != nil {
+			fmt.Printf(" [gen %d]", res.Generation)
+		}
+		fmt.Println()
+	}
+	if lat, tune := client.Metrics.LatencySlots.Snapshot(), client.Metrics.TuningPackets.Snapshot(); lat.Count > 0 {
+		fmt.Printf("demo: %d queries, latency p50 %d / p99 %d slots, tuning p50 %d / p99 %d packets\n",
+			lat.Count, lat.P50, lat.P99, tune.P50, tune.P99)
+	}
+	client.Close()
+	shutdownAll(cfg, stopChurn, srvs, serveErr)
+}
+
+// shardAddr derives shard ch's listen address from the base address: a
+// fixed port becomes port+ch, port 0 stays 0 (the kernel picks).
+func shardAddr(base string, ch int) string {
+	host, port, err := net.SplitHostPort(base)
+	if err != nil {
+		return base
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p == 0 {
+		return base
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+ch))
+}
+
+// serveDebug starts the HTTP debug endpoint when addr is non-empty.
+func serveDebug(addr string, reg *obs.Registry, health func() any, traces *obs.TraceLog) {
+	if addr == "" {
+		return
+	}
+	dln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	handler := obs.NewHandler(reg, health, traces)
+	go func() {
+		if err := http.Serve(dln, handler); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "broadcastd: debug endpoint:", err)
+		}
+	}()
+	fmt.Printf("broadcastd: debug endpoint on http://%s (/metrics /healthz /trace)\n", dln.Addr())
+}
+
+// waitForSignal blocks until SIGINT/SIGTERM or the first serve error, then
+// drains every server.
+func waitForSignal(cfg config, stopChurn chan struct{}, srvs []*stream.Server, serveErr chan error) {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("broadcastd: %v: draining connections (budget %v)\n", sig, cfg.drainTO)
+		shutdownAll(cfg, stopChurn, srvs, serveErr)
+		fmt.Println("broadcastd: stopped")
+	case err := <-serveErr:
+		close(stopChurn)
+		if err != nil && !errors.Is(err, stream.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+// shutdownAll stops churn and drains every server in parallel within the
+// drain budget.
+func shutdownAll(cfg config, stopChurn chan struct{}, srvs []*stream.Server, serveErr chan error) {
+	close(stopChurn)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTO)
+	defer cancel()
+	done := make(chan error, len(srvs))
+	for _, srv := range srvs {
+		srv := srv
+		go func() { done <- srv.Shutdown(ctx) }()
+	}
+	for range srvs {
+		if err := <-done; err != nil {
+			fmt.Fprintln(os.Stderr, "broadcastd: drain incomplete:", err)
+		}
+	}
+	for range srvs {
+		if err := <-serveErr; err != nil && !errors.Is(err, stream.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "broadcastd: serve:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -261,33 +536,60 @@ func runChurn(sw *stream.Swapper, every time.Duration, opsPerBatch, n0 int, seed
 			return
 		case <-t.C:
 		}
-		ids := sw.LiveSiteIDs()
-		ops := make([]stream.SiteOp, 0, opsPerBatch)
-		for len(ops) < opsPerBatch {
-			p := geom.Pt(
-				dataset.Area.MinX+rng.Float64()*dataset.Area.W(),
-				dataset.Area.MinY+rng.Float64()*dataset.Area.H(),
-			)
-			switch k := rng.Intn(3); {
-			case k == 0 || len(ids) <= n0/2:
-				ops = append(ops, stream.SiteOp{Kind: stream.OpAdd, P: p})
-			case k == 1 && len(ids) > n0/2:
-				j := ids[rng.Intn(len(ids))]
-				ops = append(ops, stream.SiteOp{Kind: stream.OpRemove, ID: j})
-				ids = dropID(ids, j)
-			default:
-				j := ids[rng.Intn(len(ids))]
-				ops = append(ops, stream.SiteOp{Kind: stream.OpMove, ID: j, P: p})
-				ids = dropID(ids, j)
-			}
-		}
-		gen, applied, err := sw.Apply(ops)
+		gen, applied, err := sw.Apply(churnBatch(sw.LiveSiteIDs(), rng, opsPerBatch, n0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "broadcastd: churn:", err)
 			continue
 		}
 		fmt.Printf("broadcastd: generation %d on the air (%d site ops, %d live sites)\n", gen, len(applied), sw.Len())
 	}
+}
+
+// runFabricChurn is runChurn against the sharded fabric: each batch
+// republishes only the shards whose clipped content changed, so the log
+// line reports the per-shard generation vector.
+func runFabricChurn(sw *fabric.Swapper, every time.Duration, opsPerBatch, n0 int, seed int64, stop chan struct{}) {
+	rng := rand.New(rand.NewSource(seed))
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		gens, applied, err := sw.Apply(churnBatch(sw.LiveSiteIDs(), rng, opsPerBatch, n0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "broadcastd: churn:", err)
+			continue
+		}
+		fmt.Printf("broadcastd: shard generations %v on the air (%d site ops, %d live sites)\n", gens, len(applied), sw.Len())
+	}
+}
+
+// churnBatch composes one random add/remove/move batch that keeps the live
+// population hovering around n0.
+func churnBatch(ids []int, rng *rand.Rand, opsPerBatch, n0 int) []stream.SiteOp {
+	ops := make([]stream.SiteOp, 0, opsPerBatch)
+	for len(ops) < opsPerBatch {
+		p := geom.Pt(
+			dataset.Area.MinX+rng.Float64()*dataset.Area.W(),
+			dataset.Area.MinY+rng.Float64()*dataset.Area.H(),
+		)
+		switch k := rng.Intn(3); {
+		case k == 0 || len(ids) <= n0/2:
+			ops = append(ops, stream.SiteOp{Kind: stream.OpAdd, P: p})
+		case k == 1 && len(ids) > n0/2:
+			j := ids[rng.Intn(len(ids))]
+			ops = append(ops, stream.SiteOp{Kind: stream.OpRemove, ID: j})
+			ids = dropID(ids, j)
+		default:
+			j := ids[rng.Intn(len(ids))]
+			ops = append(ops, stream.SiteOp{Kind: stream.OpMove, ID: j, P: p})
+			ids = dropID(ids, j)
+		}
+	}
+	return ops
 }
 
 func dropID(ids []int, id int) []int {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -151,6 +152,132 @@ func TestDebugEndpointEndToEnd(t *testing.T) {
 	if !strings.Contains(tail(), "demo: 8 queries") {
 		t.Fatalf("demo summary missing from output\n%s", tail())
 	}
+}
+
+// baseConfig mirrors the flag defaults.
+func baseConfig() config {
+	return config{
+		addr: "127.0.0.1:7343", dataset: "hospital", n: 1000, capacity: 256,
+		shards: 1, seed: 1, burst: 1, churnOps: 4,
+		writeTO: 30 * time.Second, drainTO: 10 * time.Second,
+	}
+}
+
+// TestValidateConfig pins the flag-validation rules: every nonsensical
+// combination is rejected before a listener opens, and the defaults pass.
+func TestValidateConfig(t *testing.T) {
+	if err := validateConfig(baseConfig()); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*config)
+		ok   bool
+	}{
+		{"sharded", func(c *config) { c.shards = 4 }, true},
+		{"churn with seed", func(c *config) { c.churn = time.Second; c.seedSet = true }, true},
+		{"lossy", func(c *config) { c.loss = 0.2; c.burst = 3; c.corrupt = 0.01 }, true},
+		{"zero shards", func(c *config) { c.shards = 0 }, false},
+		{"negative shards", func(c *config) { c.shards = -2 }, false},
+		{"churn without seed", func(c *config) { c.churn = time.Second }, false},
+		{"negative churn", func(c *config) { c.churn = -time.Second; c.seedSet = true }, false},
+		{"loss one", func(c *config) { c.loss = 1 }, false},
+		{"negative loss", func(c *config) { c.loss = -0.1 }, false},
+		{"corrupt one", func(c *config) { c.corrupt = 1 }, false},
+		{"sub-frame burst", func(c *config) { c.burst = 0.5 }, false},
+		{"zero churn ops", func(c *config) { c.churnOps = 0 }, false},
+		{"tiny capacity", func(c *config) { c.capacity = 16 }, false},
+		{"no sites", func(c *config) { c.n = 0 }, false},
+		{"unknown dataset", func(c *config) { c.dataset = "venus" }, false},
+		{"negative slot duration", func(c *config) { c.slotDur = -time.Millisecond }, false},
+		{"negative write timeout", func(c *config) { c.writeTO = -time.Second }, false},
+		{"zero drain budget", func(c *config) { c.drainTO = 0 }, false},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig()
+		tc.mut(&cfg)
+		err := validateConfig(cfg)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpectedly rejected: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestShardAddr pins the port-derivation rule for sharded listeners.
+func TestShardAddr(t *testing.T) {
+	for _, tc := range []struct {
+		base string
+		ch   int
+		want string
+	}{
+		{"127.0.0.1:7343", 0, "127.0.0.1:7343"},
+		{"127.0.0.1:7343", 3, "127.0.0.1:7346"},
+		{"127.0.0.1:0", 2, "127.0.0.1:0"},
+		{":9000", 1, ":9001"},
+	} {
+		if got := shardAddr(tc.base, tc.ch); got != tc.want {
+			t.Errorf("shardAddr(%q, %d) = %q, want %q", tc.base, tc.ch, got, tc.want)
+		}
+	}
+}
+
+// TestInvalidFlagsExitCode runs the real binary with a rejected flag
+// combination and expects a usage error (exit code 2) before any listener
+// opens.
+func TestInvalidFlagsExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	out, err := exec.Command(bin, "-churn", "1s", "-addr", "127.0.0.1:0").CombinedOutput()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 2 {
+		t.Fatalf("want exit code 2, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "invalid flags") || !strings.Contains(string(out), "-seed") {
+		t.Fatalf("usage error missing:\n%s", out)
+	}
+}
+
+// TestShardedDemoEndToEnd runs the daemon in -shards 3 -demo mode against
+// a lossy channel and checks the demo client resolved queries across
+// shards with the directory prefix charged on every query.
+func TestShardedDemoEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	out, err := exec.Command(bin,
+		"-demo", "-shards", "3", "-dataset", "uniform", "-n", "90", "-capacity", "128",
+		"-loss", "0.02", "-addr", "127.0.0.1:0").CombinedOutput()
+	if err != nil {
+		t.Fatalf("daemon: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"3 shards", "directory 1 packet(s)",
+		"shard 0 on", "shard 1 on", "shard 2 on",
+		"demo: 8 queries",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "hop(s)") {
+		t.Fatalf("no hop accounting in demo output:\n%s", s)
+	}
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "broadcastd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
 }
 
 // getJSON fetches url and decodes the JSON body, retrying briefly — the

@@ -57,25 +57,44 @@ type indexCacheEntry struct {
 	err     error
 }
 
+// BuildOpt tunes Build/BuildWithWorkers.
+type BuildOpt func(*buildCfg)
+
+type buildCfg struct {
+	baselines bool
+}
+
+// WithoutBaselines skips the serial trian-tree and trap-tree baseline
+// builders — at 50k sites they cost ~24 s each for indexes the product
+// path never serves. A Built constructed without baselines pages only the
+// D-tree and R*-tree families; Trian and Trap stay nil.
+func WithoutBaselines() BuildOpt {
+	return func(c *buildCfg) { c.baselines = false }
+}
+
 // Build constructs the subdivision and the packet-independent index
 // structures for a dataset. The trap-tree's random insertion order derives
 // from seed.
-func Build(ds dataset.Dataset, seed int64) (*Built, error) {
-	return BuildWithWorkers(ds, seed, 0)
+func Build(ds dataset.Dataset, seed int64, opts ...BuildOpt) (*Built, error) {
+	return BuildWithWorkers(ds, seed, 0, opts...)
 }
 
 // BuildWithWorkers is Build with an explicit D-tree build worker count
 // (<= 0 means one per CPU; the tree is identical at any count). The
-// subdivision is derived first — every family consumes it — and the three
+// subdivision is derived first — every family consumes it — and the
 // packet-independent index families then build concurrently; each family is
 // deterministic on its own, so the concurrency never changes any result.
-func BuildWithWorkers(ds dataset.Dataset, seed int64, buildWorkers int) (*Built, error) {
+func BuildWithWorkers(ds dataset.Dataset, seed int64, buildWorkers int, opts ...BuildOpt) (*Built, error) {
+	cfg := buildCfg{baselines: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	sub, err := ds.Subdivision()
 	if err != nil {
 		return nil, err
 	}
 	b := &Built{Data: ds, Sub: sub}
-	err = gather(
+	builders := []func() error{
 		func() error {
 			dt, err := core.Build(sub, core.WithBuildWorkers(buildWorkers))
 			if err != nil {
@@ -84,24 +103,28 @@ func BuildWithWorkers(ds dataset.Dataset, seed int64, buildWorkers int) (*Built,
 			b.DTree = dt
 			return nil
 		},
-		func() error {
-			tr, err := triantree.Build(sub)
-			if err != nil {
-				return fmt.Errorf("%s: trian-tree: %w", ds.Name, err)
-			}
-			b.Trian = tr
-			return nil
-		},
-		func() error {
-			tp, err := traptree.Build(sub, rand.New(rand.NewSource(seed)))
-			if err != nil {
-				return fmt.Errorf("%s: trap-tree: %w", ds.Name, err)
-			}
-			b.Trap = tp
-			return nil
-		},
-	)
-	if err != nil {
+	}
+	if cfg.baselines {
+		builders = append(builders,
+			func() error {
+				tr, err := triantree.Build(sub)
+				if err != nil {
+					return fmt.Errorf("%s: trian-tree: %w", ds.Name, err)
+				}
+				b.Trian = tr
+				return nil
+			},
+			func() error {
+				tp, err := traptree.Build(sub, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					return fmt.Errorf("%s: trap-tree: %w", ds.Name, err)
+				}
+				b.Trap = tp
+				return nil
+			},
+		)
+	}
+	if err := gather(builders...); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -148,10 +171,11 @@ func (b *Built) Indexes(capacity int) ([]Index, error) {
 	return e.indexes, e.err
 }
 
-// buildIndexes pages the four index families for one capacity
-// concurrently; paging is read-only over the built structures and the
-// R*-tree bulk-load is deterministic, so the slice is identical to a
-// sequential build.
+// buildIndexes pages the index families for one capacity concurrently;
+// paging is read-only over the built structures and the R*-tree bulk-load
+// is deterministic, so the slice is identical to a sequential build. A
+// Built constructed with WithoutBaselines pages only the D-tree and
+// R*-tree; the two baseline families are skipped.
 func (b *Built) buildIndexes(capacity int) ([]Index, error) {
 	var (
 		dp  *core.Paged
@@ -159,22 +183,10 @@ func (b *Built) buildIndexes(capacity int) ([]Index, error) {
 		tpp *traptree.Paged
 		ra  *rstar.AirIndex
 	)
-	err := gather(
+	tasks := []func() error{
 		func() (err error) {
 			if dp, err = b.DTree.Page(wire.DTreeParams(capacity)); err != nil {
 				return fmt.Errorf("d-tree page(%d): %w", capacity, err)
-			}
-			return nil
-		},
-		func() (err error) {
-			if trp, err = b.Trian.Page(wire.DecompositionParams(capacity)); err != nil {
-				return fmt.Errorf("trian-tree page(%d): %w", capacity, err)
-			}
-			return nil
-		},
-		func() (err error) {
-			if tpp, err = b.Trap.Page(wire.DecompositionParams(capacity)); err != nil {
-				return fmt.Errorf("trap-tree page(%d): %w", capacity, err)
 			}
 			return nil
 		},
@@ -184,9 +196,28 @@ func (b *Built) buildIndexes(capacity int) ([]Index, error) {
 			}
 			return nil
 		},
-	)
-	if err != nil {
+	}
+	if b.Trian != nil && b.Trap != nil {
+		tasks = append(tasks,
+			func() (err error) {
+				if trp, err = b.Trian.Page(wire.DecompositionParams(capacity)); err != nil {
+					return fmt.Errorf("trian-tree page(%d): %w", capacity, err)
+				}
+				return nil
+			},
+			func() (err error) {
+				if tpp, err = b.Trap.Page(wire.DecompositionParams(capacity)); err != nil {
+					return fmt.Errorf("trap-tree page(%d): %w", capacity, err)
+				}
+				return nil
+			},
+		)
+	}
+	if err := gather(tasks...); err != nil {
 		return nil, err
+	}
+	if trp == nil {
+		return []Index{dtreeIndex{dp}, rstarIndex{ra}}, nil
 	}
 	return []Index{
 		dtreeIndex{dp},

@@ -93,7 +93,7 @@ type CacheResult struct {
 // which any LRU-style policy approaches for a static broadcast).
 func RunCached(ds dataset.Dataset, capacity int, cacheSizes []int, cfg Config) ([]CacheResult, error) {
 	cfg = cfg.withDefaults()
-	b, err := BuildWithWorkers(ds, cfg.Seed, cfg.BuildWorkers)
+	b, err := BuildWithWorkers(ds, cfg.Seed, cfg.BuildWorkers, cfg.buildOpts()...)
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,18 @@ type Config struct {
 	// the count never changes any result: the built tree is bit-identical
 	// at any setting.
 	BuildWorkers int
+	// NoBaselines skips the serial trian-tree and trap-tree baseline
+	// builders (see WithoutBaselines); only sweeps that measure those
+	// curves need them, and at 50k sites they dominate build time.
+	NoBaselines bool
+}
+
+// buildOpts translates the Config into Build options.
+func (c Config) buildOpts() []BuildOpt {
+	if c.NoBaselines {
+		return []BuildOpt{WithoutBaselines()}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -231,7 +243,7 @@ func RunAll(ds []dataset.Dataset, cfg Config) ([]Measurement, error) {
 		wg.Add(1)
 		go func(i int, d dataset.Dataset) {
 			defer wg.Done()
-			b, err := BuildWithWorkers(d, cfg.Seed, cfg.BuildWorkers)
+			b, err := BuildWithWorkers(d, cfg.Seed, cfg.BuildWorkers, cfg.buildOpts()...)
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"airindex/internal/dataset"
+)
+
+// TestRunShardsSweep exercises the shard sweep end to end on a small
+// dataset: the S=1 row is the flat baseline, latency improves
+// monotonically enough to show the sharding effect, and every sharded
+// access was verified against ground truth inside RunShards itself.
+func TestRunShardsSweep(t *testing.T) {
+	ds := dataset.Uniform(300, 17)
+	cfg := Config{Queries: 2000, Seed: 7, NoBaselines: true}
+	pts, err := RunShards(ds, 128, []int{1, 2, 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d rows", len(pts))
+	}
+	if pts[0].Shards != 1 || pts[0].DirPackets != 0 || pts[0].AvgHops != 0 {
+		t.Fatalf("S=1 row is not the flat baseline: %+v", pts[0])
+	}
+	if pts[0].SpeedupVsS1 != 1 {
+		t.Fatalf("baseline speedup %v", pts[0].SpeedupVsS1)
+	}
+	for _, p := range pts[1:] {
+		if p.DirPackets < 1 {
+			t.Fatalf("S=%d carries no directory", p.Shards)
+		}
+		if p.AvgHops <= 0 {
+			t.Fatalf("S=%d: no hops despite random entry channels", p.Shards)
+		}
+		if p.SpeedupVsS1 <= 1 {
+			t.Fatalf("S=%d: latency did not improve (speedup %v)", p.Shards, p.SpeedupVsS1)
+		}
+		if p.AvgLatency >= pts[0].AvgLatency {
+			t.Fatalf("S=%d latency %v >= baseline %v", p.Shards, p.AvgLatency, pts[0].AvgLatency)
+		}
+	}
+	// S=4 should beat S=2: shorter cycles dominate the extra hop odds.
+	if pts[2].AvgLatency >= pts[1].AvgLatency {
+		t.Fatalf("S=4 latency %v >= S=2 latency %v", pts[2].AvgLatency, pts[1].AvgLatency)
+	}
+
+	table := ShardsTables(pts)
+	if !strings.Contains(table, "speedup") || !strings.Contains(table, "sharded fabric") {
+		t.Fatalf("table missing headers:\n%s", table)
+	}
+	csv := ShardsCSV(pts)
+	if got := strings.Count(csv, "\n"); got != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", got, csv)
+	}
+}
+
+// TestBuildWithoutBaselines: the opt-out leaves Trian/Trap nil and pages
+// only the two product-path families, and the default build still pages
+// all four.
+func TestBuildWithoutBaselines(t *testing.T) {
+	ds := dataset.Uniform(60, 3)
+	b, err := Build(ds, 42, WithoutBaselines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Trian != nil || b.Trap != nil {
+		t.Fatal("baseline structures built despite WithoutBaselines")
+	}
+	idx, err := b.Indexes(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("got %d index families without baselines", len(idx))
+	}
+	if idx[0].Name() != "D-tree" || idx[1].Name() != "R*-tree" {
+		t.Fatalf("unexpected families: %s, %s", idx[0].Name(), idx[1].Name())
+	}
+
+	full, err := Build(ds, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err = full.Indexes(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 4 {
+		t.Fatalf("default build pages %d families, want 4", len(idx))
+	}
+}

@@ -1,0 +1,274 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"airindex/internal/broadcast"
+	"airindex/internal/core"
+	"airindex/internal/geom"
+	"airindex/internal/region"
+	"airindex/internal/stream"
+	"airindex/internal/voronoi"
+	"airindex/internal/wire"
+)
+
+// sliverArea drops clip residue: a global cell whose intersection with a
+// shard rectangle is at most this area is numerical noise from a cell
+// grazing the split line, not content. Service areas are O(1e8) square
+// units, so 1e-9 is ~17 orders below any real cell.
+const sliverArea = 1e-9
+
+// clippedRegion is one global Voronoi cell's piece inside a shard
+// rectangle, tagged with the cell's global id. Comparing these slices
+// exactly (float-bit identical vertices) is how the swapper decides
+// whether a churn batch touched a shard at all — the voronoi.Maintainer
+// guarantees untouched cells keep their exact bytes, and geom.ClipRect is
+// deterministic, so unchanged content compares equal.
+type clippedRegion struct {
+	id   int
+	poly geom.Polygon
+}
+
+// clipShard cuts the global subdivision down to one shard rectangle,
+// returning the surviving pieces in global-id order. globalIDs maps region
+// index to global data-instance id; nil means the identity (region index
+// is the id). Cells straddling a shard boundary appear in every shard they
+// intersect — honest data replication, charged to each shard's cycle.
+func clipShard(sub *region.Subdivision, globalIDs []int, rect geom.Rect) []clippedRegion {
+	var out []clippedRegion
+	for i, r := range sub.Regions {
+		if !r.Bounds().Intersects(rect) {
+			continue
+		}
+		piece := geom.ClipRect(r.Poly, rect)
+		if piece == nil || piece.Area() <= sliverArea {
+			continue
+		}
+		id := i
+		if globalIDs != nil {
+			id = globalIDs[i]
+		}
+		out = append(out, clippedRegion{id: id, poly: piece})
+	}
+	return out
+}
+
+func equalClips(a, b []clippedRegion) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].id != b[i].id || len(a[i].poly) != len(b[i].poly) {
+			return false
+		}
+		for j := range a[i].poly {
+			if a[i].poly[j] != b[i].poly[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Shard is one channel's compiled broadcast: the clipped subdivision it
+// indexes, its D-tree, and the rendered-ready program whose index copies
+// carry the channel directory as a prefix.
+type Shard struct {
+	Channel int
+	Rect    geom.Rect
+	Sub     *region.Subdivision
+	IDs     []int // local bucket -> global data-instance id
+	Tree    *core.Tree
+	Paged   *core.Paged
+	Prog    *stream.Program
+
+	clips []clippedRegion
+}
+
+// Fabric is the compiled multi-channel broadcast: S shard programs plus
+// the directory they all replicate.
+type Fabric struct {
+	Area       geom.Rect
+	Capacity   int
+	DirPackets int
+	Dir        *Directory
+	Rects      []geom.Rect
+	Shards     []*Shard
+}
+
+// Options tunes the fabric build.
+type Options struct {
+	// M is the index copies per shard cycle; <= 0 picks each shard's
+	// optimal m independently.
+	M int
+	// BuildWorkers bounds the per-shard D-tree build parallelism; <= 0
+	// uses the core default.
+	BuildWorkers int
+}
+
+// Build partitions the sites into S shards and compiles the whole fabric
+// from scratch: global Voronoi diagram, kd partition, and one D-tree
+// program per shard. S = 1 degenerates to a single channel that still
+// carries a one-leaf directory.
+func Build(area geom.Rect, sites []geom.Point, S, capacity int, opts Options) (*Fabric, error) {
+	sub, err := voronoi.Subdivision(area, sites)
+	if err != nil {
+		return nil, err
+	}
+	dir, rects, _, err := Partition(area, sites, S)
+	if err != nil {
+		return nil, err
+	}
+	return FromSubdivision(sub, nil, dir, rects, capacity, opts)
+}
+
+// FromSubdivision compiles a fabric from an existing global subdivision
+// (the swapper's incremental snapshots enter here). globalIDs maps region
+// index to global data-instance id (nil = identity).
+func FromSubdivision(sub *region.Subdivision, globalIDs []int, dir *Directory, rects []geom.Rect, capacity int, opts Options) (*Fabric, error) {
+	if len(rects) != dir.S {
+		return nil, fmt.Errorf("fabric: %d rects for %d channels", len(rects), dir.S)
+	}
+	area := rects[0]
+	for _, r := range rects[1:] {
+		area = area.Union(r)
+	}
+	f := &Fabric{
+		Area:       area,
+		Capacity:   capacity,
+		DirPackets: dir.PacketCount(capacity),
+		Dir:        dir,
+		Rects:      rects,
+		Shards:     make([]*Shard, dir.S),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, dir.S)
+	for ch := 0; ch < dir.S; ch++ {
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			clips := clipShard(sub, globalIDs, rects[ch])
+			f.Shards[ch], errs[ch] = compileShard(dir, ch, rects[ch], clips, capacity, opts)
+		}(ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// compileShard builds one channel's program: weld the clipped pieces into
+// a shard-local subdivision, build and page its D-tree, and prefix the
+// channel directory (stamped with this channel) to the index packets.
+func compileShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion, capacity int, opts Options) (*Shard, error) {
+	if len(clips) == 0 {
+		return nil, fmt.Errorf("fabric: shard %d covers no regions", ch)
+	}
+	polys := make([]geom.Polygon, len(clips))
+	ids := make([]int, len(clips))
+	for i, c := range clips {
+		polys[i] = c.poly
+		ids[i] = c.id
+	}
+	sub, err := region.New(rect, polys)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d subdivision: %w", ch, err)
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("fabric: shard %d subdivision invalid: %w", ch, err)
+	}
+	var buildOpts []core.BuildOption
+	if opts.BuildWorkers > 0 {
+		buildOpts = append(buildOpts, core.WithBuildWorkers(opts.BuildWorkers))
+	}
+	tree, err := core.Build(sub, buildOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d tree: %w", ch, err)
+	}
+	params := wire.DTreeParams(capacity)
+	paged, err := tree.Page(params)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d paging: %w", ch, err)
+	}
+	treePkts, err := paged.EncodePackets()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d encoding: %w", ch, err)
+	}
+	dirPkts, err := dir.EncodePackets(capacity, ch)
+	if err != nil {
+		return nil, err
+	}
+	indexPkts := make([][]byte, 0, len(dirPkts)+len(treePkts))
+	indexPkts = append(indexPkts, dirPkts...)
+	indexPkts = append(indexPkts, treePkts...)
+	bucketPackets := params.DataBucketPackets()
+	if bucketPackets > stream.MaxBucketPackets {
+		return nil, fmt.Errorf("fabric: capacity %d needs %d packets per bucket, wire limit %d", capacity, bucketPackets, stream.MaxBucketPackets)
+	}
+	m := opts.M
+	if m <= 0 {
+		m = broadcast.OptimalM(len(indexPkts), sub.N()*bucketPackets)
+	}
+	sched, err := broadcast.NewSchedule(len(indexPkts), sub.N(), bucketPackets, m)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d schedule: %w", ch, err)
+	}
+	prog := &stream.Program{
+		Capacity:     capacity,
+		IndexPackets: indexPkts,
+		Sched:        sched,
+		Data:         DataStamp(capacity, ids),
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &Shard{
+		Channel: ch,
+		Rect:    rect,
+		Sub:     sub,
+		IDs:     ids,
+		Tree:    tree,
+		Paged:   paged,
+		Prog:    prog,
+		clips:   clips,
+	}, nil
+}
+
+// Programs returns the per-channel programs (for stream.NewServer).
+func (f *Fabric) Programs() []*stream.Program {
+	out := make([]*stream.Program, len(f.Shards))
+	for i, s := range f.Shards {
+		out[i] = s.Prog
+	}
+	return out
+}
+
+// DataStamp extends stream.BucketStamp with the global numbering: bytes
+// [0,8) carry the local bucket and packet ids exactly as BucketStamp does
+// (so stream.VerifyStampedData still applies), and bytes [8,12) of every
+// packet carry the region's global data-instance id, so a hopping client
+// reports answers in the global numbering without out-of-band state.
+func DataStamp(capacity int, ids []int) func(bucket, pkt int) []byte {
+	base := stream.BucketStamp(capacity)
+	return func(bucket, pkt int) []byte {
+		payload := base(bucket, pkt)
+		if bucket >= 0 && bucket < len(ids) && capacity >= 12 {
+			binary.LittleEndian.PutUint32(payload[8:], uint32(ids[bucket]))
+		}
+		return payload
+	}
+}
+
+// GlobalIDFromData extracts the global data-instance id DataStamp wrote
+// into a downloaded bucket.
+func GlobalIDFromData(data []byte) (int, error) {
+	if len(data) < 12 {
+		return 0, fmt.Errorf("fabric: bucket data %d bytes, no global id", len(data))
+	}
+	return int(binary.LittleEndian.Uint32(data[8:])), nil
+}

@@ -1,0 +1,237 @@
+package fabric
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"airindex/internal/channel"
+	"airindex/internal/dataset"
+	"airindex/internal/geom"
+	"airindex/internal/stream"
+	"airindex/internal/voronoi"
+)
+
+// startFabricServers boots one stream.Server per shard program and returns
+// the servers plus a shutdown func.
+func startFabricServers(t *testing.T, progs []*stream.Program, configure func(ch int, srv *stream.Server)) []*stream.Server {
+	t.Helper()
+	srvs := make([]*stream.Server, len(progs))
+	for ch, prog := range progs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := stream.NewServer(ln, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if configure != nil {
+			configure(ch, srv)
+		}
+		go srv.Serve() //nolint:errcheck
+		srvs[ch] = srv
+	}
+	t.Cleanup(func() {
+		for _, srv := range srvs {
+			srv.Close() //nolint:errcheck
+		}
+	})
+	return srvs
+}
+
+func fabricAddrs(srvs []*stream.Server) []string {
+	addrs := make([]string, len(srvs))
+	for i, srv := range srvs {
+		addrs[i] = srv.Addr().String()
+	}
+	return addrs
+}
+
+// TestFabricLiveQueryAcrossChannels runs a static 3-shard fabric on real
+// TCP with a perfect channel and checks answers and hop accounting from
+// every entry channel.
+func TestFabricLiveQueryAcrossChannels(t *testing.T) {
+	ds := dataset.Uniform(180, 21)
+	sub, err := voronoi.Subdivision(ds.Area, ds.Sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalPolys := make([]geom.Polygon, sub.N())
+	for i, r := range sub.Regions {
+		globalPolys[i] = r.Poly
+	}
+	const capacity = 128
+	f, err := Build(ds.Area, ds.Sites, 3, capacity, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvs := startFabricServers(t, f.Programs(), func(ch int, srv *stream.Server) {
+		srv.StartSlot = func() int { return 0 }
+	})
+	c := NewClient(fabricAddrs(srvs), capacity)
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	hops := 0
+	for i := 0; i < 24; i++ {
+		p := randomPoint(rng, ds.Area)
+		entry := rng.Intn(3)
+		res, err := c.QueryFrom(p, entry)
+		if err != nil {
+			t.Fatalf("query %d (%v from channel %d): %v", i, p, entry, err)
+		}
+		if want := f.Dir.Route(p); res.Shard != want {
+			t.Fatalf("query %d answered on shard %d, directory says %d", i, res.Shard, want)
+		}
+		if !agrees(globalPolys, res.Global, sub.Locate(p), p) {
+			t.Fatalf("query %d: %v -> global %d, ground truth %d", i, p, res.Global, sub.Locate(p))
+		}
+		if err := stream.VerifyStampedData(res.Data, capacity, res.Bucket); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		// Perfect channel: exactly one probe per leg, the directory read
+		// once, and no recovery of any kind.
+		if res.TuneProbe != 1+res.Hops {
+			t.Fatalf("query %d: %d hops but %d probes", i, res.Hops, res.TuneProbe)
+		}
+		if res.TuneDirectory != f.DirPackets {
+			t.Fatalf("query %d: directory tuning %d, prefix is %d", i, res.TuneDirectory, f.DirPackets)
+		}
+		if res.TuneRecover != 0 || res.Recoveries != 0 || res.EpochRestarts != 0 || res.CorruptFrames != 0 {
+			t.Fatalf("query %d: recovery on a perfect channel: %+v", i, res)
+		}
+		if res.Latency <= 0 {
+			t.Fatalf("query %d: latency %v", i, res.Latency)
+		}
+		if (res.Shard == entry) != (res.Hops == 0) {
+			t.Fatalf("query %d: entry %d, shard %d, hops %d", i, entry, res.Shard, res.Hops)
+		}
+		hops += res.Hops
+	}
+	if hops == 0 {
+		t.Fatal("no query hopped; the test exercised only one channel")
+	}
+}
+
+// TestFabricChurnUnderLossLive is the sharded acceptance gate: a 4-shard
+// fabric on a lossy, corrupting channel with concurrent site churn driving
+// per-shard generation swaps, and a hopping client whose every answer is
+// verified against the exact generation it was resolved against.
+func TestFabricChurnUnderLossLive(t *testing.T) {
+	ds := dataset.Uniform(160, 33)
+	const (
+		capacity = 128
+		S        = 4
+		queries  = 60
+	)
+	sw, err := NewSwapper(ds.Area, ds.Sites, S, capacity, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvs := startFabricServers(t, sw.Programs(), func(ch int, srv *stream.Server) {
+		srv.StartSlot = func() int { return 0 }
+		srv.Channel = channel.Spec{Loss: 0.05, Burst: 2, Corrupt: 0.002, Seed: int64(1000 + ch)}.Factory(nil)
+	})
+	for ch, srv := range srvs {
+		sw.Bind(ch, srv)
+	}
+
+	// Churner: global random batches against the live fabric.
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		rng := rand.New(rand.NewSource(77))
+		for batch := 0; ; batch++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			ops := make([]stream.SiteOp, 0, 3)
+			live := sw.LiveSiteIDs()
+			for i := 0; i < 3; i++ {
+				p := geom.Pt(
+					ds.Area.MinX+rng.Float64()*ds.Area.W(),
+					ds.Area.MinY+rng.Float64()*ds.Area.H(),
+				)
+				switch rng.Intn(3) {
+				case 0:
+					ops = append(ops, stream.SiteOp{Kind: stream.OpAdd, P: p})
+				case 1:
+					ops = append(ops, stream.SiteOp{Kind: stream.OpRemove, ID: live[rng.Intn(len(live))]})
+				default:
+					ops = append(ops, stream.SiteOp{Kind: stream.OpMove, ID: live[rng.Intn(len(live))], P: p})
+				}
+			}
+			if _, _, err := sw.Apply(ops); err != nil {
+				// Duplicate removals within a racing batch are legal
+				// shortened-batch outcomes; anything else is not expected
+				// but must not crash the churner mid-test.
+				t.Logf("churn batch %d: %v", batch, err)
+			}
+		}
+	}()
+	c := NewClient(fabricAddrs(srvs), capacity)
+	rng := rand.New(rand.NewSource(9))
+	hops, restarts := 0, 0
+	for i := 0; i < queries; i++ {
+		p := randomPoint(rng, ds.Area)
+		entry := rng.Intn(S)
+		res, err := c.QueryFrom(p, entry)
+		if err != nil {
+			t.Fatalf("query %d (%v from channel %d): %v", i, p, entry, err)
+		}
+		if err := stream.VerifyStampedData(res.Data, capacity, res.Bucket); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		// Verify against the exact generation the answer names: the global
+		// site of the local bucket must match the payload stamp, and its
+		// cell (clipped to the answering shard) must contain p — the same
+		// per-generation discipline the single-channel churn suite uses.
+		g := sw.Generation(res.Shard, res.Generation)
+		if g == nil {
+			t.Fatalf("query %d: answered under unknown generation %d of shard %d", i, res.Generation, res.Shard)
+		}
+		if res.Bucket < 0 || res.Bucket >= len(g.Shard.IDs) {
+			t.Fatalf("query %d: bucket %d outside generation %d (%d buckets)", i, res.Bucket, res.Generation, len(g.Shard.IDs))
+		}
+		if got := g.Shard.IDs[res.Bucket]; got != res.Global {
+			t.Fatalf("query %d: payload global %d, generation table says %d", i, res.Global, got)
+		}
+		want := g.Shard.Sub.Locate(p)
+		if want != res.Bucket && !g.Shard.Sub.Regions[res.Bucket].Poly.Contains(p) {
+			t.Fatalf("query %d: %v -> bucket %d of shard %d gen %d, ground truth %d",
+				i, p, res.Bucket, res.Shard, res.Generation, want)
+		}
+		hops += res.Hops
+		restarts += res.EpochRestarts
+	}
+	t.Logf("fabric churn gate: %d queries, %d hops, %d epoch restarts", queries, hops, restarts)
+	if hops == 0 {
+		t.Fatal("no query hopped")
+	}
+
+	// Orderly teardown: silence the churner and release the held streams
+	// first — a connection nobody drains can never reach its cycle boundary
+	// — then drain every shard in parallel.
+	close(stop)
+	churnWG.Wait()
+	c.Close() //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	errc := make(chan error, len(srvs))
+	for _, srv := range srvs {
+		go func(srv *stream.Server) { errc <- srv.Shutdown(ctx) }(srv)
+	}
+	for range srvs {
+		if err := <-errc; err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}
+}

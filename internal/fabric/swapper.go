@@ -1,0 +1,231 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"airindex/internal/geom"
+	"airindex/internal/stream"
+	"airindex/internal/voronoi"
+)
+
+// ShardGeneration is one published program of one shard together with the
+// ground truth it indexes, kept for post-hoc answer verification exactly
+// like stream.Generation.
+type ShardGeneration struct {
+	Gen   uint32
+	Shard *Shard
+}
+
+// Swapper drives live reconfiguration of a sharded fabric with per-shard
+// generation cuts: one global voronoi.Maintainer owns the site population,
+// and an Apply batch rebuilds and republishes only the shards whose
+// clipped content actually changed — churn confined to one shard's
+// interior leaves every other channel's broadcast untouched, generation
+// number and all. The partition (rects and directory) is fixed for the
+// swapper's lifetime, so client routing is generation-invariant.
+type Swapper struct {
+	capacity int
+	opts     Options
+
+	mu    sync.Mutex
+	maint *voronoi.Maintainer
+	dir   *Directory
+	rects []geom.Rect
+	cur   []*ShardGeneration
+	gens  []map[uint32]*ShardGeneration
+	srvs  []*stream.Server
+}
+
+// NewSwapper builds the initial fabric (every shard at generation 1) for
+// the given sites.
+func NewSwapper(area geom.Rect, sites []geom.Point, S, capacity int, opts Options) (*Swapper, error) {
+	maint, err := voronoi.NewMaintainer(area, sites)
+	if err != nil {
+		return nil, err
+	}
+	dir, rects, _, err := Partition(area, sites, S)
+	if err != nil {
+		return nil, err
+	}
+	sub, ids, err := maint.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	f, err := FromSubdivision(sub, ids, dir, rects, capacity, opts)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Swapper{
+		capacity: capacity,
+		opts:     opts,
+		maint:    maint,
+		dir:      dir,
+		rects:    rects,
+		cur:      make([]*ShardGeneration, S),
+		gens:     make([]map[uint32]*ShardGeneration, S),
+		srvs:     make([]*stream.Server, S),
+	}
+	for ch, sh := range f.Shards {
+		g := &ShardGeneration{Gen: 1, Shard: sh}
+		sw.gens[ch] = map[uint32]*ShardGeneration{1: g}
+		sw.cur[ch] = g
+	}
+	return sw, nil
+}
+
+// Shards returns the channel count.
+func (sw *Swapper) Shards() int { return len(sw.cur) }
+
+// Directory returns the fixed routing directory.
+func (sw *Swapper) Directory() *Directory { return sw.dir }
+
+// DirPackets returns the directory prefix length in packets.
+func (sw *Swapper) DirPackets() int { return sw.dir.PacketCount(sw.capacity) }
+
+// Programs returns the current per-channel programs (for stream.NewServer).
+func (sw *Swapper) Programs() []*stream.Program {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	out := make([]*stream.Program, len(sw.cur))
+	for ch, g := range sw.cur {
+		out[ch] = g.Shard.Prog
+	}
+	return out
+}
+
+// Bind attaches channel ch's server. The server must have been built from
+// this swapper's program for ch so generation numbering lines up (both
+// start at 1).
+func (sw *Swapper) Bind(ch int, srv *stream.Server) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.srvs[ch] = srv
+}
+
+// Current returns channel ch's latest built generation.
+func (sw *Swapper) Current(ch int) *ShardGeneration {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.cur[ch]
+}
+
+// Generation returns channel ch's published generation gen, or nil.
+func (sw *Swapper) Generation(ch int, gen uint32) *ShardGeneration {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.gens[ch][gen]
+}
+
+// Len returns the current number of live sites.
+func (sw *Swapper) Len() int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.maint.Len()
+}
+
+// LiveSiteIDs returns the ids of the live sites.
+func (sw *Swapper) LiveSiteIDs() []int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	ids, _ := sw.maint.LiveSites()
+	return ids
+}
+
+// Apply runs one batch of site operations through the global maintainer,
+// re-clips every shard, and rebuilds and republishes exactly the shards
+// whose clipped content changed — comparing the (global id, exact
+// vertices) sequences, which the maintainer's bit-identity guarantee makes
+// a sound no-op detector. It returns the per-channel generation now on the
+// air (unchanged shards keep their number) and the batch-position ->
+// site-id mapping, with stream.Swapper's shortened-batch semantics: ops
+// already applied stay applied and are published.
+func (sw *Swapper) Apply(ops []stream.SiteOp) (gens []uint32, ids []int, err error) {
+	start := time.Now()
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	ids = make([]int, 0, len(ops))
+	var opErr error
+	for _, op := range ops {
+		var id int
+		switch op.Kind {
+		case stream.OpAdd:
+			id, opErr = sw.maint.Add(op.P)
+		case stream.OpRemove:
+			id, opErr = op.ID, sw.maint.Remove(op.ID)
+		case stream.OpMove:
+			id, opErr = sw.maint.Move(op.ID, op.P)
+		default:
+			opErr = fmt.Errorf("fabric: unknown site op kind %d", op.Kind)
+		}
+		if opErr != nil {
+			break
+		}
+		ids = append(ids, id)
+	}
+	gens = make([]uint32, len(sw.cur))
+	for ch, g := range sw.cur {
+		gens[ch] = g.Gen
+	}
+	if len(ids) == 0 && opErr != nil {
+		return gens, nil, opErr
+	}
+	sub, globalIDs, err := sw.maint.Snapshot()
+	if err != nil {
+		return gens, ids, err
+	}
+	// Rebuild only the shards whose clipped content changed, concurrently.
+	type rebuilt struct {
+		ch    int
+		shard *Shard
+		err   error
+	}
+	type pendingShard struct {
+		ch    int
+		clips []clippedRegion
+	}
+	var pending []pendingShard
+	for ch := range sw.cur {
+		clips := clipShard(sub, globalIDs, sw.rects[ch])
+		if equalClips(clips, sw.cur[ch].Shard.clips) {
+			continue
+		}
+		pending = append(pending, pendingShard{ch: ch, clips: clips})
+	}
+	results := make([]rebuilt, len(pending))
+	var wg sync.WaitGroup
+	for i, ps := range pending {
+		wg.Add(1)
+		go func(i int, ps pendingShard) {
+			defer wg.Done()
+			sh, err := compileShard(sw.dir, ps.ch, sw.rects[ps.ch], ps.clips, sw.capacity, sw.opts)
+			results[i] = rebuilt{ch: ps.ch, shard: sh, err: err}
+		}(i, ps)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return gens, ids, r.err
+		}
+	}
+	for _, r := range results {
+		next := sw.cur[r.ch].Gen + 1
+		g := &ShardGeneration{Gen: next, Shard: r.shard}
+		// Record before publishing: a client may pin the new generation and
+		// look up its ground truth before Swap returns.
+		prev := sw.cur[r.ch]
+		sw.gens[r.ch][next] = g
+		sw.cur[r.ch] = g
+		if srv := sw.srvs[r.ch]; srv != nil {
+			if _, err := srv.Swap(r.shard.Prog); err != nil {
+				delete(sw.gens[r.ch], next)
+				sw.cur[r.ch] = prev
+				return gens, ids, err
+			}
+			srv.Metrics().SwapLatencyNS.Observe(time.Since(start).Nanoseconds())
+		}
+		gens[r.ch] = next
+	}
+	return gens, ids, opErr
+}

@@ -47,6 +47,11 @@ type Client struct {
 	// index pointer can be dereferenced into a wrong answer.
 	expectGen uint32
 	genPinned bool
+
+	// idxBase is the absolute slot of the index-copy start the pinned
+	// session is consuming, established by Probe and advanced by the
+	// recovery logic whenever an offset has flown past or been lost.
+	idxBase int
 }
 
 // Attempt bounds: how many index copies (resp. broadcast cycles) a query
@@ -104,10 +109,13 @@ func (c *Client) finish(p geom.Point, res *Result, err error) {
 	}
 }
 
-// errStaleGeneration reports that a frame from a different broadcast
+// ErrStaleGeneration reports that a frame from a different broadcast
 // generation arrived while a query had its epoch pinned: the index layout
 // and bucket numbering the query accumulated belong to a dead program.
-var errStaleGeneration = errors.New("stream: broadcast generation changed mid-query")
+// Query handles it internally (epoch restarts); callers driving the
+// protocol by hand through Probe/FetchIndexPackets must re-probe when they
+// see it.
+var ErrStaleGeneration = errors.New("stream: broadcast generation changed mid-query")
 
 // Result is the outcome of one streamed query.
 type Result struct {
@@ -192,7 +200,7 @@ func (c *Client) advance(res *Result, parseIf func(Header) bool) (Header, []byte
 		if res != nil {
 			res.DozedFrames++
 		}
-		return h, nil, false, errStaleGeneration
+		return h, nil, false, ErrStaleGeneration
 	}
 	if !parseIf(h) {
 		if _, err := c.r.Discard(int(h.PayloadLen)); err != nil {
@@ -248,17 +256,44 @@ func (c *Client) seek(target int, res *Result) (Header, []byte, bool, bool, erro
 // answer resolved against a dead program.
 func (c *Client) Query(p geom.Point) (Result, error) {
 	var res Result
-	c.genPinned = false
-	c.steps = c.steps[:0]
+	err := c.queryLoop(p, &res, 0, false)
+	return res, err
+}
+
+// QueryShifted is Query against a program whose every index copy begins
+// with skip foreign packets (the fabric's channel directory): the D-tree
+// root sits at offset skip, and every tree offset is shifted by skip on the
+// wire. Counters accumulate into *res — a fabric client carries partial
+// accounting from the entry channel into the shard query.
+func (c *Client) QueryShifted(p geom.Point, skip int, res *Result) error {
+	return c.queryLoop(p, res, skip, false)
+}
+
+// QueryResume is QueryShifted continuing the session pinned by an earlier
+// Probe on this client, without a fresh probe: the caller has just read the
+// directory prefix of the current index copy, and the tree descent starts
+// right behind it in the same copy. A mid-resume swap falls back to a full
+// re-probe (epoch restart), exactly like Query.
+func (c *Client) QueryResume(p geom.Point, skip int, res *Result) error {
+	return c.queryLoop(p, res, skip, true)
+}
+
+// queryLoop wraps queryOnce in the epoch-restart loop shared by every
+// query entry point.
+func (c *Client) queryLoop(p geom.Point, res *Result, skip int, resume bool) error {
+	if !resume {
+		c.genPinned = false
+		c.steps = c.steps[:0]
+	}
 	for restart := 0; ; restart++ {
-		err := c.queryOnce(p, &res, restart)
+		err := c.queryOnce(p, res, restart, skip, resume && restart == 0)
 		if err == nil {
-			c.finish(p, &res, nil)
-			return res, nil
+			c.finish(p, res, nil)
+			return nil
 		}
-		if !errors.Is(err, errStaleGeneration) {
-			c.finish(p, &res, err)
-			return res, err
+		if !errors.Is(err, ErrStaleGeneration) {
+			c.finish(p, res, err)
+			return err
 		}
 		// Epoch restart: the accumulated index cache, bucket id, and any
 		// partial download describe the old program. The radio was awake
@@ -272,30 +307,24 @@ func (c *Client) Query(p geom.Point) (Result, error) {
 		c.step(obs.StepRestart, res.LastSlot, res.EpochRestarts)
 		if res.EpochRestarts >= maxEpochRestarts {
 			err := fmt.Errorf("stream: query abandoned after %d epoch restarts (broadcast reconfiguring faster than queries complete)", maxEpochRestarts)
-			c.finish(p, &res, err)
-			return res, err
+			c.finish(p, res, err)
+			return err
 		}
 	}
 }
 
-// queryOnce runs one full access-protocol pass (probe, index search, bucket
-// download) against a single pinned generation, accumulating counters into
-// res. It returns errStaleGeneration the moment any frame reveals a swap.
-func (c *Client) queryOnce(p geom.Point, res *Result, restart int) error {
-	// Backoff after an epoch restart: doze restart frames before re-probing,
-	// so consecutive restarts spread out instead of hammering the stream the
-	// instant each new generation appears.
-	for i := 0; i < restart; i++ {
-		if _, _, _, err := c.advance(res, func(Header) bool { return false }); err != nil {
-			return err
-		}
-		res.DozedFrames++
+// Probe parses the next frame to pin the broadcast generation this session
+// resolves against and to position the client at the upcoming index copy.
+// Only the header matters, so a corrupt payload does not hurt — the energy
+// was spent either way. Exported for the fabric client, which reads the
+// channel directory by hand between Probe and the tree descent.
+func (c *Client) Probe(res *Result) error {
+	c.genPinned = false
+	if res.TuneProbe == 0 {
+		// A brand-new accounting session starts a fresh trace; re-probes
+		// within a session (epoch restarts, hops sharing the Result) append.
+		c.steps = c.steps[:0]
 	}
-
-	// Initial probe: parse the next frame to learn where the next index
-	// copy starts and pin the generation the whole query must resolve
-	// against. Only the header matters here, so a corrupt payload does
-	// not hurt — the energy was spent either way.
 	probe, _, _, err := c.advance(res, parseAlways)
 	if err != nil {
 		return err
@@ -307,52 +336,104 @@ func (c *Client) queryOnce(p geom.Point, res *Result, restart int) error {
 		res.FirstSlot = int(probe.Slot)
 	}
 	c.step(obs.StepProbe, int(probe.Slot), int(probe.NextIndex))
-	idxBase := int(probe.Slot) + int(probe.NextIndex)
+	c.idxBase = int(probe.Slot) + int(probe.NextIndex)
+	return nil
+}
+
+// fetchIndexPacket downloads index-copy offset off from the pinned session
+// with the paper's recovery discipline: an offset that has already flown by
+// — or that the channel ate — is fetched from the next index copy, which
+// every frame points to.
+func (c *Client) fetchIndexPacket(res *Result, off int) ([]byte, error) {
+	for attempt := 0; attempt < maxIndexAttempts; attempt++ {
+		target := c.idxBase + off
+		if int(c.cur.Slot) >= target {
+			// Passed: jump to the copy after the current frame.
+			c.idxBase = int(c.cur.Slot) + int(c.cur.NextIndex)
+			target = c.idxBase + off
+		}
+		h, payload, corrupt, ok, err := c.seek(target, res)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// The target frame was dropped on the air: resync at the
+			// next index copy the later frame points to.
+			res.Recoveries++
+			c.step(obs.StepRecover, int(h.Slot), res.Recoveries)
+			c.idxBase = int(h.Slot) + int(h.NextIndex)
+			continue
+		}
+		if corrupt || h.Kind != KindIndex || int(h.Seq) != off {
+			// Downloaded but unusable — bit corruption, or a copy
+			// shorter than off packets (corrupt offset arithmetic).
+			// Pay the wasted download and resync at the next copy.
+			res.TuneRecover++
+			res.Recoveries++
+			c.step(obs.StepRecover, int(h.Slot), res.Recoveries)
+			c.idxBase = int(h.Slot) + int(h.NextIndex)
+			continue
+		}
+		res.TuneIndex++
+		c.step(obs.StepIndex, int(h.Slot), off)
+		return payload, nil
+	}
+	return nil, fmt.Errorf("stream: index packet %d unreachable after %d attempts", off, maxIndexAttempts)
+}
+
+// FetchIndexPackets downloads index-copy offsets [lo, hi) in order from the
+// session pinned by a preceding Probe, with the standard loss recovery. A
+// hot swap surfaces as ErrStaleGeneration; the caller must then re-Probe.
+func (c *Client) FetchIndexPackets(res *Result, lo, hi int) ([][]byte, error) {
+	if !c.genPinned {
+		return nil, fmt.Errorf("stream: FetchIndexPackets without a preceding Probe")
+	}
+	out := make([][]byte, 0, hi-lo)
+	for off := lo; off < hi; off++ {
+		pkt, err := c.fetchIndexPacket(res, off)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkt)
+	}
+	return out, nil
+}
+
+// queryOnce runs one full access-protocol pass (probe, index search, bucket
+// download) against a single pinned generation, accumulating counters into
+// res. It returns ErrStaleGeneration the moment any frame reveals a swap.
+// The first skip packets of every index copy are skipped as foreign (the
+// fabric's channel directory); resume continues an already-probed session
+// instead of issuing a fresh probe.
+func (c *Client) queryOnce(p geom.Point, res *Result, restart, skip int, resume bool) error {
+	if !resume {
+		// Backoff after an epoch restart: doze restart frames before
+		// re-probing, so consecutive restarts spread out instead of hammering
+		// the stream the instant each new generation appears.
+		for i := 0; i < restart; i++ {
+			if _, _, _, err := c.advance(res, func(Header) bool { return false }); err != nil {
+				return err
+			}
+			res.DozedFrames++
+		}
+		if err := c.Probe(res); err != nil {
+			return err
+		}
+	}
 
 	// Index search: feed the D-tree byte decoder from the live stream. The
-	// provider caches parsed packets (client memory); an offset that has
-	// already flown by — or that the channel ate — is fetched from the
-	// next index copy.
+	// provider caches parsed packets (client memory).
 	cache := map[int][]byte{}
 	get := func(k int) ([]byte, error) {
 		if pkt, ok := cache[k]; ok {
 			return pkt, nil
 		}
-		for attempt := 0; attempt < maxIndexAttempts; attempt++ {
-			target := idxBase + k
-			if int(c.cur.Slot) >= target {
-				// Passed: jump to the copy after the current frame.
-				idxBase = int(c.cur.Slot) + int(c.cur.NextIndex)
-				target = idxBase + k
-			}
-			h, payload, corrupt, ok, err := c.seek(target, res)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				// The target frame was dropped on the air: resync at the
-				// next index copy the later frame points to.
-				res.Recoveries++
-				c.step(obs.StepRecover, int(h.Slot), res.Recoveries)
-				idxBase = int(h.Slot) + int(h.NextIndex)
-				continue
-			}
-			if corrupt || h.Kind != KindIndex || int(h.Seq) != k {
-				// Downloaded but unusable — bit corruption, or a copy
-				// shorter than k packets (corrupt offset arithmetic).
-				// Pay the wasted download and resync at the next copy.
-				res.TuneRecover++
-				res.Recoveries++
-				c.step(obs.StepRecover, int(h.Slot), res.Recoveries)
-				idxBase = int(h.Slot) + int(h.NextIndex)
-				continue
-			}
-			res.TuneIndex++
-			c.step(obs.StepIndex, int(h.Slot), k)
-			cache[k] = payload
-			return payload, nil
+		payload, err := c.fetchIndexPacket(res, skip+k)
+		if err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("stream: index packet %d unreachable after %d attempts", k, maxIndexAttempts)
+		cache[k] = payload
+		return payload, nil
 	}
 	bucket, _, err := core.ClientLocateFrom(get, c.capacity, p)
 	if err != nil {

@@ -29,20 +29,25 @@ type Metrics struct {
 }
 
 // NewMetrics builds a server metrics set backed by a fresh registry.
-func NewMetrics() *Metrics {
-	reg := obs.NewRegistry()
+func NewMetrics() *Metrics { return NewMetricsIn(obs.NewRegistry(), "") }
+
+// NewMetricsIn registers a server metric set in an existing registry under
+// a name prefix, so a multi-channel fabric can share one registry across
+// its per-shard servers with per-shard labels ("shard0_frames_written",
+// ...). The prefix must be unique within the registry.
+func NewMetricsIn(reg *obs.Registry, prefix string) *Metrics {
 	return &Metrics{
 		reg:             reg,
-		FramesWritten:   reg.Counter("frames_written"),
-		FramesDropped:   reg.Counter("frames_dropped"),
-		FramesCorrupted: reg.Counter("frames_corrupted"),
-		BytesWritten:    reg.Counter("bytes_written"),
-		ConnsActive:     reg.Gauge("conns_active"),
-		ConnsTotal:      reg.Counter("conns_total"),
-		Evictions:       reg.Counter("evictions"),
-		ConnPanics:      reg.Counter("conn_panics"),
-		Swaps:           reg.Counter("swaps"),
-		SwapLatencyNS:   reg.Histogram("swap_latency_ns", 256),
+		FramesWritten:   reg.Counter(prefix + "frames_written"),
+		FramesDropped:   reg.Counter(prefix + "frames_dropped"),
+		FramesCorrupted: reg.Counter(prefix + "frames_corrupted"),
+		BytesWritten:    reg.Counter(prefix + "bytes_written"),
+		ConnsActive:     reg.Gauge(prefix + "conns_active"),
+		ConnsTotal:      reg.Counter(prefix + "conns_total"),
+		Evictions:       reg.Counter(prefix + "evictions"),
+		ConnPanics:      reg.Counter(prefix + "conn_panics"),
+		Swaps:           reg.Counter(prefix + "swaps"),
+		SwapLatencyNS:   reg.Histogram(prefix+"swap_latency_ns", 256),
 	}
 }
 

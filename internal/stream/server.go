@@ -238,6 +238,16 @@ func (s *Server) Program() *Program { return s.cur.Load().prog }
 // Metrics returns the server's observability counters (never nil).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// UseMetrics replaces the server's metric set — the multi-channel fabric
+// points every shard server at one shared registry with per-shard name
+// prefixes (NewMetricsIn). Must be called before Serve; counts already
+// recorded on the default set are not migrated.
+func (s *Server) UseMetrics(m *Metrics) {
+	if m != nil {
+		s.metrics = m
+	}
+}
+
 // Evictions reports how many slow clients were evicted by WriteTimeout.
 func (s *Server) Evictions() int64 { return s.metrics.Evictions.Load() }
 
