@@ -13,6 +13,12 @@
 // streamed access protocol, and reports latency, tuning and recovery
 // counts.
 //
+// With -snapshot the daemon restores its index from a flat-arena snapshot
+// written by `dtreectl snapshot` (or a previous server's Swapper
+// generation) instead of rebuilding the D-tree from the dataset: the
+// restored program broadcasts cycles byte-identical to the writer's, so a
+// restart serves the same air index without paying construction.
+//
 // With -shards S (S > 1) the daemon serves a multi-channel sharded fabric
 // instead of a single channel: the service area is split into S balanced
 // spatial partitions, each broadcast on its own listener (ports base..
@@ -26,7 +32,7 @@
 // Usage:
 //
 //	broadcastd [-addr :7343] [-dataset hospital] [-capacity 256]
-//	           [-shards 1] [-slot-duration 0] [-seed 1]
+//	           [-snapshot index.dtsnap] [-shards 1] [-slot-duration 0] [-seed 1]
 //	           [-loss 0] [-burst 1] [-corrupt 0]
 //	           [-churn 0] [-churn-ops 4] [-write-timeout 30s]
 //	           [-drain-timeout 10s] [-debug-addr ""] [-demo]
@@ -54,6 +60,7 @@ import (
 	"time"
 
 	"airindex/internal/channel"
+	"airindex/internal/core"
 	"airindex/internal/dataset"
 	"airindex/internal/fabric"
 	"airindex/internal/geom"
@@ -69,6 +76,7 @@ type config struct {
 	dataset  string
 	n        int
 	capacity int
+	snapshot string
 	shards   int
 	slotDur  time.Duration
 	seed     int64
@@ -116,6 +124,12 @@ func validateConfig(c config) error {
 	if c.churn > 0 && !c.seedSet {
 		return fmt.Errorf("-churn %v without an explicit -seed: churned runs must be reproducible, pass -seed", c.churn)
 	}
+	if c.snapshot != "" && c.churn > 0 {
+		return fmt.Errorf("-snapshot with -churn: a restored arena has no site maintainer to churn; rebuild from -dataset instead")
+	}
+	if c.snapshot != "" && c.shards > 1 {
+		return fmt.Errorf("-snapshot with -shards %d: snapshots restore a single channel's index; per-shard restore is not supported", c.shards)
+	}
 	if c.churnOps < 1 {
 		return fmt.Errorf("-churn-ops %d: a churn batch needs at least one site operation", c.churnOps)
 	}
@@ -137,6 +151,7 @@ func main() {
 	flag.StringVar(&cfg.dataset, "dataset", "hospital", "uniform, hospital or park")
 	flag.IntVar(&cfg.n, "n", 1000, "site count (uniform only)")
 	flag.IntVar(&cfg.capacity, "capacity", 256, "packet capacity in bytes")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "restore the index from this flat-arena snapshot file instead of building it (see dtreectl snapshot)")
 	flag.IntVar(&cfg.shards, "shards", 1, "broadcast channels; > 1 serves the sharded fabric with a replicated channel directory")
 	flag.DurationVar(&cfg.slotDur, "slot-duration", 0, "real-time pacing per slot (0 = full speed)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for start slots, demo queries, churn and fault models (reproducible runs)")
@@ -181,18 +196,33 @@ func main() {
 // runSingle is the classic one-channel daemon.
 func runSingle(cfg config, ds dataset.Dataset) {
 	// With churn the swapper owns the program pipeline (Voronoi maintainer
-	// -> D-tree build -> rendered cycle); a static run compiles one program
-	// the classic way.
+	// -> D-tree build -> rendered cycle); with -snapshot the program is
+	// restored zero-parse from a flat-arena slab; a static run compiles one
+	// program the classic way.
 	var sw *stream.Swapper
 	var prog *stream.Program
-	if cfg.churn > 0 {
+	srcName, instances := ds.Name, ds.N()
+	switch {
+	case cfg.churn > 0:
 		var err error
 		sw, err = stream.NewSwapper(ds.Area, ds.Sites, cfg.capacity, 0)
 		if err != nil {
 			fatal(err)
 		}
 		prog = sw.Program()
-	} else {
+	case cfg.snapshot != "":
+		var fp *core.FlatPaged
+		var err error
+		prog, fp, err = stream.ProgramFromSnapshotFile(cfg.snapshot, 0)
+		if err != nil {
+			fatal(err)
+		}
+		// The snapshot pins the packet geometry; the restored capacity
+		// overrides -capacity so the demo client frames line up.
+		cfg.capacity = fp.Params.PacketCapacity
+		srcName, instances = fmt.Sprintf("snapshot %s", cfg.snapshot), fp.Flat.N
+		fmt.Printf("broadcastd: restored index from %s: %d regions, no rebuild\n", cfg.snapshot, fp.Flat.N)
+	default:
 		sub, err := ds.Subdivision()
 		if err != nil {
 			fatal(err)
@@ -244,7 +274,7 @@ func runSingle(cfg config, ds dataset.Dataset) {
 	serveDebug(cfg.dbgAddr, srv.Metrics().Registry(), func() any { return srv.Health() }, traces)
 
 	fmt.Printf("broadcastd: %s, %d instances, %d B packets, index %d packets, m=%d, cycle %d slots, listening on %s\n",
-		ds.Name, ds.N(), cfg.capacity, len(prog.IndexPackets), prog.Sched.M, cycle, ln.Addr())
+		srcName, instances, cfg.capacity, len(prog.IndexPackets), prog.Sched.M, cycle, ln.Addr())
 	fmt.Printf("broadcastd: rendered cycle cached: %d frames, %.1f KB\n", frames, float64(bytes)/1024)
 	if spec.Enabled() {
 		fmt.Printf("broadcastd: unreliable channel: %s loss %.2f%% (burst %.1f), corruption %.2f%%, seed %d\n",

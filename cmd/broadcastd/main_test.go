@@ -177,6 +177,9 @@ func TestValidateConfig(t *testing.T) {
 		{"sharded", func(c *config) { c.shards = 4 }, true},
 		{"churn with seed", func(c *config) { c.churn = time.Second; c.seedSet = true }, true},
 		{"lossy", func(c *config) { c.loss = 0.2; c.burst = 3; c.corrupt = 0.01 }, true},
+		{"snapshot restore", func(c *config) { c.snapshot = "index.dtsnap" }, true},
+		{"snapshot with churn", func(c *config) { c.snapshot = "index.dtsnap"; c.churn = time.Second; c.seedSet = true }, false},
+		{"snapshot with shards", func(c *config) { c.snapshot = "index.dtsnap"; c.shards = 3 }, false},
 		{"zero shards", func(c *config) { c.shards = 0 }, false},
 		{"negative shards", func(c *config) { c.shards = -2 }, false},
 		{"churn without seed", func(c *config) { c.churn = time.Second }, false},

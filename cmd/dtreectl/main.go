@@ -1,10 +1,16 @@
 // Command dtreectl builds a D-tree over a dataset and inspects it: summary
 // statistics, a per-level profile, the packet layout for a given capacity,
-// and interactive point queries.
+// and interactive point queries. Two subcommands manage flat-arena
+// snapshots: `snapshot` builds the index and writes the zero-parse slab
+// broadcastd restarts from, and `restore` loads a slab back, verifies it,
+// and answers point queries from it — proving the file serves without a
+// rebuild.
 //
 // Usage:
 //
 //	dtreectl -dataset uniform [-n 1000] [-capacity 512] [-levels] [-query x,y]...
+//	dtreectl snapshot -out index.dtsnap [-dataset uniform] [-n 1000] [-capacity 512]
+//	dtreectl restore -in index.dtsnap [-query x,y]...
 package main
 
 import (
@@ -42,28 +48,36 @@ func (q *queryList) Set(s string) error {
 }
 
 func main() {
-	var queries queryList
-	var (
-		name     = flag.String("dataset", "uniform", "uniform, hospital or park")
-		n        = flag.Int("n", 1000, "site count (uniform only)")
-		seed     = flag.Int64("seed", 1000, "seed (uniform only)")
-		capacity = flag.Int("capacity", 512, "packet capacity in bytes")
-		levels   = flag.Bool("levels", false, "print a per-level profile")
-	)
-	flag.Var(&queries, "query", "point query x,y (repeatable)")
-	flag.Parse()
-
-	var ds dataset.Dataset
-	switch strings.ToLower(*name) {
-	case "uniform":
-		ds = dataset.Uniform(*n, *seed)
-	case "hospital":
-		ds = dataset.Hospital()
-	case "park":
-		ds = dataset.Park()
-	default:
-		fatal(fmt.Errorf("unknown dataset %q", *name))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "snapshot":
+			runSnapshot(os.Args[2:])
+			return
+		case "restore":
+			runRestore(os.Args[2:])
+			return
+		}
 	}
+	runInspect(os.Args[1:])
+}
+
+// pickDataset resolves the shared -dataset/-n/-seed triple.
+func pickDataset(name string, n int, seed int64) dataset.Dataset {
+	switch strings.ToLower(name) {
+	case "uniform":
+		return dataset.Uniform(n, seed)
+	case "hospital":
+		return dataset.Hospital()
+	case "park":
+		return dataset.Park()
+	}
+	fatal(fmt.Errorf("unknown dataset %q (want uniform, hospital or park)", name))
+	panic("unreachable")
+}
+
+// buildFlat runs the full construction pipeline — Voronoi subdivision,
+// D-tree build, paging, flattening — and returns the serving arena.
+func buildFlat(ds dataset.Dataset, capacity int) (*core.Tree, *core.Paged, *core.FlatPaged) {
 	sub, err := ds.Subdivision()
 	if err != nil {
 		fatal(err)
@@ -72,26 +86,99 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	st := tree.Stats()
-	fmt.Printf("%s: %d regions\n", ds.Name, sub.N())
-	fmt.Printf("D-tree: %d nodes, height %d, %d partition points total (max %d in one node)\n",
-		st.Nodes, st.Height, st.PartitionPoints, st.MaxNodePoints)
-
-	params := wire.DTreeParams(*capacity)
-	paged, err := tree.Page(params)
+	paged, err := tree.Page(wire.DTreeParams(capacity))
 	if err != nil {
 		fatal(err)
 	}
+	return tree, paged, paged.Flatten()
+}
+
+// runInspect is the classic build-and-inspect mode.
+func runInspect(args []string) {
+	fs := flag.NewFlagSet("dtreectl", flag.ExitOnError)
+	var queries queryList
+	var (
+		name     = fs.String("dataset", "uniform", "uniform, hospital or park")
+		n        = fs.Int("n", 1000, "site count (uniform only)")
+		seed     = fs.Int64("seed", 1000, "seed (uniform only)")
+		capacity = fs.Int("capacity", 512, "packet capacity in bytes")
+		levels   = fs.Bool("levels", false, "print a per-level profile")
+	)
+	fs.Var(&queries, "query", "point query x,y (repeatable)")
+	fs.Parse(args)
+
+	ds := pickDataset(*name, *n, *seed)
+	tree, paged, _ := buildFlat(ds, *capacity)
+	st := tree.Stats()
+	fmt.Printf("%s: %d regions\n", ds.Name, tree.Sub.N())
+	fmt.Printf("D-tree: %d nodes, height %d, %d partition points total (max %d in one node)\n",
+		st.Nodes, st.Height, st.PartitionPoints, st.MaxNodePoints)
 	fmt.Printf("paged at %d B/packet: %d packets, %d bytes occupied (%.1f%% utilization)\n",
 		*capacity, paged.IndexPackets(), paged.Layout.SizeBytes(), 100*paged.Layout.Utilization())
 
 	if *levels {
-		printLevels(tree, params)
+		printLevels(tree, wire.DTreeParams(*capacity))
 	}
 	for _, q := range queries {
 		id, trace := paged.Locate(q)
 		fmt.Printf("query (%g, %g) -> region %d (site %v), %d packet accesses: %v\n",
 			q.X, q.Y, id, ds.Sites[id], len(trace), trace)
+	}
+}
+
+// runSnapshot builds the index and writes the flat-arena snapshot slab.
+func runSnapshot(args []string) {
+	fs := flag.NewFlagSet("dtreectl snapshot", flag.ExitOnError)
+	var (
+		name     = fs.String("dataset", "uniform", "uniform, hospital or park")
+		n        = fs.Int("n", 1000, "site count (uniform only)")
+		seed     = fs.Int64("seed", 1000, "seed (uniform only)")
+		capacity = fs.Int("capacity", 512, "packet capacity in bytes")
+		out      = fs.String("out", "", "snapshot file to write (required)")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("snapshot: -out is required"))
+	}
+	ds := pickDataset(*name, *n, *seed)
+	_, _, fp := buildFlat(ds, *capacity)
+	if err := fp.WriteSnapshotFile(*out); err != nil {
+		fatal(err)
+	}
+	slab := len(fp.Snapshot())
+	fmt.Printf("%s: %d regions, %d B packets, index %d packets\n",
+		ds.Name, fp.Flat.N, *capacity, fp.IndexPackets())
+	fmt.Printf("snapshot written to %s: %d bytes (arena %d B)\n", *out, slab, fp.SizeBytes())
+}
+
+// runRestore loads a snapshot slab, re-encodes its packets (exercising the
+// whole serving path) and answers any -query points from the restored
+// arena.
+func runRestore(args []string) {
+	fs := flag.NewFlagSet("dtreectl restore", flag.ExitOnError)
+	var queries queryList
+	in := fs.String("in", "", "snapshot file to load (required)")
+	fs.Var(&queries, "query", "point query x,y (repeatable)")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("restore: -in is required"))
+	}
+	fp, err := core.LoadSnapshotFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	pkts, err := fp.EncodePackets()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("restored %s: %d regions, %d B packets, index %d packets, arena %d B — checksum and layout verified\n",
+		*in, fp.Flat.N, fp.Params.PacketCapacity, len(pkts), fp.SizeBytes())
+	var trace []int
+	for _, q := range queries {
+		var id int
+		id, trace = fp.LocateInto(q, trace[:0])
+		fmt.Printf("query (%g, %g) -> region %d, %d packet accesses: %v\n",
+			q.X, q.Y, id, len(trace), trace)
 	}
 }
 

@@ -194,13 +194,15 @@ func (pg *Paged) encodeNode(n *Node, ref func(ChildRef) (uint32, error)) ([]byte
 type PacketProvider func(k int) ([]byte, error)
 
 // packetReader reads a byte stream that continues across consecutive
-// packets, recording which packets were touched.
+// packets, recording which packets were touched. The scratch buffer is
+// reused across reads: a returned slice is valid only until the next read.
 type packetReader struct {
 	get      PacketProvider
 	pk, off  int
 	seen     map[int]bool
 	trace    *[]int
 	capacity int
+	scratch  *[]byte
 }
 
 func (r *packetReader) touch() {
@@ -211,7 +213,7 @@ func (r *packetReader) touch() {
 }
 
 func (r *packetReader) read(n int) ([]byte, error) {
-	out := make([]byte, 0, n)
+	out := (*r.scratch)[:0]
 	for n > 0 {
 		if r.off < 0 || r.off >= r.capacity {
 			return nil, fmt.Errorf("core: byte offset %d outside packet capacity %d", r.off, r.capacity)
@@ -233,6 +235,7 @@ func (r *packetReader) read(n int) ([]byte, error) {
 			r.pk, r.off = r.pk+1, 0
 		}
 	}
+	*r.scratch = out
 	return out, nil
 }
 
@@ -281,11 +284,35 @@ func ClientLocate(packets [][]byte, capacity int, p geom.Point) (int, []int, err
 // a client that receives packets one by one from a live broadcast drive the
 // same decoder (the provider blocks until the packet arrives).
 func ClientLocateFrom(get PacketProvider, capacity int, p geom.Point) (int, []int, error) {
-	var trace []int
-	seen := make(map[int]bool, 8)
+	var cl ClientLocator
+	return cl.Locate(get, capacity, p)
+}
+
+// ClientLocator is the client decoder with its scratch (trace buffer,
+// seen-set, cross-packet read buffer) hoisted out of the query, so a mobile
+// client issuing queries back to back reuses one set of allocations. The
+// trace returned by Locate aliases the locator's buffer and is valid until
+// the next call.
+type ClientLocator struct {
+	trace   []int
+	seen    map[int]bool
+	scratch []byte
+}
+
+// Locate answers one point query from raw packets; see ClientLocateFrom.
+func (cl *ClientLocator) Locate(get PacketProvider, capacity int, p geom.Point) (int, []int, error) {
+	cl.trace = cl.trace[:0]
+	if cl.seen == nil {
+		cl.seen = make(map[int]bool, 8)
+	} else {
+		clear(cl.seen)
+	}
+	trace := cl.trace
+	defer func() { cl.trace = trace }()
 	pk, off := 0, 0
+	r := packetReader{get: get, seen: cl.seen, trace: &trace, capacity: capacity, scratch: &cl.scratch}
 	for hops := 0; hops <= 64; hops++ {
-		r := &packetReader{get: get, pk: pk, off: off, seen: seen, trace: &trace, capacity: capacity}
+		r.pk, r.off = pk, off
 		if _, err := r.u16(); err != nil { // bid
 			return 0, nil, err
 		}

@@ -23,8 +23,7 @@ func (t *Tree) Page(params wire.Params) (*Paged, error) {
 		return nil, err
 	}
 	if t.Root == nil {
-		layout := &wire.Layout{PacketCapacity: params.PacketCapacity, PacketsOf: map[int][]int{}}
-		return &Paged{Tree: t, Params: params, Layout: layout}, nil
+		return &Paged{Tree: t, Params: params, Layout: wire.EmptyLayout(params.PacketCapacity)}, nil
 	}
 	specs := make([]wire.NodeSpec, 0, len(t.Nodes))
 	parentOf := make(map[int]int, len(t.Nodes))
@@ -65,8 +64,7 @@ func (t *Tree) PageGreedy(params wire.Params) (*Paged, error) {
 		return nil, err
 	}
 	if t.Root == nil {
-		layout := &wire.Layout{PacketCapacity: params.PacketCapacity, PacketsOf: map[int][]int{}}
-		return &Paged{Tree: t, Params: params, Layout: layout}, nil
+		return &Paged{Tree: t, Params: params, Layout: wire.EmptyLayout(params.PacketCapacity)}, nil
 	}
 	specs := make([]wire.NodeSpec, 0, len(t.Nodes))
 	for _, n := range t.Nodes {
@@ -107,8 +105,8 @@ func (pg *Paged) LocateInto(p geom.Point, trace []int) (int, []int) {
 	ref := ChildRef{Node: pg.Tree.Root}
 	for !ref.IsData() {
 		n := ref.Node
-		packets := pg.Layout.PacketsOf[n.ID]
-		trace = wire.AppendTraceOnce(trace, packets[0])
+		packets := pg.Layout.PacketsOf(n.ID)
+		trace = wire.AppendTraceOnce(trace, int(packets[0]))
 		cx := canonX(n.Dim, p)
 		switch {
 		case cx <= n.CutLo:
@@ -118,7 +116,7 @@ func (pg *Paged) LocateInto(p geom.Point, trace []int) (int, []int) {
 		default:
 			// Inside the interlocking band: the whole partition is needed.
 			for _, pk := range packets[1:] {
-				trace = wire.AppendTraceOnce(trace, pk)
+				trace = wire.AppendTraceOnce(trace, int(pk))
 			}
 			if n.rayParityLeft(p) {
 				ref = n.Left
@@ -147,8 +145,8 @@ func (pg *Paged) LocateWithoutEarlyTerminationInto(p geom.Point, trace []int) (i
 	ref := ChildRef{Node: pg.Tree.Root}
 	for !ref.IsData() {
 		n := ref.Node
-		for _, pk := range pg.Layout.PacketsOf[n.ID] {
-			trace = wire.AppendTraceOnce(trace, pk)
+		for _, pk := range pg.Layout.PacketsOf(n.ID) {
+			trace = wire.AppendTraceOnce(trace, int(pk))
 		}
 		ref = n.side(p)
 	}

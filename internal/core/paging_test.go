@@ -102,14 +102,14 @@ func TestEarlyTerminationReducesReads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rootPackets := paged.Layout.PacketsOf[tree.Root.ID]
+	rootPackets := paged.Layout.PacketsOf(tree.Root.ID)
 	if len(rootPackets) < 2 {
 		t.Skip("root fits one packet; nothing to verify at this capacity")
 	}
 	countRootReads := func(trace []int) int {
 		inRoot := map[int]bool{}
 		for _, pk := range rootPackets {
-			inRoot[pk] = true
+			inRoot[int(pk)] = true
 		}
 		n := 0
 		for _, pk := range trace {

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"airindex/internal/geom"
+	"airindex/internal/region"
+	"airindex/internal/wire"
+)
+
+// This file defines the binary snapshot of a FlatPaged index: one
+// little-endian slab with a fixed 64-byte header followed by 64-byte-aligned
+// sections, each a straight dump of one arena pool. The layout is chosen so
+// a loader can validate section bounds from the header counts alone before
+// allocating anything, and so the node slab could be mapped directly were
+// the file mmap-ed (records are the in-memory 64-byte layout, serialized
+// field by field).
+//
+//	header (64 B):
+//	  magic       [8]B  "DTARENA1"
+//	  version     u32   snapshotVersion
+//	  capacity    u32   packet capacity (reconstructs wire.DTreeParams)
+//	  regions     u32   data regions under the root
+//	  nodes       u32   node count
+//	  polys       u32   polyline-span count
+//	  pts         u32   pooled point count
+//	  packets     u32   packet count
+//	  pktsLen     u32   pooled node->packet table length
+//	  pnLen       u32   pooled packet->node table length
+//	  crc32c      u32   Castagnoli CRC of the whole slab with this field
+//	                    zeroed, so header corruption is caught too
+//	  pad to 64 B
+//	sections, in order, each padded to a 64-byte boundary:
+//	  node records   nodes   x 64 B (CutLo f64, CutHi f64, Left i32,
+//	                 Right i32, PolyFirst i32, PolyEnd i32, NumRegions i32,
+//	                 Dim u8, Flags u8, 26 B pad)
+//	  poly spans     polys   x 8 B (Off i32, N i32)
+//	  points         pts     x 16 B (X f64, Y f64; canonical frame)
+//	  pktIdx         nodes+1 x 4 B
+//	  pkts           pktsLen x 4 B
+//	  pnIdx          packets+1 x 4 B
+//	  packetNodes    pnLen   x 4 B
+//	  occupied       packets x 4 B
+
+const (
+	snapshotMagic   = "DTARENA1"
+	snapshotVersion = 1
+	snapHeaderSize  = 64
+	snapNodeSize    = 64
+)
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+func alignUp(n int) int { return (n + 63) &^ 63 }
+
+// snapshotSections returns each section's byte offset plus the total size.
+func snapshotSections(nodes, polys, pts, packets, pktsLen, pnLen int) (offs [8]int, total int) {
+	at := snapHeaderSize
+	sizes := [8]int{
+		nodes * snapNodeSize,
+		polys * 8,
+		pts * 16,
+		(nodes + 1) * 4,
+		pktsLen * 4,
+		(packets + 1) * 4,
+		pnLen * 4,
+		packets * 4,
+	}
+	for i, s := range sizes {
+		offs[i] = at
+		at = alignUp(at + s)
+	}
+	return offs, at
+}
+
+// Snapshot serializes the index into one self-validating slab.
+func (fp *FlatPaged) Snapshot() []byte {
+	ft := fp.Flat
+	nn := len(ft.nodes)
+	offs, total := snapshotSections(nn, len(ft.polys), len(ft.pts), fp.packetCount, len(fp.pkts), len(fp.packetNodes))
+	out := make([]byte, total)
+	le := binary.LittleEndian
+
+	copy(out[0:8], snapshotMagic)
+	le.PutUint32(out[8:], snapshotVersion)
+	le.PutUint32(out[12:], uint32(fp.Params.PacketCapacity))
+	le.PutUint32(out[16:], uint32(ft.N))
+	le.PutUint32(out[20:], uint32(nn))
+	le.PutUint32(out[24:], uint32(len(ft.polys)))
+	le.PutUint32(out[28:], uint32(len(ft.pts)))
+	le.PutUint32(out[32:], uint32(fp.packetCount))
+	le.PutUint32(out[36:], uint32(len(fp.pkts)))
+	le.PutUint32(out[40:], uint32(len(fp.packetNodes)))
+	// crc32c lands at [44:48] once everything else is written.
+
+	at := offs[0]
+	for i := range ft.nodes {
+		n := &ft.nodes[i]
+		b := out[at : at+snapNodeSize]
+		le.PutUint64(b[0:], math.Float64bits(n.CutLo))
+		le.PutUint64(b[8:], math.Float64bits(n.CutHi))
+		le.PutUint32(b[16:], uint32(n.Left))
+		le.PutUint32(b[20:], uint32(n.Right))
+		le.PutUint32(b[24:], uint32(n.PolyFirst))
+		le.PutUint32(b[28:], uint32(n.PolyEnd))
+		le.PutUint32(b[32:], uint32(n.NumRegions))
+		b[36] = byte(n.Dim)
+		b[37] = n.Flags
+		at += snapNodeSize
+	}
+	at = offs[1]
+	for _, sp := range ft.polys {
+		le.PutUint32(out[at:], uint32(sp.Off))
+		le.PutUint32(out[at+4:], uint32(sp.N))
+		at += 8
+	}
+	at = offs[2]
+	for _, p := range ft.pts {
+		le.PutUint64(out[at:], math.Float64bits(p.X))
+		le.PutUint64(out[at+8:], math.Float64bits(p.Y))
+		at += 16
+	}
+	putInt32s := func(at int, vals []int32) {
+		for _, v := range vals {
+			le.PutUint32(out[at:], uint32(v))
+			at += 4
+		}
+	}
+	putInt32s(offs[3], fp.pktIdx)
+	putInt32s(offs[4], fp.pkts)
+	putInt32s(offs[5], fp.pnIdx)
+	putInt32s(offs[6], fp.packetNodes)
+	putInt32s(offs[7], fp.occupied)
+
+	le.PutUint32(out[44:], snapChecksum(out))
+	return out
+}
+
+// snapChecksum is the slab CRC with the checksum field treated as zero.
+func snapChecksum(data []byte) uint32 {
+	crc := crc32.Update(0, snapCRC, data[:44])
+	crc = crc32.Update(crc, snapCRC, []byte{0, 0, 0, 0})
+	return crc32.Update(crc, snapCRC, data[48:])
+}
+
+// LoadSnapshot parses and validates a snapshot produced by Snapshot. Every
+// count is checked against the slab length before any allocation and every
+// index against its pool, so arbitrary (truncated, corrupted, version-
+// skewed) input yields an error, never a panic. The returned index has no
+// subdivision attached (FlatTree.Sub is nil): point queries and packet
+// re-encoding work; window queries need AttachSubdivision.
+func LoadSnapshot(data []byte) (*FlatPaged, error) {
+	le := binary.LittleEndian
+	if len(data) < snapHeaderSize {
+		return nil, fmt.Errorf("core: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[0:8]) != snapshotMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %q", data[0:8])
+	}
+	if v := le.Uint32(data[8:]); v != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", v, snapshotVersion)
+	}
+	capacity := int(le.Uint32(data[12:]))
+	regions := int(le.Uint32(data[16:]))
+	nn := int(le.Uint32(data[20:]))
+	npolys := int(le.Uint32(data[24:]))
+	npts := int(le.Uint32(data[28:]))
+	packets := int(le.Uint32(data[32:]))
+	pktsLen := int(le.Uint32(data[36:]))
+	pnLen := int(le.Uint32(data[40:]))
+
+	// Bound every count by what the slab could possibly hold before doing
+	// size arithmetic or allocating.
+	maxAny := len(data) / 4
+	for _, c := range []int{nn, npolys, npts, packets, pktsLen, pnLen} {
+		if c < 0 || c > maxAny {
+			return nil, fmt.Errorf("core: snapshot count %d exceeds slab", c)
+		}
+	}
+	if capacity <= 0 || capacity > 1<<20 {
+		return nil, fmt.Errorf("core: snapshot packet capacity %d out of range", capacity)
+	}
+	if regions < 0 || regions >= 1<<31 {
+		return nil, fmt.Errorf("core: snapshot region count %d out of range", regions)
+	}
+	offs, total := snapshotSections(nn, npolys, npts, packets, pktsLen, pnLen)
+	if len(data) != total {
+		return nil, fmt.Errorf("core: snapshot is %d bytes, header implies %d", len(data), total)
+	}
+	if got, want := snapChecksum(data), le.Uint32(data[44:]); got != want {
+		return nil, fmt.Errorf("core: snapshot checksum mismatch (%08x != %08x)", got, want)
+	}
+
+	ft := &FlatTree{N: regions}
+	fp := &FlatPaged{Flat: ft, Params: wire.DTreeParams(capacity), packetCount: packets}
+	if err := fp.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("core: snapshot capacity %d: %w", capacity, err)
+	}
+
+	ft.nodes = make([]FlatNode, nn)
+	at := offs[0]
+	for i := range ft.nodes {
+		b := data[at : at+snapNodeSize]
+		n := &ft.nodes[i]
+		n.CutLo = math.Float64frombits(le.Uint64(b[0:]))
+		n.CutHi = math.Float64frombits(le.Uint64(b[8:]))
+		n.Left = int32(le.Uint32(b[16:]))
+		n.Right = int32(le.Uint32(b[20:]))
+		n.PolyFirst = int32(le.Uint32(b[24:]))
+		n.PolyEnd = int32(le.Uint32(b[28:]))
+		n.NumRegions = int32(le.Uint32(b[32:]))
+		n.Dim = Dimension(b[36])
+		n.Flags = b[37]
+		at += snapNodeSize
+	}
+	ft.polys = make([]polySpan, npolys)
+	at = offs[1]
+	for i := range ft.polys {
+		ft.polys[i] = polySpan{Off: int32(le.Uint32(data[at:])), N: int32(le.Uint32(data[at+4:]))}
+		at += 8
+	}
+	ft.pts = make([]geom.Point, npts)
+	at = offs[2]
+	for i := range ft.pts {
+		ft.pts[i].X = math.Float64frombits(le.Uint64(data[at:]))
+		ft.pts[i].Y = math.Float64frombits(le.Uint64(data[at+8:]))
+		at += 16
+	}
+	getInt32s := func(at, n int) []int32 {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(le.Uint32(data[at:]))
+			at += 4
+		}
+		return out
+	}
+	fp.pktIdx = getInt32s(offs[3], nn+1)
+	fp.pkts = getInt32s(offs[4], pktsLen)
+	fp.pnIdx = getInt32s(offs[5], packets+1)
+	fp.packetNodes = getInt32s(offs[6], pnLen)
+	fp.occupied = getInt32s(offs[7], packets)
+
+	if err := fp.validate(); err != nil {
+		return nil, err
+	}
+	return fp, nil
+}
+
+// validate checks every cross-pool index so a loaded snapshot can be
+// queried and re-encoded without bounds or termination hazards.
+func (fp *FlatPaged) validate() error {
+	ft := fp.Flat
+	nn := len(ft.nodes)
+	if ft.N < 1 {
+		return fmt.Errorf("core: snapshot has %d regions (need at least 1)", ft.N)
+	}
+	if nn == 0 && ft.N > 1 {
+		return fmt.Errorf("core: snapshot has no nodes but %d regions", ft.N)
+	}
+	for i := range ft.nodes {
+		n := &ft.nodes[i]
+		for _, c := range [2]int32{n.Left, n.Right} {
+			if c >= 0 {
+				// Children must come later in BFS order; this also rules out
+				// reference cycles, so Locate terminates on any valid load.
+				if int(c) >= nn || int(c) <= i {
+					return fmt.Errorf("core: node %d child ref %d out of order", i, c)
+				}
+			} else if int(^c) >= ft.N {
+				return fmt.Errorf("core: node %d data ref %d out of range", i, ^c)
+			}
+		}
+		if n.PolyFirst < 0 || n.PolyFirst > n.PolyEnd || int(n.PolyEnd) > len(ft.polys) {
+			return fmt.Errorf("core: node %d polyline span [%d,%d) invalid", i, n.PolyFirst, n.PolyEnd)
+		}
+		if n.Dim != DimY && n.Dim != DimX {
+			return fmt.Errorf("core: node %d dimension %d invalid", i, n.Dim)
+		}
+	}
+	for i, sp := range ft.polys {
+		if sp.Off < 0 || sp.N < 0 || int(sp.Off)+int(sp.N) > len(ft.pts) {
+			return fmt.Errorf("core: polyline span %d (%d+%d) outside point pool", i, sp.Off, sp.N)
+		}
+	}
+	checkIdx := func(name string, idx []int32, pool, items int) error {
+		if len(idx) != items+1 || idx[0] != 0 || int(idx[items]) != pool {
+			return fmt.Errorf("core: snapshot %s table malformed", name)
+		}
+		for i := 0; i < items; i++ {
+			if idx[i] > idx[i+1] {
+				return fmt.Errorf("core: snapshot %s table not monotone at %d", name, i)
+			}
+		}
+		return nil
+	}
+	if err := checkIdx("pktIdx", fp.pktIdx, len(fp.pkts), nn); err != nil {
+		return err
+	}
+	if err := checkIdx("pnIdx", fp.pnIdx, len(fp.packetNodes), fp.packetCount); err != nil {
+		return err
+	}
+	for i := range ft.nodes {
+		if fp.pktIdx[i] == fp.pktIdx[i+1] {
+			return fmt.Errorf("core: node %d placed in no packet", i)
+		}
+	}
+	for _, pk := range fp.pkts {
+		if pk < 0 || int(pk) >= fp.packetCount {
+			return fmt.Errorf("core: packet ref %d out of range", pk)
+		}
+	}
+	for _, id := range fp.packetNodes {
+		if id < 0 || int(id) >= nn {
+			return fmt.Errorf("core: packet-node ref %d out of range", id)
+		}
+	}
+	for _, o := range fp.occupied {
+		if o < 0 || int(o) > fp.Params.PacketCapacity {
+			return fmt.Errorf("core: occupied %d exceeds capacity", o)
+		}
+	}
+	return nil
+}
+
+// AttachSubdivision re-binds the exact region geometry after a snapshot
+// load, enabling window queries.
+func (fp *FlatPaged) AttachSubdivision(sub *region.Subdivision) error {
+	if sub.N() != fp.Flat.N {
+		return fmt.Errorf("core: subdivision has %d regions, snapshot %d", sub.N(), fp.Flat.N)
+	}
+	fp.Flat.Sub = sub
+	return nil
+}
+
+// WriteSnapshotFile atomically writes the snapshot next to the target path.
+func (fp *FlatPaged) WriteSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, fp.Snapshot(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshotFile reads and validates a snapshot file.
+func LoadSnapshotFile(path string) (*FlatPaged, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadSnapshot(data)
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/testutil"
+	"airindex/internal/wire"
+)
+
+// FuzzFlatSnapshot throws arbitrary bytes at the snapshot loader. The
+// contract under test: LoadSnapshot either rejects the input with an error
+// or returns an index that answers queries and re-encodes packets without
+// panicking or walking out of bounds.
+func FuzzFlatSnapshot(f *testing.F) {
+	for _, n := range []int{1, 4, 40} {
+		sub, _ := testutil.RandomVoronoi(f, n, int64(300+n))
+		tree, err := Build(sub)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, capacity := range []int{64, 512} {
+			paged, err := tree.Page(wire.DTreeParams(capacity))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(paged.Flatten().Snapshot())
+		}
+	}
+	f.Add([]byte(snapshotMagic))
+	f.Add(make([]byte, snapHeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, err := LoadSnapshot(data)
+		if err != nil {
+			return
+		}
+		// Validation passed: the index must be fully usable.
+		for _, p := range []geom.Point{geom.Pt(0, 0), geom.Pt(5000, 5000), geom.Pt(-1e9, 1e9)} {
+			id, trace := fp.LocateInto(p, nil)
+			if id < 0 || id >= fp.Flat.N {
+				t.Fatalf("loaded snapshot located out-of-range region %d", id)
+			}
+			for _, pk := range trace {
+				if pk < 0 || pk >= fp.IndexPackets() {
+					t.Fatalf("loaded snapshot traced out-of-range packet %d", pk)
+				}
+			}
+		}
+		if _, err := fp.EncodePackets(); err != nil {
+			// A structurally valid snapshot may still fail size-model checks
+			// during re-encoding; an error is fine, a panic is not.
+			return
+		}
+	})
+}

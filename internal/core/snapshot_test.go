@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/testutil"
+	"airindex/internal/wire"
+)
+
+func buildFlatPaged(t testing.TB, n int, capacity int, seed int64) (*Paged, *FlatPaged) {
+	t.Helper()
+	sub, _ := testutil.RandomVoronoi(t, n, seed)
+	tree, err := Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err := tree.Page(wire.DTreeParams(capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paged, paged.Flatten()
+}
+
+// TestSnapshotRoundTrip: Save -> Load preserves every query answer, every
+// trace, and the exact packet bytes — the property that lets a restarted
+// server resume the identical broadcast cycle.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		n, capacity int
+	}{{1, 256}, {12, 64}, {120, 128}, {120, 2048}} {
+		paged, fp := buildFlatPaged(t, tc.n, tc.capacity, int64(40+tc.n))
+		data := fp.Snapshot()
+		got, err := LoadSnapshot(data)
+		if err != nil {
+			t.Fatalf("n=%d cap=%d: load: %v", tc.n, tc.capacity, err)
+		}
+		if got.Flat.N != fp.Flat.N || got.IndexPackets() != fp.IndexPackets() {
+			t.Fatalf("n=%d cap=%d: shape mismatch after load", tc.n, tc.capacity)
+		}
+		area := geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000}
+		rng := rand.New(rand.NewSource(int64(90 + tc.n)))
+		var a, b []int
+		for q := 0; q < 2000; q++ {
+			p := geom.Pt(area.MinX+rng.Float64()*area.W(), area.MinY+rng.Float64()*area.H())
+			var idA, idB int
+			idA, a = fp.LocateInto(p, a)
+			idB, b = got.LocateInto(p, b)
+			if idA != idB || !sameTrace(a, b) {
+				t.Fatalf("n=%d cap=%d query %v: original (%d,%v), loaded (%d,%v)",
+					tc.n, tc.capacity, p, idA, a, idB, b)
+			}
+		}
+		wantPk, err := paged.EncodePackets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPk, err := got.EncodePackets()
+		if err != nil {
+			t.Fatalf("n=%d cap=%d: encode after load: %v", tc.n, tc.capacity, err)
+		}
+		if len(gotPk) != len(wantPk) {
+			t.Fatalf("n=%d cap=%d: %d packets after load, want %d", tc.n, tc.capacity, len(gotPk), len(wantPk))
+		}
+		for k := range gotPk {
+			if !bytes.Equal(gotPk[k], wantPk[k]) {
+				t.Fatalf("n=%d cap=%d: packet %d differs after snapshot round trip", tc.n, tc.capacity, k)
+			}
+		}
+	}
+}
+
+func TestSnapshotFile(t *testing.T) {
+	_, fp := buildFlatPaged(t, 40, 256, 7)
+	path := t.TempDir() + "/dtree.snap"
+	if err := fp.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flat.N != 40 {
+		t.Fatalf("loaded %d regions, want 40", got.Flat.N)
+	}
+	if _, err := LoadSnapshotFile(path + ".missing"); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestSnapshotAttachSubdivision(t *testing.T) {
+	sub, _ := testutil.RandomVoronoi(t, 30, 8)
+	tree, err := Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err := tree.Page(wire.DTreeParams(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := LoadSnapshot(paged.Flatten().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := testutil.RandomVoronoi(t, 31, 9)
+	if err := fp.AttachSubdivision(other); err == nil {
+		t.Error("attaching a mismatched subdivision should fail")
+	}
+	if err := fp.AttachSubdivision(sub); err != nil {
+		t.Fatal(err)
+	}
+	w := geom.Rect{MinX: 1000, MinY: 1000, MaxX: 4000, MaxY: 4000}
+	got, want := fp.Flat.SearchRect(w), tree.SearchRect(w)
+	if len(got) != len(want) {
+		t.Fatalf("window after attach: %v, want %v", got, want)
+	}
+}
+
+// TestSnapshotRejectsDamage flips, truncates and version-skews the slab;
+// every mutation must be rejected with an error (the fuzz target explores
+// this space much more broadly).
+func TestSnapshotRejectsDamage(t *testing.T) {
+	_, fp := buildFlatPaged(t, 50, 128, 11)
+	data := fp.Snapshot()
+	if _, err := LoadSnapshot(nil); err == nil {
+		t.Error("nil input should fail")
+	}
+	for _, cut := range []int{1, 17, 63, 64, len(data) / 2, len(data) - 1} {
+		if _, err := LoadSnapshot(data[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes should fail", cut)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff // magic
+	if _, err := LoadSnapshot(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	bad = append([]byte(nil), data...)
+	bad[8] = 99 // version
+	if _, err := LoadSnapshot(bad); err == nil {
+		t.Error("version skew should fail")
+	}
+	// The CRC covers the entire slab (checksum field zeroed), so any single
+	// bit flip anywhere must be rejected.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		bad = append([]byte(nil), data...)
+		bad[rng.Intn(len(bad))] ^= 1 << rng.Intn(8)
+		if _, err := LoadSnapshot(bad); err == nil {
+			t.Fatalf("trial %d: corrupted snapshot loaded", trial)
+		}
+	}
+}

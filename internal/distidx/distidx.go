@@ -335,15 +335,15 @@ func (x *Index) pathPackets(p geom.Point, path []*core.Node) (rep []int, local [
 		} else {
 			layout, seen, out = x.segments[x.segOf[x.anyBucketUnder(n)]].local, seenLoc, &local
 		}
-		packets := layout.PacketsOf[n.ID]
+		packets := layout.PacketsOf(n.ID)
 		need := packets[:1]
 		if n.InBand(p) {
 			need = packets
 		}
 		for _, pk := range need {
-			if !seen[pk] {
-				seen[pk] = true
-				*out = append(*out, pk)
+			if !seen[int(pk)] {
+				seen[int(pk)] = true
+				*out = append(*out, int(pk))
 			}
 		}
 	}

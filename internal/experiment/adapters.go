@@ -216,25 +216,28 @@ func (b *Built) buildIndexes(capacity int) ([]Index, error) {
 	if err := gather(tasks...); err != nil {
 		return nil, err
 	}
+	// The D-tree is served from its flat arena (the product fast path); the
+	// pointer tree stays behind as construction intermediate and oracle.
+	fp := dp.Flatten()
 	if trp == nil {
-		return []Index{dtreeIndex{dp}, rstarIndex{ra}}, nil
+		return []Index{dtreeIndex{fp}, rstarIndex{ra}}, nil
 	}
 	return []Index{
-		dtreeIndex{dp},
+		dtreeIndex{fp},
 		trianIndex{trp},
 		trapIndex{tpp},
 		rstarIndex{ra},
 	}, nil
 }
 
-type dtreeIndex struct{ pg *core.Paged }
+type dtreeIndex struct{ fp *core.FlatPaged }
 
 func (d dtreeIndex) Name() string                     { return "D-tree" }
-func (d dtreeIndex) IndexPackets() int                { return d.pg.IndexPackets() }
-func (d dtreeIndex) SizeBytes() int                   { return d.pg.Layout.SizeBytes() }
-func (d dtreeIndex) Locate(p geom.Point) (int, []int) { return d.pg.Locate(p) }
+func (d dtreeIndex) IndexPackets() int                { return d.fp.IndexPackets() }
+func (d dtreeIndex) SizeBytes() int                   { return d.fp.SizeBytes() }
+func (d dtreeIndex) Locate(p geom.Point) (int, []int) { return d.fp.Locate(p) }
 func (d dtreeIndex) LocateInto(p geom.Point, trace []int) (int, []int) {
-	return d.pg.LocateInto(p, trace)
+	return d.fp.LocateInto(p, trace)
 }
 
 type trianIndex struct{ pg *triantree.Paged }

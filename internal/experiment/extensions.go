@@ -106,6 +106,18 @@ func RunCached(ds dataset.Dataset, capacity int, cacheSizes []int, cfg Config) (
 
 	var out []CacheResult
 	for _, idx := range indexes {
+		// Every index family provides the buffer-reusing fast path; run the
+		// warmup and measurement streams through it so neither allocates a
+		// trace per query.
+		locate := idx.Locate
+		var buf []int
+		if il, ok := idx.(intoLocator); ok {
+			locate = func(p geom.Point) (int, []int) {
+				var id int
+				id, buf = il.LocateInto(p, buf)
+				return id, buf
+			}
+		}
 		// Warmup: rank packets by access frequency.
 		freq := make(map[int]int)
 		wrng := rand.New(rand.NewSource(cfg.Seed + 7))
@@ -115,7 +127,7 @@ func RunCached(ds dataset.Dataset, capacity int, cacheSizes []int, cfg Config) (
 		}
 		for q := 0; q < warm; q++ {
 			p, _ := sampler.Query(wrng)
-			_, trace := idx.Locate(p)
+			_, trace := locate(p)
 			for _, pk := range trace {
 				freq[pk]++
 			}
@@ -140,7 +152,7 @@ func RunCached(ds dataset.Dataset, capacity int, cacheSizes []int, cfg Config) (
 			var tune, reads, hits float64
 			for q := 0; q < cfg.Queries; q++ {
 				p, _ := sampler.Query(rng)
-				_, trace := idx.Locate(p)
+				_, trace := locate(p)
 				for _, pk := range trace {
 					reads++
 					if cached[pk] {

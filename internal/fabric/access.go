@@ -76,7 +76,7 @@ func (f *Fabric) AccessInto(p geom.Point, entry int, u float64, trace []int) (Co
 		idxStart = float64(ts.Prog.Sched.NextIndexStart(cur))
 	}
 
-	bucket, trace := ts.Paged.LocateInto(p, trace[:0])
+	bucket, trace := ts.Flat.LocateInto(p, trace[:0])
 	if bucket < 0 {
 		return cost, trace, fmt.Errorf("fabric: point %v escapes shard %d", p, target)
 	}

@@ -82,7 +82,11 @@ type Shard struct {
 	IDs     []int // local bucket -> global data-instance id
 	Tree    *core.Tree
 	Paged   *core.Paged
-	Prog    *stream.Program
+	// Flat is the arena the shard serves queries from (Access/AccessInto)
+	// and encodes its packets from; its snapshot hands the shard's index to
+	// another process without a rebuild.
+	Flat *core.FlatPaged
+	Prog *stream.Program
 
 	clips []clippedRegion
 }
@@ -195,7 +199,8 @@ func compileShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion,
 	if err != nil {
 		return nil, fmt.Errorf("fabric: shard %d paging: %w", ch, err)
 	}
-	treePkts, err := paged.EncodePackets()
+	flat := paged.Flatten()
+	treePkts, err := flat.EncodePackets()
 	if err != nil {
 		return nil, fmt.Errorf("fabric: shard %d encoding: %w", ch, err)
 	}
@@ -234,6 +239,7 @@ func compileShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion,
 		IDs:     ids,
 		Tree:    tree,
 		Paged:   paged,
+		Flat:    flat,
 		Prog:    prog,
 		clips:   clips,
 	}, nil

@@ -94,10 +94,10 @@ func (a *AirIndex) layout() {
 				panic(fmt.Sprintf("rstar: shape layout: %v", err)) // sizes are positive by construction
 			}
 			for _, e := range n.entries {
-				pks := lay.PacketsOf[e.Data]
+				pks := lay.PacketsOf(e.Data)
 				shifted := make([]int, len(pks))
 				for i, pk := range pks {
-					shifted[i] = next + pk
+					shifted[i] = next + int(pk)
 				}
 				a.shapePackets[e.Data] = shifted
 			}

@@ -80,10 +80,10 @@ func (a *AirIndex) layoutSectioned() {
 		panic(fmt.Sprintf("rstar: sectioned shape layout: %v", err)) // sizes positive by construction
 	}
 	for _, data := range leafOrder {
-		pks := lay.PacketsOf[data]
+		pks := lay.PacketsOf(data)
 		shifted := make([]int, len(pks))
 		for i, pk := range pks {
-			shifted[i] = next + pk
+			shifted[i] = next + int(pk)
 		}
 		a.shapePackets[data] = shifted
 	}

@@ -52,6 +52,11 @@ type Client struct {
 	// session is consuming, established by Probe and advanced by the
 	// recovery logic whenever an offset has flown past or been lost.
 	idxBase int
+
+	// Per-query decode scratch, reused across queries: the byte decoder's
+	// trace/seen/read buffers and the parsed-packet cache.
+	loc      core.ClientLocator
+	idxCache map[int][]byte
 }
 
 // Attempt bounds: how many index copies (resp. broadcast cycles) a query
@@ -422,20 +427,25 @@ func (c *Client) queryOnce(p geom.Point, res *Result, restart, skip int, resume 
 	}
 
 	// Index search: feed the D-tree byte decoder from the live stream. The
-	// provider caches parsed packets (client memory).
-	cache := map[int][]byte{}
+	// provider caches parsed packets (client memory); the cache and the
+	// decoder scratch live on the client, reused across queries.
+	if c.idxCache == nil {
+		c.idxCache = make(map[int][]byte, 8)
+	} else {
+		clear(c.idxCache)
+	}
 	get := func(k int) ([]byte, error) {
-		if pkt, ok := cache[k]; ok {
+		if pkt, ok := c.idxCache[k]; ok {
 			return pkt, nil
 		}
 		payload, err := c.fetchIndexPacket(res, skip+k)
 		if err != nil {
 			return nil, err
 		}
-		cache[k] = payload
+		c.idxCache[k] = payload
 		return payload, nil
 	}
-	bucket, _, err := core.ClientLocateFrom(get, c.capacity, p)
+	bucket, _, err := c.loc.Locate(get, c.capacity, p)
 	if err != nil {
 		return err
 	}

@@ -10,36 +10,59 @@ import (
 	"airindex/internal/wire"
 )
 
+// CompileDTree builds, pages, flattens and encodes the D-tree for a
+// subdivision, returning the broadcast program together with the flat arena
+// it was rendered from. The arena is the serving representation: queries run
+// over it allocation-free, and its snapshot restores the identical program
+// without re-running construction (ProgramFromSnapshot).
+func CompileDTree(sub *region.Subdivision, capacity, m int) (*Program, *core.FlatPaged, error) {
+	tree, err := core.Build(sub)
+	if err != nil {
+		return nil, nil, err
+	}
+	paged, err := tree.Page(wire.DTreeParams(capacity))
+	if err != nil {
+		return nil, nil, err
+	}
+	fp := paged.Flatten()
+	prog, err := ProgramFromFlat(fp, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, fp, nil
+}
+
 // NewDTreeProgram assembles a complete broadcast program for a subdivision:
 // a paged and encoded D-tree, a (1, m) schedule (optimal m when m <= 0),
 // and synthetic data payloads whose first bytes identify the bucket (so
 // clients and tests can verify what they downloaded).
 func NewDTreeProgram(sub *region.Subdivision, capacity, m int) (*Program, error) {
-	tree, err := core.Build(sub)
-	if err != nil {
-		return nil, err
-	}
-	params := wire.DTreeParams(capacity)
-	paged, err := tree.Page(params)
-	if err != nil {
-		return nil, err
-	}
-	packets, err := paged.EncodePackets()
+	prog, _, err := CompileDTree(sub, capacity, m)
+	return prog, err
+}
+
+// ProgramFromFlat assembles a broadcast program from a flat paged index —
+// the shared tail of a fresh compile and a snapshot restore, so both paths
+// put byte-identical cycles on the air.
+func ProgramFromFlat(fp *core.FlatPaged, m int) (*Program, error) {
+	packets, err := fp.EncodePackets()
 	if err != nil {
 		return nil, err
 	}
 	if len(packets) == 0 {
-		return nil, fmt.Errorf("stream: subdivision of %d regions produced an empty index", sub.N())
+		return nil, fmt.Errorf("stream: subdivision of %d regions produced an empty index", fp.Flat.N)
 	}
+	params := fp.Params
+	capacity := params.PacketCapacity
 	bucketPackets := params.DataBucketPackets()
 	if bucketPackets > MaxBucketPackets {
 		return nil, fmt.Errorf("stream: capacity %d splits each %d B data instance into %d packets, beyond the wire format's %d-packet bucket limit",
 			capacity, params.DataInstanceSize, bucketPackets, MaxBucketPackets)
 	}
 	if m <= 0 {
-		m = broadcast.OptimalM(len(packets), sub.N()*bucketPackets)
+		m = broadcast.OptimalM(len(packets), fp.Flat.N*bucketPackets)
 	}
-	sched, err := broadcast.NewSchedule(len(packets), sub.N(), bucketPackets, m)
+	sched, err := broadcast.NewSchedule(len(packets), fp.Flat.N, bucketPackets, m)
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +72,35 @@ func NewDTreeProgram(sub *region.Subdivision, capacity, m int) (*Program, error)
 		Sched:        sched,
 		Data:         BucketStamp(capacity),
 	}, nil
+}
+
+// ProgramFromSnapshot restores a broadcast program from a flat-index
+// snapshot slab (core.Snapshot), skipping tree construction and paging
+// entirely. The restored program broadcasts cycles byte-identical to those
+// of the server that wrote the snapshot.
+func ProgramFromSnapshot(data []byte, m int) (*Program, *core.FlatPaged, error) {
+	fp, err := core.LoadSnapshot(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := ProgramFromFlat(fp, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, fp, nil
+}
+
+// ProgramFromSnapshotFile is ProgramFromSnapshot over a file.
+func ProgramFromSnapshotFile(path string, m int) (*Program, *core.FlatPaged, error) {
+	fp, err := core.LoadSnapshotFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := ProgramFromFlat(fp, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, fp, nil
 }
 
 // BucketStamp returns a payload generator that stamps every data packet

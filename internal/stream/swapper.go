@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"airindex/internal/core"
 	"airindex/internal/geom"
 	"airindex/internal/region"
 	"airindex/internal/voronoi"
@@ -40,6 +41,10 @@ type Generation struct {
 	Sub  *region.Subdivision // the subdivision the program indexes
 	IDs  []int               // region index -> stable site id
 	Prog *Program
+	// Flat is the arena the program was rendered from; server-side answer
+	// verification queries it allocation-free, and its snapshot restores
+	// this generation's exact broadcast on another process.
+	Flat *core.FlatPaged
 }
 
 // Swapper drives live reconfiguration end to end. All methods are safe for
@@ -78,14 +83,14 @@ func (sw *Swapper) buildLocked(gen uint32) (*Generation, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, err := NewDTreeProgram(sub, sw.capacity, sw.m)
+	prog, flat, err := CompileDTree(sub, sw.capacity, sw.m)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := prog.Rendered(); err != nil {
 		return nil, err
 	}
-	return &Generation{Gen: gen, Sub: sub, IDs: ids, Prog: prog}, nil
+	return &Generation{Gen: gen, Sub: sub, IDs: ids, Prog: prog, Flat: flat}, nil
 }
 
 func (sw *Swapper) remember(g *Generation) {

@@ -37,8 +37,7 @@ func (m *Map) Page(params wire.Params) (*Paged, error) {
 		return nil, err
 	}
 	if len(m.Nodes) == 0 {
-		layout := &wire.Layout{PacketCapacity: params.PacketCapacity, PacketsOf: map[int][]int{}}
-		return &Paged{Map: m, Params: params, Layout: layout}, nil
+		return &Paged{Map: m, Params: params, Layout: wire.EmptyLayout(params.PacketCapacity)}, nil
 	}
 	specs := make([]wire.NodeSpec, 0, len(m.Nodes))
 	firstParent := make(map[int]int, len(m.Nodes))
@@ -86,8 +85,8 @@ func (pg *Paged) LocateInto(p geom.Point, trace []int) (int, []int) {
 	trace = trace[:0]
 	n := pg.Map.root
 	for n.kind != leafNode {
-		for _, pk := range pg.Layout.PacketsOf[n.id] {
-			trace = wire.AppendTraceOnce(trace, pk)
+		for _, pk := range pg.Layout.PacketsOf(n.id) {
+			trace = wire.AppendTraceOnce(trace, int(pk))
 		}
 		switch n.kind {
 		case xNode:

@@ -75,27 +75,32 @@ func (pg *Paged) Locate(p geom.Point) (int, []int) {
 func (pg *Paged) LocateInto(p geom.Point, trace []int) (int, []int) {
 	trace = trace[:0]
 	read := func(n *Node) {
-		for _, pk := range pg.Layout.PacketsOf[n.ID] {
-			trace = wire.AppendTraceOnce(trace, pk)
+		for _, pk := range pg.Layout.PacketsOf(n.ID) {
+			trace = wire.AppendTraceOnce(trace, int(pk))
 		}
 	}
 	n := pg.Tree.Root
 	read(n)
 	for n.Region < 0 {
 		var next *Node
-		var fallback *Node
-		worstSlack := math.Inf(-1)
 		for _, c := range n.Children {
 			read(c)
 			if c.Tri.Contains(p) {
 				next = c
 				break
 			}
-			if s := containmentSlack(c.Tri, p); s > worstSlack {
-				worstSlack, fallback = s, c
-			}
 		}
 		if next == nil {
+			// No child contains p exactly: fall back to the least-outside
+			// child. The slack pass runs only on this rare boundary path, so
+			// the common descent pays one containment test per child scanned.
+			var fallback *Node
+			worstSlack := math.Inf(-1)
+			for _, c := range n.Children {
+				if s := containmentSlack(c.Tri, p); s > worstSlack {
+					worstSlack, fallback = s, c
+				}
+			}
 			if worstSlack > -1e-6 {
 				next = fallback
 			} else {

@@ -229,12 +229,16 @@ func (t *Tree) Locate(p geom.Point) int {
 // p marginally outside every child, the child whose triangle p is least
 // outside of.
 func bestChild(n *Node, p geom.Point) *Node {
-	var fallback *Node
-	worstSlack := math.Inf(-1)
 	for _, c := range n.Children {
 		if c.Tri.Contains(p) {
 			return c
 		}
+	}
+	// Slack is only consulted when no child contains p exactly, so the
+	// normalized-orientation pass stays off the common descent path.
+	var fallback *Node
+	worstSlack := math.Inf(-1)
+	for _, c := range n.Children {
 		if s := containmentSlack(c.Tri, p); s > worstSlack {
 			worstSlack, fallback = s, c
 		}

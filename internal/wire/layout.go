@@ -13,11 +13,15 @@ type NodeSpec struct {
 
 // Layout is the result of paging: which packets (in broadcast order within
 // the index segment) each node occupies.
+//
+// The per-node packet lists are stored contiguously — one pooled offset slab
+// plus a dense prefix-sum table indexed by node id — so the per-level lookup
+// on the query hot path is two array reads instead of a map probe. Index
+// families whose node ids are sparse within a layout (the R*-tree's added
+// shape layer pages subsets of region ids) fall back to a map; their layouts
+// are only consulted at build time.
 type Layout struct {
 	PacketCapacity int
-	// PacketsOf[id] lists the packet offsets node id occupies, in order.
-	// Nodes smaller than a packet occupy exactly one packet.
-	PacketsOf map[int][]int
 	// PacketCount is the total number of packets in the index segment.
 	PacketCount int
 	// Occupied[k] is the number of bytes used in packet k.
@@ -26,15 +30,89 @@ type Layout struct {
 	// a node spanning several packets appears in each of them. Serializers
 	// use this to compute byte offsets.
 	PacketNodes [][]int
+
+	// packets pools every node's packet offsets; node id occupies
+	// packets[starts[id]:starts[id+1]] when the dense table is in use.
+	packets []int32
+	starts  []int32
+	// sparse is the fallback keyed store for sparse id spaces; nil when the
+	// dense table is active.
+	sparse map[int][]int32
 }
 
-// FirstPacket returns the first packet offset of node id.
+// EmptyLayout returns a layout with no packets (single-region systems page
+// to an empty index segment).
+func EmptyLayout(capacity int) *Layout {
+	return &Layout{PacketCapacity: capacity}
+}
+
+// newLayout freezes a construction-time placement map into the contiguous
+// representation. The dense table is used when the id space is compact
+// (every hot-path index family numbers nodes 0..n-1); wide, sparse id sets
+// keep the map.
+func newLayout(capacity, count int, occupied []int, packetNodes [][]int, place map[int][]int) *Layout {
+	l := &Layout{
+		PacketCapacity: capacity,
+		PacketCount:    count,
+		Occupied:       occupied,
+		PacketNodes:    packetNodes,
+	}
+	maxID, total := -1, 0
+	for id, pks := range place {
+		if id > maxID {
+			maxID = id
+		}
+		total += len(pks)
+	}
+	if maxID >= 0 && maxID < 2*len(place)+64 {
+		l.starts = make([]int32, maxID+2)
+		for id, pks := range place {
+			l.starts[id+1] = int32(len(pks))
+		}
+		for i := 1; i < len(l.starts); i++ {
+			l.starts[i] += l.starts[i-1]
+		}
+		l.packets = make([]int32, total)
+		for id, pks := range place {
+			off := l.starts[id]
+			for i, pk := range pks {
+				l.packets[off+int32(i)] = int32(pk)
+			}
+		}
+		return l
+	}
+	l.sparse = make(map[int][]int32, len(place))
+	for id, pks := range place {
+		s := make([]int32, len(pks))
+		for i, pk := range pks {
+			s[i] = int32(pk)
+		}
+		l.sparse[id] = s
+	}
+	return l
+}
+
+// PacketsOf returns the packet offsets node id occupies, in broadcast
+// order; nil when the node is not placed. The returned slice is shared
+// read-only storage — callers must not mutate it.
+func (l *Layout) PacketsOf(id int) []int32 {
+	if l.starts != nil {
+		if id < 0 || id+1 >= len(l.starts) {
+			return nil
+		}
+		return l.packets[l.starts[id]:l.starts[id+1]]
+	}
+	return l.sparse[id]
+}
+
+// FirstPacket returns the first packet offset of node id, or -1 when the
+// node is not placed.
 func (l *Layout) FirstPacket(id int) int {
-	pk := l.PacketsOf[id]
+	pk := l.PacketsOf(id)
 	if len(pk) == 0 {
 		return -1
 	}
-	return pk[0]
+	return int(pk[0])
 }
 
 // SizeBytes returns the total occupied bytes across all packets.
@@ -62,7 +140,7 @@ func (l *Layout) Utilization() float64 {
 // capacity, multi-packet nodes on contiguous packets.
 func (l *Layout) Validate(nodes []NodeSpec) error {
 	for _, n := range nodes {
-		pks := l.PacketsOf[n.ID]
+		pks := l.PacketsOf(n.ID)
 		if len(pks) == 0 {
 			return fmt.Errorf("wire: node %d not placed", n.ID)
 		}

@@ -165,13 +165,7 @@ func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*La
 		place[id] = mapped
 	}
 
-	return &Layout{
-		PacketCapacity: capacity,
-		PacketsOf:      place,
-		PacketCount:    count,
-		Occupied:       occupied,
-		PacketNodes:    packetNodes,
-	}, nil
+	return newLayout(capacity, count, occupied, packetNodes, place), nil
 }
 
 // BFSOrder produces a breadth-first broadcast order over a tree or DAG given

@@ -52,12 +52,12 @@ func TestTopDownMultiPacketNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := layout.PacketsOf[0]; len(got) != 3 {
+	if got := layout.PacketsOf(0); len(got) != 3 {
 		t.Fatalf("big node packets = %v, want 3", got)
 	}
 	// The child fits in the big node's last packet (occupied 50 of 100).
-	if got := layout.FirstPacket(1); got != layout.PacketsOf[0][2] {
-		t.Errorf("child in packet %d, want parent's tail %d", got, layout.PacketsOf[0][2])
+	if got := layout.FirstPacket(1); got != int(layout.PacketsOf(0)[2]) {
+		t.Errorf("child in packet %d, want parent's tail %d", got, layout.PacketsOf(0)[2])
 	}
 	if err := layout.Validate(specs); err != nil {
 		t.Fatal(err)
