@@ -19,6 +19,13 @@
 // restored program broadcasts cycles byte-identical to the writer's, so a
 // restart serves the same air index without paying construction.
 //
+// With -snapshot-dir the sharded daemon gets the same zero-parse restart:
+// if the directory holds one `shardN.dtsnap` per shard the fabric is
+// restored from the slabs (no D-tree is built — only the cheap geometry is
+// recomputed to validate the snapshots and pin the global numbering), and
+// otherwise the daemon builds from -dataset and writes the per-shard
+// snapshots there for the next start.
+//
 // With -shards S (S > 1) the daemon serves a multi-channel sharded fabric
 // instead of a single channel: the service area is split into S balanced
 // spatial partitions, each broadcast on its own listener (ports base..
@@ -32,7 +39,8 @@
 // Usage:
 //
 //	broadcastd [-addr :7343] [-dataset hospital] [-capacity 256]
-//	           [-snapshot index.dtsnap] [-shards 1] [-slot-duration 0] [-seed 1]
+//	           [-snapshot index.dtsnap] [-snapshot-dir ""] [-shards 1]
+//	           [-slot-duration 0] [-seed 1]
 //	           [-loss 0] [-burst 1] [-corrupt 0]
 //	           [-churn 0] [-churn-ops 4] [-write-timeout 30s]
 //	           [-drain-timeout 10s] [-debug-addr ""] [-demo]
@@ -77,6 +85,7 @@ type config struct {
 	n        int
 	capacity int
 	snapshot string
+	snapDir  string
 	shards   int
 	slotDur  time.Duration
 	seed     int64
@@ -128,7 +137,16 @@ func validateConfig(c config) error {
 		return fmt.Errorf("-snapshot with -churn: a restored arena has no site maintainer to churn; rebuild from -dataset instead")
 	}
 	if c.snapshot != "" && c.shards > 1 {
-		return fmt.Errorf("-snapshot with -shards %d: snapshots restore a single channel's index; per-shard restore is not supported", c.shards)
+		return fmt.Errorf("-snapshot with -shards %d: snapshots restore a single channel's index; use -snapshot-dir for per-shard restore", c.shards)
+	}
+	if c.snapDir != "" && c.shards <= 1 {
+		return fmt.Errorf("-snapshot-dir with -shards %d: per-shard snapshots need a sharded fabric; use -snapshot for a single channel", c.shards)
+	}
+	if c.snapDir != "" && c.churn > 0 {
+		return fmt.Errorf("-snapshot-dir with -churn: a restored arena has no site maintainer to churn; rebuild from -dataset instead")
+	}
+	if c.snapDir != "" && c.snapshot != "" {
+		return fmt.Errorf("-snapshot and -snapshot-dir are mutually exclusive")
 	}
 	if c.churnOps < 1 {
 		return fmt.Errorf("-churn-ops %d: a churn batch needs at least one site operation", c.churnOps)
@@ -152,6 +170,7 @@ func main() {
 	flag.IntVar(&cfg.n, "n", 1000, "site count (uniform only)")
 	flag.IntVar(&cfg.capacity, "capacity", 256, "packet capacity in bytes")
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "restore the index from this flat-arena snapshot file instead of building it (see dtreectl snapshot)")
+	flag.StringVar(&cfg.snapDir, "snapshot-dir", "", "with -shards S > 1: restore every shard from DIR/shardN.dtsnap when present, else build and write the per-shard snapshots there")
 	flag.IntVar(&cfg.shards, "shards", 1, "broadcast channels; > 1 serves the sharded fabric with a replicated channel directory")
 	flag.DurationVar(&cfg.slotDur, "slot-duration", 0, "real-time pacing per slot (0 = full speed)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for start slots, demo queries, churn and fault models (reproducible runs)")
@@ -347,7 +366,8 @@ func runSharded(cfg config, ds dataset.Dataset) {
 	var fsw *fabric.Swapper
 	var progs []*stream.Program
 	var dirPackets, channels int
-	if cfg.churn > 0 {
+	switch {
+	case cfg.churn > 0:
 		var err error
 		fsw, err = fabric.NewSwapper(ds.Area, ds.Sites, S, cfg.capacity, opts)
 		if err != nil {
@@ -355,13 +375,30 @@ func runSharded(cfg config, ds dataset.Dataset) {
 		}
 		progs = fsw.Programs()
 		dirPackets = fsw.DirPackets()
-	} else {
+	case cfg.snapDir != "" && fileExists(fabric.SnapshotPath(cfg.snapDir, 0)):
+		f, err := fabric.RestoreSnapshotDir(ds.Area, ds.Sites, S, cfg.snapDir, opts)
+		if err != nil {
+			fatal(err)
+		}
+		// The snapshots pin the packet geometry; the restored capacity
+		// overrides -capacity so the demo client frames line up.
+		cfg.capacity = f.Capacity
+		progs = f.Programs()
+		dirPackets = f.DirPackets
+		fmt.Printf("broadcastd: restored %d shards from %s, no rebuild\n", S, cfg.snapDir)
+	default:
 		f, err := fabric.Build(ds.Area, ds.Sites, S, cfg.capacity, opts)
 		if err != nil {
 			fatal(err)
 		}
 		progs = f.Programs()
 		dirPackets = f.DirPackets
+		if cfg.snapDir != "" {
+			if err := f.WriteSnapshotDir(cfg.snapDir); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("broadcastd: wrote %d shard snapshots to %s for the next start\n", S, cfg.snapDir)
+		}
 	}
 	channels = len(progs)
 
@@ -630,6 +667,13 @@ func dropID(ids []int, id int) []int {
 		}
 	}
 	return out
+}
+
+// fileExists reports whether path names an existing file, deciding between
+// the restore and build-then-write paths of -snapshot-dir.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func fatal(err error) {

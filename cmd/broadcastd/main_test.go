@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -180,6 +181,10 @@ func TestValidateConfig(t *testing.T) {
 		{"snapshot restore", func(c *config) { c.snapshot = "index.dtsnap" }, true},
 		{"snapshot with churn", func(c *config) { c.snapshot = "index.dtsnap"; c.churn = time.Second; c.seedSet = true }, false},
 		{"snapshot with shards", func(c *config) { c.snapshot = "index.dtsnap"; c.shards = 3 }, false},
+		{"snapshot dir sharded", func(c *config) { c.snapDir = "snaps"; c.shards = 3 }, true},
+		{"snapshot dir single channel", func(c *config) { c.snapDir = "snaps" }, false},
+		{"snapshot dir with churn", func(c *config) { c.snapDir = "snaps"; c.shards = 3; c.churn = time.Second; c.seedSet = true }, false},
+		{"snapshot dir with snapshot", func(c *config) { c.snapDir = "snaps"; c.snapshot = "index.dtsnap"; c.shards = 3 }, false},
 		{"zero shards", func(c *config) { c.shards = 0 }, false},
 		{"negative shards", func(c *config) { c.shards = -2 }, false},
 		{"churn without seed", func(c *config) { c.churn = time.Second }, false},
@@ -271,6 +276,63 @@ func TestShardedDemoEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(s, "hop(s)") {
 		t.Fatalf("no hop accounting in demo output:\n%s", s)
+	}
+}
+
+// TestShardedSnapshotRestartEndToEnd runs the daemon twice with
+// -snapshot-dir: the first run builds the fabric and writes one snapshot
+// per shard, the second restores from them zero-parse. Both runs must
+// resolve the same demo queries, proving the restored shards broadcast the
+// same index.
+func TestShardedSnapshotRestartEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	snapDir := filepath.Join(t.TempDir(), "snaps")
+	run := func() string {
+		out, err := exec.Command(bin,
+			"-demo", "-shards", "2", "-dataset", "uniform", "-n", "80", "-capacity", "128",
+			"-snapshot-dir", snapDir, "-addr", "127.0.0.1:0").CombinedOutput()
+		if err != nil {
+			t.Fatalf("daemon: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+
+	first := run()
+	if !strings.Contains(first, "wrote 2 shard snapshots to "+snapDir) {
+		t.Fatalf("first run did not write snapshots:\n%s", first)
+	}
+	for ch := 0; ch < 2; ch++ {
+		if _, err := os.Stat(filepath.Join(snapDir, fmt.Sprintf("shard%d.dtsnap", ch))); err != nil {
+			t.Fatalf("shard %d snapshot missing after first run: %v", ch, err)
+		}
+	}
+
+	second := run()
+	if !strings.Contains(second, "restored 2 shards from "+snapDir) {
+		t.Fatalf("second run did not restore from snapshots:\n%s", second)
+	}
+	// Same seed, same dataset: the demo queries and their answers must
+	// match line for line across the rebuild/restore boundary.
+	queries := func(s string) []string {
+		var out []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "query (") {
+				out = append(out, line)
+			}
+		}
+		return out
+	}
+	q1, q2 := queries(first), queries(second)
+	if len(q1) != 8 || len(q2) != 8 {
+		t.Fatalf("expected 8 demo queries per run, got %d and %d", len(q1), len(q2))
+	}
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatalf("query %d diverged after restore:\nbuilt:    %s\nrestored: %s", i, q1[i], q2[i])
+		}
 	}
 }
 

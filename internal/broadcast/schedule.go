@@ -82,6 +82,9 @@ func (s *Schedule) IndexOverheadPackets() int { return s.M * s.IndexPackets }
 // starts (0 <= j < M).
 func (s *Schedule) IndexStartOf(j int) int { return s.indexStarts[j] }
 
+// BucketStart returns the cycle offset of bucket b's first packet.
+func (s *Schedule) BucketStart(b int) int { return s.bucketPos[b] }
+
 // BucketAt returns which bucket and which of its packets occupies the given
 // cycle offset; it panics if the offset falls inside an index copy (callers
 // classify index regions via IndexStartOf first).

@@ -20,6 +20,7 @@ type buildOptions struct {
 	weights       []float64 // access frequencies; nil = cardinality balance
 	workers       int       // subtree worker pool size; <= 0 = one per CPU
 	perNodeSort   bool      // reference path: re-sort spans at every node
+	memoize       bool      // retain per-node partition memos for incremental rebuilds
 }
 
 // BuildOption customizes D-tree construction.
@@ -68,6 +69,16 @@ func WithBuildWorkers(n int) BuildOption {
 	return func(o *buildOptions) { o.workers = n }
 }
 
+// withMemo makes every built node retain a partition-search memo (the raw
+// extent entries and split thresholds of all evaluated styles) so a later
+// Incremental.Rebuild can patch a dirty path node's candidates in place of
+// re-deriving them from the whole subset. The built tree is bit-identical
+// with or without memos; Incremental enables this internally. Weighted and
+// per-node-sort builds ignore it.
+func withMemo() BuildOption {
+	return func(o *buildOptions) { o.memoize = true }
+}
+
 // withPerNodeSort selects the reference construction path that re-sorts the
 // region spans of every node from scratch instead of partitioning the
 // pre-sorted root orders down the tree. Only equivalence tests use it.
@@ -102,10 +113,13 @@ func (r regionSpan) keyVal(k int) float64 {
 }
 
 // buildScratch is the per-task membership marker used to partition sorted
-// id lists; the epoch stamp makes reuse O(1) instead of clearing.
+// id lists; the epoch stamp makes reuse O(1) instead of clearing. It also
+// carries the per-task boundary-extraction scratch so evaluate runs
+// map-free.
 type buildScratch struct {
 	mark  []int32
 	epoch int32
+	bs    region.BoundaryScratch
 }
 
 type builder struct {
@@ -225,7 +239,7 @@ func (b *builder) split(sub subset, sc *buildScratch) (ChildRef, error) {
 	if len(ids) == 1 {
 		return ChildRef{Data: int(ids[0])}, nil
 	}
-	cand, err := b.choosePartition(sub)
+	cand, err := b.choosePartition(sub, sc)
 	if err != nil {
 		return ChildRef{}, err
 	}
@@ -275,6 +289,7 @@ func (b *builder) split(sub subset, sc *buildScratch) (ChildRef, error) {
 		Truncated:  cand.truncated,
 		NumRegions: len(ids),
 		InterProb:  cand.interProb,
+		memo:       cand.memo,
 	}}, nil
 }
 

@@ -107,8 +107,26 @@ type Node struct {
 	// NumRegions is the number of data regions below this node.
 	NumRegions int
 	// InterProb is the fraction of the node's space inside the interlocking
-	// band (the tie-break quantity of Section 4.2).
+	// band (the tie-break quantity of Section 4.2). It is computed lazily —
+	// only when a partition-size tie forced the comparison — and is zero
+	// otherwise; both the from-scratch and incremental builders follow the
+	// same rule, so marshals stay byte-identical.
 	InterProb float64
+
+	// src marks a node an incremental rebuild spliced from the previous
+	// generation: the previous BFS id + 1, or 0 for freshly built nodes.
+	// FlattenPatched uses it to bulk-copy the node's canonical point range
+	// from the previous arena instead of re-deriving it.
+	src int32
+
+	// memo retains the partition-search state of every style evaluated at
+	// this node (memoized builds only): raw extent entries, split
+	// thresholds, and the winning style. The next incremental rebuild uses
+	// it to re-derive a dirty path node's candidates by patching the cached
+	// extents around the changed regions instead of re-extracting them from
+	// the whole subset. Stable-key based, so spliced subtrees share memos
+	// across generations.
+	memo *nodeMemo
 }
 
 // PartitionPoints returns the total number of points across the partition's

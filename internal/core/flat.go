@@ -115,6 +115,89 @@ func (t *Tree) Flatten() *FlatTree {
 	return ft
 }
 
+// FlattenPatched packs the tree into its arena form, bulk-copying the point
+// ranges of nodes an incremental rebuild spliced from the previous
+// generation's arena instead of re-canonicalizing them point by point. The
+// result is identical to Flatten (same slab, spans, and point values); prev
+// must be the arena of the generation the tree was rebuilt from (node point
+// ranges are contiguous in arenas produced by Flatten or FlattenPatched —
+// the bulk copy falls back to the per-point path if not). A nil prev is a
+// plain Flatten.
+func (t *Tree) FlattenPatched(prev *FlatTree) *FlatTree {
+	if prev == nil {
+		return t.Flatten()
+	}
+	ft := &FlatTree{Sub: t.Sub, N: t.Sub.N()}
+	if t.Root == nil {
+		return ft
+	}
+	ft.nodes = make([]FlatNode, len(t.Nodes))
+	var npts, npolys int
+	for _, n := range t.Nodes {
+		npolys += len(n.Polylines)
+		npts += n.PartitionPoints()
+	}
+	ft.polys = make([]polySpan, 0, npolys)
+	ft.pts = make([]geom.Point, 0, npts)
+	for i, n := range t.Nodes {
+		fn := &ft.nodes[i]
+		fn.CutLo, fn.CutHi = n.CutLo, n.CutHi
+		fn.Dim = n.Dim
+		fn.NumRegions = int32(n.NumRegions)
+		if n.Pruned {
+			fn.Flags |= flatPruned
+		}
+		if n.Truncated {
+			fn.Flags |= flatTruncated
+		}
+		fn.Left = flatRef(n.Left)
+		fn.Right = flatRef(n.Right)
+		fn.PolyFirst = int32(len(ft.polys))
+		if !t.copyFlatSpans(ft, prev, n) {
+			for _, pl := range n.Polylines {
+				off := int32(len(ft.pts))
+				for _, p := range pl {
+					ft.pts = append(ft.pts, canon(n.Dim, p))
+				}
+				ft.polys = append(ft.polys, polySpan{Off: off, N: int32(len(pl))})
+			}
+		}
+		fn.PolyEnd = int32(len(ft.polys))
+	}
+	return ft
+}
+
+// copyFlatSpans bulk-copies a spliced node's canonical points and spans from
+// the previous arena; false means the node is fresh (or the previous range
+// is not contiguous) and the caller must take the per-point path.
+func (t *Tree) copyFlatSpans(ft, prev *FlatTree, n *Node) bool {
+	if n.src <= 0 || int(n.src) > len(prev.nodes) {
+		return false
+	}
+	pn := &prev.nodes[n.src-1]
+	if int(pn.PolyEnd-pn.PolyFirst) != len(n.Polylines) {
+		return false
+	}
+	if pn.PolyEnd == pn.PolyFirst {
+		return true
+	}
+	first := prev.polys[pn.PolyFirst]
+	at := first.Off
+	for pi := pn.PolyFirst; pi < pn.PolyEnd; pi++ {
+		if prev.polys[pi].Off != at {
+			return false
+		}
+		at += prev.polys[pi].N
+	}
+	base := int32(len(ft.pts))
+	ft.pts = append(ft.pts, prev.pts[first.Off:at]...)
+	for pi := pn.PolyFirst; pi < pn.PolyEnd; pi++ {
+		sp := prev.polys[pi]
+		ft.polys = append(ft.polys, polySpan{Off: base + (sp.Off - first.Off), N: sp.N})
+	}
+	return true
+}
+
 // NumNodes returns the number of internal nodes in the arena.
 func (ft *FlatTree) NumNodes() int { return len(ft.nodes) }
 
@@ -242,7 +325,23 @@ type FlatPaged struct {
 
 // Flatten converts a paged tree into its arena form.
 func (pg *Paged) Flatten() *FlatPaged {
-	ft := pg.Tree.Flatten()
+	return pg.flattenWith(pg.Tree.Flatten())
+}
+
+// FlattenPatched converts a paged tree into its arena form, reusing the
+// previous generation's node arena for spliced subtrees (Tree.FlattenPatched).
+// The packet tables are always rebuilt from this generation's layout.
+func (pg *Paged) FlattenPatched(prev *FlatPaged) *FlatPaged {
+	var pf *FlatTree
+	if prev != nil {
+		pf = prev.Flat
+	}
+	return pg.flattenWith(pg.Tree.FlattenPatched(pf))
+}
+
+// flattenWith builds the pooled packet tables of a FlatPaged around an
+// already-flattened node arena.
+func (pg *Paged) flattenWith(ft *FlatTree) *FlatPaged {
 	fp := &FlatPaged{Flat: ft, Params: pg.Params, packetCount: pg.Layout.PacketCount}
 	n := len(ft.nodes)
 	fp.pktIdx = make([]int32, n+1)

@@ -1,0 +1,782 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"airindex/internal/geom"
+	"airindex/internal/region"
+)
+
+// Memoized incremental partition search. A from-scratch D-tree build spends
+// its time in choosePartition: per style, an O(subset) boundary extraction,
+// pruning, and chaining. The subtree-splice rebuild (incremental.go) avoids
+// that work below the dirty paths, but every node ON a dirty path still
+// re-ran the full search — and the top path nodes are the whole diagram, so
+// a small batch still cost a constant fraction of a cold build.
+//
+// The memo machinery makes a dirty path node cost proportional to its
+// boundary and its dirty set instead of its subset:
+//
+//   - every built node retains, per evaluated style, the raw (pre-prune)
+//     extent of its canonical-left half as (owner stable key, ring edge)
+//     entries plus the (value, key) pair of the last left element — the
+//     split threshold (nodeMemo / memoCand);
+//   - a rebuild walks the old tree in correspondence with the new subsets,
+//     tracking exactly how each node's region set differs from the old leaf
+//     set (geometry-changed, added, removed). Membership of any region in a
+//     style's old or new left half is a single (value, id) comparison
+//     against the thresholds, because the sort orders are sorted by exactly
+//     that pair;
+//   - a style's new extent is the cached extent minus entries owned by or
+//     facing an affected region, plus freshly enumerated edges of affected
+//     members of the new left half, plus re-surfaced edges of clean members
+//     whose dirty neighbor left the half — merged back into extraction
+//     order, which is (left-rank of owner, ring edge);
+//   - the tail of Algorithm 1 (prune, truncate, chain) then runs unchanged
+//     over the patched extent, so candidates — and the chosen partition —
+//     are bit-identical to the from-scratch search. Ties still recompute
+//     the interlocking probability with the exact same summation fold.
+//
+// Any node where the bookkeeping does not apply (no memo, winner style
+// changed, dirty set comparable to the subset) falls back to the plain
+// partition search; the fallback changes cost only, never bytes.
+
+// nodeMemo is the partition-search state a memoized build retains per node.
+type nodeMemo struct {
+	winnerKey int8 // keyIdx of the winning style
+	cands     []memoCand
+}
+
+// memoCand is one evaluated style's memo. All region references are stable
+// keys, so memos survive renumbering and spliced subtrees share them.
+//
+// Beyond the extent, the memo retains the finished candidate — partition
+// size, prune/truncate flags, and the chained polylines. When a patch pass
+// drops no cached entry, adds none, and leaves both cut values unchanged,
+// the new evaluation's inputs to the Algorithm 1 tail (segments, cuts, dim)
+// are identical to the old one's — every surviving owner is clean, so its
+// ring, and thus every segment, is unchanged — and the finished candidate
+// is reused outright, skipping the prune walk, the chaining, and their
+// allocations. On the dirty path most styles at most nodes patch to an
+// unchanged extent (the handful of moved regions rarely sits on a given
+// half's boundary), so this is the common case, not the exception.
+type memoCand struct {
+	key         int8 // keyIdx(dim, sortByMax)
+	pruned      bool // finished-candidate flags of this evaluation
+	truncated   bool
+	leftCount   int32 // k of this evaluation
+	points      int32 // finished partition size
+	lastLeftVal float64
+	lastLeftKey int32 // stable key of sorted[k-1]
+	cutLo       float64
+	cutHi       float64
+	entries     []region.BoundaryEntry
+	polylines   []geom.Polyline // shared with the candidate; immutable
+}
+
+// find returns the memo entry for a style key with the closest left count,
+// or nil. Old and new left counts differ by at most one (region-count
+// parity), so "closest" is unambiguous.
+func (m *nodeMemo) find(key int8, k int) *memoCand {
+	var best *memoCand
+	for i := range m.cands {
+		mc := &m.cands[i]
+		if mc.key != key {
+			continue
+		}
+		if best == nil || absDiff(mc.leftCount, int32(k)) < absDiff(best.leftCount, int32(k)) {
+			best = mc
+		}
+	}
+	return best
+}
+
+func absDiff(a, b int32) int32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// aMember is one region whose relation to a style's left half needs
+// reconciliation: geometry changed, inserted, removed, or membership
+// flipped.
+type aMember struct {
+	key    int32
+	newIdx int32 // -1 when removed this generation
+	was    bool  // in the old left half
+	is     bool  // in the new left half
+}
+
+// fastScratch holds the reusable per-rebuild state of the memoized path.
+type fastScratch struct {
+	dirtyMark []int32 // by stable key: changed/added/removed at the current node
+	subMark   []int32 // by stable key: member of the current node's (new) subset
+	addMark   []int32 // by stable key: added to the current node's subset
+	dEpoch    int32
+	flipMark  []int32 // by stable key: membership flips of the current style
+	flEpoch   int32
+	seenMark  []int32 // by stable key: neighbor dedup inside recovery scans
+	seenEpoch int32
+
+	ams   []aMember
+	flips []aMember
+	ents  []region.BoundaryEntry
+	segs  []geom.Segment
+}
+
+// verifyPatchedHook, when set by tests, cross-checks every patched candidate
+// against the full evaluation of the same style.
+var verifyPatchedHook func(r *rebuilder, memo *nodeMemo, sorted []int32, st style, sc *buildScratch, cand candidate, err error, changed, added, removedKeys []int32)
+
+// errPatchBail signals that a style's extent could not be patched and must
+// be evaluated from scratch; it never escapes the rebuilder.
+type patchBail struct{}
+
+func (patchBail) Error() string { return "core: extent patch bailed" }
+
+// fastSplit mirrors rebuilder.split with old-tree correspondence: old is
+// the previous-generation node covering this subset's regions, and changed
+// (geometry differs), added (not under old), removed (stable keys under old
+// but gone from the subset) describe exactly how the sets differ. A clean
+// corresponded subtree splices without any verification walk; a dirty path
+// node re-derives its candidates by patching old's memo.
+func (r *rebuilder) fastSplit(sub subset, old *Node, changed, added, removedKeys []int32, sc *buildScratch) (ChildRef, error) {
+	ids := sub[r.b.keys[0]]
+	if len(ids) == 1 {
+		return ChildRef{Data: int(ids[0])}, nil
+	}
+	if len(changed)+len(added)+len(removedKeys) == 0 && old != nil && old.NumRegions == len(ids) {
+		// Corresponded and clean: the previous build is the build.
+		return r.copySubtree(ChildRef{Node: old}), nil
+	}
+	if old == nil || old.memo == nil ||
+		old.NumRegions != len(ids)-len(added)+len(removedKeys) ||
+		4*(len(changed)+len(added)+len(removedKeys)) > len(ids) {
+		return r.freshSplit(sub, sc)
+	}
+	// Mark the affected stable keys and the subset membership once for this
+	// node; every style's walks and entry patches test against these marks.
+	// A region is a member of the old node's leaf set iff it is a non-added
+	// member of the new subset or was removed from it this generation —
+	// neighbors outside both sets always count as "outside the left half".
+	fs := &r.fast
+	fs.dEpoch++
+	for _, id := range ids {
+		fs.subMark[r.newKeyOf[id]] = fs.dEpoch
+	}
+	for _, x := range changed {
+		fs.dirtyMark[r.newKeyOf[x]] = fs.dEpoch
+	}
+	for _, x := range added {
+		k := r.newKeyOf[x]
+		fs.dirtyMark[k] = fs.dEpoch
+		fs.addMark[k] = fs.dEpoch
+	}
+	for _, k := range removedKeys {
+		fs.dirtyMark[k] = fs.dEpoch
+	}
+
+	n := len(ids)
+	b := r.b
+	half := n / 2
+	counts := []int{half}
+	if n%2 == 1 {
+		counts = []int{(n + 1) / 2, (n - 1) / 2}
+	}
+	memo := &nodeMemo{}
+	var best candidate
+	found := false
+	var firstErr error
+	for _, dim := range b.opts.dims {
+		for _, byMax := range b.opts.sortKeys {
+			for _, k := range counts {
+				st := style{dim: dim, sortByMax: byMax, leftCount: k}
+				sorted := sub[keyIdx(dim, byMax)]
+				cand, err := r.patchEvaluate(sorted, st, old.memo, changed, added, removedKeys, sc)
+				if verifyPatchedHook != nil {
+					verifyPatchedHook(r, old.memo, sorted, st, sc, cand, err, changed, added, removedKeys)
+				}
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+				memo.cands = append(memo.cands, b.memoCandOf(&cand))
+				if !found {
+					best, found = cand, true
+					continue
+				}
+				if cand.points < best.points ||
+					(cand.points == best.points && b.opts.tieBreak && b.candProb(&cand) < b.candProb(&best)-1e-12) {
+					best = cand
+				}
+			}
+		}
+	}
+	if !found {
+		return ChildRef{}, firstErr
+	}
+	memo.winnerKey = int8(keyIdx(best.style.dim, best.style.sortByMax))
+
+	k := best.style.leftCount
+	sortedW := sub[keyIdx(best.style.dim, best.style.sortByMax)]
+	if best.left == nil {
+		best.left = make([]int, 0, k)
+		for _, id := range sortedW[:k] {
+			best.left = append(best.left, int(id))
+		}
+	}
+	leftSub, rightSub := b.partitionSubset(sub, best.left, sc)
+
+	var left, right ChildRef
+	var lerr, rerr error
+	if route, ok := r.routeChildren(sortedW, k, old, memo.winnerKey, changed, added, removedKeys); ok {
+		left, lerr = r.fastSplit(leftSub, nodeOf(old.Left), route.chL, route.adL, route.rmL, sc)
+		if lerr == nil {
+			right, rerr = r.fastSplit(rightSub, nodeOf(old.Right), route.chR, route.adR, route.rmR, sc)
+		}
+	} else {
+		left, lerr = r.freshSplit(leftSub, sc)
+		if lerr == nil {
+			right, rerr = r.freshSplit(rightSub, sc)
+		}
+	}
+	if lerr != nil {
+		return ChildRef{}, lerr
+	}
+	if rerr != nil {
+		return ChildRef{}, rerr
+	}
+	return ChildRef{Node: &Node{
+		Dim:        best.style.dim,
+		Polylines:  best.polylines,
+		CutLo:      best.cutLo,
+		CutHi:      best.cutHi,
+		Left:       left,
+		Right:      right,
+		Pruned:     best.pruned,
+		Truncated:  best.truncated,
+		NumRegions: n,
+		InterProb:  best.interProb,
+		memo:       memo,
+	}}, nil
+}
+
+// freshSplit handles a node with no usable correspondence without giving up
+// on correspondence below it. An exact clean splice is tried first, then
+// findNear searches the previous generation for a node whose leaf set
+// nearly matches this subset and re-enters the corresponded walk there;
+// only when both miss does the node pay a plain partition search — and its
+// children get the same chances. The distinction from rebuilder.split
+// matters after a winner flip: the flipped node's halves match nothing in
+// the old tree, but its grandchildren — the quarters of the transposed
+// split order — nearly coincide with old quarters, and re-anchoring there
+// turns a subtree-sized rebuild into two boundary-band patches.
+func (r *rebuilder) freshSplit(sub subset, sc *buildScratch) (ChildRef, error) {
+	ids := sub[r.b.keys[0]]
+	if len(ids) == 1 {
+		return ChildRef{Data: int(ids[0])}, nil
+	}
+	if old := r.findSplice(ids); old != nil {
+		return r.copySubtree(ChildRef{Node: old}), nil
+	}
+	if alt, ch, ad, rm, ok := r.findNear(ids); ok {
+		return r.fastSplit(sub, alt, ch, ad, rm, sc)
+	}
+	cand, err := r.b.choosePartition(sub, sc)
+	if err != nil {
+		return ChildRef{}, err
+	}
+	leftSub, rightSub := r.b.partitionSubset(sub, cand.left, sc)
+	left, err := r.freshSplit(leftSub, sc)
+	if err != nil {
+		return ChildRef{}, err
+	}
+	right, err := r.freshSplit(rightSub, sc)
+	if err != nil {
+		return ChildRef{}, err
+	}
+	return ChildRef{Node: &Node{
+		Dim:        cand.style.dim,
+		Polylines:  cand.polylines,
+		CutLo:      cand.cutLo,
+		CutHi:      cand.cutHi,
+		Left:       left,
+		Right:      right,
+		Pruned:     cand.pruned,
+		Truncated:  cand.truncated,
+		NumRegions: len(ids),
+		InterProb:  cand.interProb,
+		memo:       cand.memo,
+	}}, nil
+}
+
+// findNearMin bounds the subset size worth probing: below it a plain
+// evaluation costs little and near-matches mostly fall to exact splices.
+const findNearMin = 64
+
+// findNear searches the previous generation for a node whose leaf set is
+// within the corresponded walk's too-dirty budget of ids, returning it with
+// the difference lists that re-anchor fastSplit there. Candidates come from
+// walking up the old tree from a few sampled members' leaves to the
+// ancestors of comparable cardinality; each is verified with one O(subset)
+// mark-and-diff, which bounds the cost of a miss by a constant fraction of
+// the plain search the caller falls back to.
+func (r *rebuilder) findNear(ids []int32) (alt *Node, changed, added, removedKeys []int32, ok bool) {
+	n := len(ids)
+	if n < findNearMin {
+		return nil, nil, nil, nil, false
+	}
+	inc := r.inc
+	fs := &r.fast
+	fs.dEpoch++
+	for _, id := range ids {
+		fs.subMark[r.newKeyOf[id]] = fs.dEpoch
+	}
+	var cands []*Node
+	sample := func(id int32) {
+		k := r.newKeyOf[id]
+		if int(k) >= len(inc.leafParent) {
+			return
+		}
+		nid := inc.leafParent[k]
+		for nid >= 0 {
+			node := inc.tree.Nodes[nid]
+			m := node.NumRegions
+			d := m - n
+			if d < 0 {
+				d = -d
+			}
+			if 4*d <= n && node.memo != nil {
+				dup := false
+				for _, c := range cands {
+					if c == node {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					cands = append(cands, node)
+				}
+			}
+			if m > n+n/4 {
+				break
+			}
+			nid = inc.parent[nid]
+		}
+	}
+	sample(ids[0])
+	sample(ids[n/2])
+	sample(ids[n-1])
+	for _, old := range cands {
+		if ch, ad, rm, ok := r.diffAgainst(old, ids); ok {
+			return old, ch, ad, rm, true
+		}
+	}
+	return nil, nil, nil, nil, false
+}
+
+// diffAgainst computes the difference lists between an old node's leaf set
+// and the new subset (whose keys the caller marked in subMark), rejecting
+// pairs beyond the too-dirty budget fastSplit would refuse anyway.
+func (r *rebuilder) diffAgainst(old *Node, ids []int32) (changed, added, removedKeys []int32, ok bool) {
+	n := len(ids)
+	r.oldEpoch++
+	removedKeys = r.collectRemoved(ChildRef{Node: old}, nil)
+	if 4*len(removedKeys) > n {
+		return nil, nil, nil, false
+	}
+	for _, id := range ids {
+		k := r.newKeyOf[id]
+		if r.oldMark[k] == r.oldEpoch {
+			if r.dirty[k] {
+				changed = append(changed, id)
+			}
+		} else {
+			added = append(added, id)
+		}
+	}
+	if 4*(len(changed)+len(added)+len(removedKeys)) > n {
+		return nil, nil, nil, false
+	}
+	return changed, added, removedKeys, true
+}
+
+// collectRemoved marks the old subtree's leaf keys (like collectOld) while
+// collecting those absent from the subMark-ed new subset.
+func (r *rebuilder) collectRemoved(c ChildRef, out []int32) []int32 {
+	if c.IsData() {
+		k := r.inc.keyOfOld[c.Data]
+		r.oldMark[k] = r.oldEpoch
+		if r.fast.subMark[k] != r.fast.dEpoch {
+			out = append(out, k)
+		}
+		return out
+	}
+	out = r.collectRemoved(c.Node.Left, out)
+	return r.collectRemoved(c.Node.Right, out)
+}
+
+func nodeOf(c ChildRef) *Node {
+	if c.IsData() {
+		return nil
+	}
+	return c.Node
+}
+
+func sizeOf(c ChildRef) int {
+	if c.IsData() {
+		return 1
+	}
+	return c.Node.NumRegions
+}
+
+// childRoute carries the per-child difference lists of a corresponded cut.
+type childRoute struct {
+	chL, adL, chR, adR []int32
+	rmL, rmR           []int32
+}
+
+// routeChildren distributes the node's difference lists onto the winner's
+// two halves by pairing the new left half with the old left subtree and the
+// new right half with the old right subtree. Membership in the old halves is
+// a (value, old index) comparison against the OLD winner's split threshold —
+// valid for any member of the old leaf set, whatever style wins now — so
+// correspondence survives winner flips: a same-dimension flip (min-sort vs
+// max-sort) moves only a few regions between halves and the children still
+// patch, while a cross-dimension flip yields half-sized difference lists
+// that trip the children's too-dirty guard into the plain rebuild. Clean
+// regions whose membership flipped are found by scanning the winner's order
+// (they are not contiguous runs when the sort key changed).
+func (r *rebuilder) routeChildren(sorted []int32, k int, old *Node, winnerKey int8, changed, added, removedKeys []int32) (childRoute, bool) {
+	// The old winner's own left count is the old left subtree's size; the
+	// routing threshold must be that exact evaluation's.
+	oldLeftSize := int32(sizeOf(old.Left))
+	var mc *memoCand
+	for i := range old.memo.cands {
+		c := &old.memo.cands[i]
+		if c.key == old.memo.winnerKey && c.leftCount == oldLeftSize {
+			mc = c
+			break
+		}
+	}
+	if mc == nil {
+		return childRoute{}, false
+	}
+	oldLL := r.inc.lookupOld(mc.lastLeftKey)
+	if oldLL < 0 {
+		return childRoute{}, false
+	}
+	kidx := int(winnerKey)
+	oldKidx := int(old.memo.winnerKey)
+	llID := sorted[k-1]
+	llVal := r.b.spans[llID].keyVal(kidx)
+	inLNew := func(idx int32) bool {
+		v := r.b.spans[idx].keyVal(kidx)
+		return v < llVal || (v == llVal && idx <= llID)
+	}
+	inLOld := func(key int32) bool {
+		oi := r.inc.lookupOld(key)
+		if oi < 0 {
+			return false
+		}
+		v := r.inc.spans[oi].keyVal(oldKidx)
+		return v < mc.lastLeftVal || (v == mc.lastLeftVal && oi <= oldLL)
+	}
+
+	var rt childRoute
+	for _, x := range changed {
+		key := r.newKeyOf[x]
+		is, was := inLNew(x), inLOld(key)
+		switch {
+		case was && is:
+			rt.chL = append(rt.chL, x)
+		case !was && !is:
+			rt.chR = append(rt.chR, x)
+		case was && !is:
+			rt.rmL = append(rt.rmL, key)
+			rt.adR = append(rt.adR, x)
+		default:
+			rt.adL = append(rt.adL, x)
+			rt.rmR = append(rt.rmR, key)
+		}
+	}
+	for _, x := range added {
+		if inLNew(x) {
+			rt.adL = append(rt.adL, x)
+		} else {
+			rt.adR = append(rt.adR, x)
+		}
+	}
+	for _, key := range removedKeys {
+		if inLOld(key) {
+			rt.rmL = append(rt.rmL, key)
+		} else {
+			rt.rmR = append(rt.rmR, key)
+		}
+	}
+	// Clean membership flips: every clean region routed to the half the old
+	// threshold disagrees with. The node already costs O(subset) in mark
+	// setup, so the full scan adds a constant factor, not a new term.
+	fs := &r.fast
+	for p, id := range sorted {
+		key := r.newKeyOf[id]
+		if fs.dirtyMark[key] == fs.dEpoch {
+			continue
+		}
+		was := inLOld(key)
+		if is := p < k; was == is {
+			continue
+		} else if is {
+			rt.adL = append(rt.adL, id)
+			rt.rmR = append(rt.rmR, key)
+		} else {
+			rt.rmL = append(rt.rmL, key)
+			rt.adR = append(rt.adR, id)
+		}
+	}
+	return rt, true
+}
+
+// patchEvaluate produces one style's candidate at a corresponded node by
+// patching the old memo's extent, falling back to the full evaluation when
+// the style has no usable memo or the difference is too large. The result
+// is bit-identical to evaluate over the same inputs.
+func (r *rebuilder) patchEvaluate(sorted []int32, st style, memo *nodeMemo, changed, added, removedKeys []int32, sc *buildScratch) (candidate, error) {
+	cand, err := r.tryPatch(sorted, st, memo, changed, added, removedKeys)
+	if _, bail := err.(patchBail); bail {
+		return r.b.evaluate(sorted, st, sc)
+	}
+	return cand, err
+}
+
+func (r *rebuilder) tryPatch(sorted []int32, st style, memo *nodeMemo, changed, added, removedKeys []int32) (candidate, error) {
+	b := r.b
+	n := len(sorted)
+	k := st.leftCount
+	kidx := keyIdx(st.dim, st.sortByMax)
+	mc := memo.find(int8(kidx), k)
+	if mc == nil {
+		return candidate{}, patchBail{}
+	}
+	oldLL := r.inc.lookupOld(mc.lastLeftKey)
+	if oldLL < 0 {
+		return candidate{}, patchBail{}
+	}
+	llID := sorted[k-1]
+	llVal := b.spans[llID].keyVal(kidx)
+	inLNew := func(idx int32) bool {
+		v := b.spans[idx].keyVal(kidx)
+		return v < llVal || (v == llVal && idx <= llID)
+	}
+	lookupNew := func(key int32) int32 {
+		if int(key) >= len(r.newIdxOf) {
+			return -1
+		}
+		return r.newIdxOf[key]
+	}
+	fs := &r.fast
+	inLNewKey := func(key int32) bool {
+		if fs.subMark[key] != fs.dEpoch {
+			return false // not in this node's subset at all
+		}
+		ni := lookupNew(key)
+		return ni >= 0 && inLNew(ni)
+	}
+	inLOld := func(key int32) bool {
+		// Old-subset membership first: a non-added member of the new subset,
+		// or a key removed from this node's subset this generation.
+		if fs.subMark[key] == fs.dEpoch {
+			if fs.addMark[key] == fs.dEpoch {
+				return false
+			}
+		} else if fs.dirtyMark[key] != fs.dEpoch {
+			return false
+		}
+		oi := r.inc.lookupOld(key)
+		if oi < 0 {
+			return false
+		}
+		v := r.inc.spans[oi].keyVal(kidx)
+		return v < mc.lastLeftVal || (v == mc.lastLeftVal && oi <= oldLL)
+	}
+
+	// Assemble the affected members of this style's halves.
+	ams := fs.ams[:0]
+	for _, x := range changed {
+		key := r.newKeyOf[x]
+		was, is := inLOld(key), inLNew(x)
+		if was || is {
+			ams = append(ams, aMember{key: key, newIdx: x, was: was, is: is})
+		}
+	}
+	for _, x := range added {
+		if inLNew(x) {
+			ams = append(ams, aMember{key: r.newKeyOf[x], newIdx: x, was: false, is: true})
+		}
+	}
+	for _, key := range removedKeys {
+		if inLOld(key) {
+			// A key removed from this node's subset may still exist in the
+			// subdivision (it crossed to a sibling subtree): keep its new
+			// index so the recovery scan below can walk its ring.
+			ams = append(ams, aMember{key: key, newIdx: lookupNew(key), was: true, is: false})
+		}
+	}
+	fs.flEpoch++
+	flips := fs.flips[:0]
+	for p := k - 1; p >= 0; p-- {
+		id := sorted[p]
+		key := r.newKeyOf[id]
+		if fs.dirtyMark[key] == fs.dEpoch {
+			continue
+		}
+		if inLOld(key) {
+			break
+		}
+		flips = append(flips, aMember{key: key, newIdx: id, was: false, is: true})
+		fs.flipMark[key] = fs.flEpoch
+	}
+	for p := k; p < n; p++ {
+		id := sorted[p]
+		key := r.newKeyOf[id]
+		if fs.dirtyMark[key] == fs.dEpoch {
+			continue
+		}
+		if !inLOld(key) {
+			break
+		}
+		flips = append(flips, aMember{key: key, newIdx: id, was: true, is: false})
+		fs.flipMark[key] = fs.flEpoch
+	}
+	ams = append(ams, flips...)
+	fs.ams, fs.flips = ams, flips
+	if 4*len(ams) > n {
+		return candidate{}, patchBail{}
+	}
+	marked := func(key int32) bool {
+		return fs.dirtyMark[key] == fs.dEpoch || fs.flipMark[key] == fs.flEpoch
+	}
+
+	// Patch the extent: keep cached entries not touching an affected
+	// region (re-testing those facing one), then add the affected members'
+	// own surviving edges and the re-surfaced edges of their clean
+	// neighbors, and restore extraction order.
+	ents := fs.ents[:0]
+	for _, e := range mc.entries {
+		if marked(e.Owner) {
+			continue
+		}
+		oi := lookupNew(e.Owner)
+		if oi < 0 {
+			return candidate{}, patchBail{}
+		}
+		nbrs := b.sub.NbrKeys(int(oi))
+		if int(e.Edge) >= len(nbrs) {
+			return candidate{}, patchBail{}
+		}
+		if nk := nbrs[e.Edge]; nk >= 0 && marked(nk) && inLNewKey(nk) {
+			continue
+		}
+		ents = append(ents, e)
+	}
+	patchedFrom := len(ents)
+	for _, a := range ams {
+		if a.is {
+			nbrs := b.sub.NbrKeys(int(a.newIdx))
+			for j, nk := range nbrs {
+				if nk >= 0 && inLNewKey(nk) {
+					continue
+				}
+				ents = append(ents, region.BoundaryEntry{Owner: a.key, Edge: int32(j)})
+			}
+			continue
+		}
+		if !a.was || a.newIdx < 0 {
+			continue
+		}
+		// The member left the half: edges its clean in-half neighbors share
+		// with it stop cancelling and re-surface, owned by the neighbor.
+		fs.seenEpoch++
+		for _, nk := range b.sub.NbrKeys(int(a.newIdx)) {
+			if nk < 0 || marked(nk) || fs.seenMark[nk] == fs.seenEpoch {
+				continue
+			}
+			fs.seenMark[nk] = fs.seenEpoch
+			if !inLNewKey(nk) {
+				continue
+			}
+			ci := lookupNew(nk)
+			for j2, nk2 := range b.sub.NbrKeys(int(ci)) {
+				if nk2 == a.key {
+					ents = append(ents, region.BoundaryEntry{Owner: nk, Edge: int32(j2)})
+				}
+			}
+		}
+	}
+	cutLo := math.Inf(1)
+	for _, id := range sorted[k:] {
+		cutLo = math.Min(cutLo, b.spans[id].canonMin(st.dim))
+	}
+	cutHi := math.Inf(-1)
+	for _, id := range sorted[:k] {
+		cutHi = math.Max(cutHi, b.spans[id].canonMax(st.dim))
+	}
+
+	// Unchanged evaluation: no cached entry dropped (the head is a filtered
+	// subsequence of the memo, so equal lengths mean identity), none added,
+	// and the cuts and left count match — reuse the finished candidate.
+	if patchedFrom == len(ents) && patchedFrom == len(mc.entries) &&
+		mc.leftCount == int32(k) && cutLo == mc.cutLo && cutHi == mc.cutHi {
+		fs.ents = ents[:0]
+		return candidate{
+			style: st, polylines: mc.polylines, points: int(mc.points),
+			cutLo: cutLo, cutHi: cutHi,
+			sorted:    sorted,
+			pruned:    mc.pruned,
+			truncated: mc.truncated,
+			entries:   mc.entries,
+		}, nil
+	}
+
+	// Surviving cached entries are already in extraction order (clean
+	// owners keep their relative rank); sort the patched tail and merge.
+	tail := ents[patchedFrom:]
+	entLess := func(a, b region.BoundaryEntry) bool {
+		ai, bi := lookupNew(a.Owner), lookupNew(b.Owner)
+		av, bv := r.b.spans[ai].keyVal(kidx), r.b.spans[bi].keyVal(kidx)
+		if av != bv {
+			return av < bv
+		}
+		if ai != bi {
+			return ai < bi
+		}
+		return a.Edge < b.Edge
+	}
+	sort.Slice(tail, func(x, y int) bool { return entLess(tail[x], tail[y]) })
+	merged := make([]region.BoundaryEntry, 0, len(ents))
+	head := ents[:patchedFrom]
+	hi, ti := 0, 0
+	for hi < len(head) && ti < len(tail) {
+		if entLess(tail[ti], head[hi]) {
+			merged = append(merged, tail[ti])
+			ti++
+		} else {
+			merged = append(merged, head[hi])
+			hi++
+		}
+	}
+	merged = append(merged, head[hi:]...)
+	merged = append(merged, tail[ti:]...)
+	fs.ents = ents[:0]
+
+	segs := fs.segs[:0]
+	for _, e := range merged {
+		segs = append(segs, b.sub.EdgeSegment(int(lookupNew(e.Owner)), int(e.Edge)))
+	}
+	fs.segs = segs[:0]
+	return b.finishCandidate(st, sorted, nil, nil, cutLo, cutHi, segs, merged)
+}

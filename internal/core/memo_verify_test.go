@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/region"
+)
+
+// verifyPatched is the verifyPatchedHook used by the churn-identity tests:
+// every candidate the memoized path produces — patched extent or reused
+// finished candidate — is cross-checked against the from-scratch evaluation
+// of the same style over the same inputs.
+func verifyPatched(r *rebuilder, memo *nodeMemo, sorted []int32, st style, sc *buildScratch, cand candidate, err error, changed, added, removedKeys []int32) {
+	ref, rerr := r.b.evaluate(sorted, st, sc)
+	if (err != nil) != (rerr != nil) {
+		panic(fmt.Sprintf("style %+v n=%d: err %v vs ref %v", st, len(sorted), err, rerr))
+	}
+	if err != nil {
+		return
+	}
+	if cand.points != ref.points || cand.cutLo != ref.cutLo || cand.cutHi != ref.cutHi ||
+		cand.pruned != ref.pruned || cand.truncated != ref.truncated ||
+		len(cand.polylines) != len(ref.polylines) || len(cand.entries) != len(ref.entries) {
+		panic(fmt.Sprintf("style %+v n=%d: patched candidate differs from evaluation\n"+
+			" got  points=%d cuts=(%v,%v) pruned=%v truncated=%v polylines=%d entries=%d\n"+
+			" want points=%d cuts=(%v,%v) pruned=%v truncated=%v polylines=%d entries=%d\n"+
+			" changed=%v added=%v removed=%v",
+			st, len(sorted),
+			cand.points, cand.cutLo, cand.cutHi, cand.pruned, cand.truncated, len(cand.polylines), len(cand.entries),
+			ref.points, ref.cutLo, ref.cutHi, ref.pruned, ref.truncated, len(ref.polylines), len(ref.entries),
+			changed, added, removedKeys))
+	}
+	for i := range cand.polylines {
+		if len(cand.polylines[i]) != len(ref.polylines[i]) {
+			panic(fmt.Sprintf("style %+v n=%d: polyline %d len %d != %d", st, len(sorted), i, len(cand.polylines[i]), len(ref.polylines[i])))
+		}
+		for j := range cand.polylines[i] {
+			if cand.polylines[i][j] != ref.polylines[i][j] {
+				panic(fmt.Sprintf("style %+v n=%d: polyline %d point %d %v != %v", st, len(sorted), i, j, cand.polylines[i][j], ref.polylines[i][j]))
+			}
+		}
+	}
+}
+
+// diffNode reports the first structural difference between two trees; a
+// diagnostic for identity failures.
+func diffNode(t *testing.T, a, b *Node, depth int) bool {
+	if (a == nil) != (b == nil) {
+		t.Logf("depth %d: nil mismatch", depth)
+		return true
+	}
+	if a == nil {
+		return false
+	}
+	if a.Dim != b.Dim || a.CutLo != b.CutLo || a.CutHi != b.CutHi ||
+		a.NumRegions != b.NumRegions || a.InterProb != b.InterProb ||
+		a.Pruned != b.Pruned || a.Truncated != b.Truncated ||
+		len(a.Polylines) != len(b.Polylines) {
+		t.Logf("depth %d n=%d: got dim=%v lo=%v hi=%v ip=%v plines=%d pr=%v tr=%v | want dim=%v lo=%v hi=%v ip=%v plines=%d pr=%v tr=%v",
+			depth, b.NumRegions,
+			a.Dim, a.CutLo, a.CutHi, a.InterProb, len(a.Polylines), a.Pruned, a.Truncated,
+			b.Dim, b.CutLo, b.CutHi, b.InterProb, len(b.Polylines), b.Pruned, b.Truncated)
+		return true
+	}
+	if !a.Left.IsData() || !b.Left.IsData() {
+		if a.Left.IsData() != b.Left.IsData() {
+			t.Logf("depth %d n=%d: left data mismatch", depth, a.NumRegions)
+			return true
+		}
+		if diffNode(t, a.Left.Node, b.Left.Node, depth+1) {
+			return true
+		}
+	} else if a.Left.Data != b.Left.Data {
+		t.Logf("depth %d: left data %d != %d", depth, a.Left.Data, b.Left.Data)
+		return true
+	}
+	if !a.Right.IsData() || !b.Right.IsData() {
+		if a.Right.IsData() != b.Right.IsData() {
+			t.Logf("depth %d n=%d: right data mismatch", depth, a.NumRegions)
+			return true
+		}
+		return diffNode(t, a.Right.Node, b.Right.Node, depth+1)
+	} else if a.Right.Data != b.Right.Data {
+		t.Logf("depth %d: right data %d != %d", depth, a.Right.Data, b.Right.Data)
+		return true
+	}
+	return false
+}
+
+// stepMoves applies a batch of pure position updates — the steady-state
+// churn shape, under which the site count and the style menu stay fixed.
+func (d *churnDriver) stepMoves(batch int) (*region.Subdivision, []int) {
+	d.t.Helper()
+	d.maint.BeginBatch()
+	for i := 0; i < batch; i++ {
+		ids, _ := d.maint.LiveSites()
+		id := ids[d.rng.Intn(len(ids))]
+		if _, err := d.maint.Move(id, geom.Pt(d.rng.Float64()*1000, d.rng.Float64()*1000)); err != nil {
+			d.t.Fatalf("move: %v", err)
+		}
+	}
+	dirty, removed := d.maint.BatchDelta()
+	ids, polys := d.maint.LiveCells()
+	sub, canonDirty, err := d.patch.Patch(ids, polys, dirty, removed)
+	if err != nil {
+		d.t.Fatalf("patch: %v", err)
+	}
+	return sub, canonDirty
+}
+
+// TestMemoChurnIdentity drives mixed add/remove/move churn with every
+// patched candidate cross-checked against its from-scratch evaluation, and
+// every generation's marshal compared against a cold Build. Mixed batches
+// change region-count parity, which reshuffles styles and flips winners, so
+// this exercises the fallback and near-correspondence recovery paths.
+func TestMemoChurnIdentity(t *testing.T) {
+	verifyPatchedHook = verifyPatched
+	defer func() { verifyPatchedHook = nil }()
+	for _, seed := range []int64{1, 2, 3} {
+		d, sub := newChurnDriver(t, 400, seed)
+		inc := NewIncremental()
+		if _, err := inc.Full(sub); err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 30; step++ {
+			next, canonDirty := d.step(4)
+			got, _, err := inc.Rebuild(next, canonDirty)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			want, err := Build(next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, _ := got.Marshal()
+			wb, _ := want.Marshal()
+			if !bytes.Equal(gb, wb) {
+				diffNode(t, got.Root, want.Root, 0)
+				t.Fatalf("seed %d step %d: marshal differs", seed, step)
+			}
+		}
+	}
+}
+
+// TestMemoChurnMoveOnlyIdentity pins the steady-state regime the gated
+// benchmark tier measures: move-only batches over a subset large enough to
+// exercise the finished-candidate reuse and the transposed-quarter
+// re-anchoring under near-tied winner flips.
+func TestMemoChurnMoveOnlyIdentity(t *testing.T) {
+	d, sub := newChurnDriver(t, 2500, 7)
+	inc := NewIncremental()
+	if _, err := inc.Full(sub); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 12; step++ {
+		next, canonDirty := d.stepMoves(8)
+		got, _, err := inc.Rebuild(next, canonDirty)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want, err := Build(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, _ := got.Marshal()
+		wb, _ := want.Marshal()
+		if !bytes.Equal(gb, wb) {
+			diffNode(t, got.Root, want.Root, 0)
+			t.Fatalf("step %d: marshal differs", step)
+		}
+	}
+}

@@ -26,7 +26,7 @@ func (t *Tree) Page(params wire.Params) (*Paged, error) {
 		return &Paged{Tree: t, Params: params, Layout: wire.EmptyLayout(params.PacketCapacity)}, nil
 	}
 	specs := make([]wire.NodeSpec, 0, len(t.Nodes))
-	parentOf := make(map[int]int, len(t.Nodes))
+	parentOf := make([]int, len(t.Nodes))
 	parentOf[t.Root.ID] = -1
 	for _, n := range t.Nodes { // already breadth-first
 		var children []int

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"airindex/internal/geom"
+	"airindex/internal/region"
 )
 
 // style is one of the paper's partition styles: a dimension, a sort key
@@ -27,9 +28,21 @@ type candidate struct {
 	points      int // partition size in points (2 points = 4 coordinates)
 	cutLo       float64
 	cutHi       float64
-	interProb   float64
-	pruned      bool // Algorithm 1 removed extent segments
-	truncated   bool // some segment was cut at the CutLo line
+	// interProb is computed lazily (candProb): the band-area clip it needs
+	// dominates build time, and it only matters when partition sizes tie.
+	// Because it is a pure function of (sorted, dim, cutLo, cutHi), laziness
+	// never changes which candidate wins, only when the work happens.
+	interProb float64
+	probed    bool
+	sorted    []int32 // the style's sort order, kept for the lazy computation
+	pruned    bool    // Algorithm 1 removed extent segments
+	truncated bool    // some segment was cut at the CutLo line
+
+	// entries is the raw (pre-prune) extent in (owner, edge) form; memoized
+	// builds retain it for incremental extent patching. memo rides on the
+	// winning candidate back to the node.
+	entries []region.BoundaryEntry
+	memo    *nodeMemo
 }
 
 // regionSpan caches a region's canonical extremes for both dimensions.
@@ -56,7 +69,7 @@ func (r regionSpan) canonMax(d Dimension) float64 {
 // space, whose region ids arrive already sorted by the style's key (with
 // ids breaking ties) — either propagated down from the root orders or
 // re-sorted by the reference path.
-func (b *builder) evaluate(sorted []int32, st style) (candidate, error) {
+func (b *builder) evaluate(sorted []int32, st style, sc *buildScratch) (candidate, error) {
 	n := len(sorted)
 	k := st.leftCount
 	if k == weightedSplit {
@@ -102,7 +115,22 @@ func (b *builder) evaluate(sorted []int32, st style) (candidate, error) {
 
 	// Construct the extent of the lefthand subspace and prune/truncate it
 	// against the vertical line x = right_lmc (Algorithm 1, lines 4-16).
-	extent := b.sub.BoundarySegments(left)
+	var extent []geom.Segment
+	var entries []region.BoundaryEntry
+	if b.opts.memoize && b.opts.weights == nil {
+		entries, extent = b.sub.BoundaryEntriesInto(left, &sc.bs, nil, nil)
+	} else {
+		extent = b.sub.BoundarySegmentsInto(left, &sc.bs, nil)
+	}
+	return b.finishCandidate(st, sorted, left, right, cutLo, cutHi, extent, entries)
+}
+
+// finishCandidate runs the tail of Algorithm 1 — prune and truncate the
+// extent against the CutLo line, then chain the survivors into polylines —
+// shared verbatim by the from-scratch evaluation and the incremental
+// extent-patching path, so both produce bit-identical candidates.
+func (b *builder) finishCandidate(st style, sorted []int32, left, right []int, cutLo, cutHi float64, extent []geom.Segment, entries []region.BoundaryEntry) (candidate, error) {
+	n := len(sorted)
 	var kept []geom.Segment
 	var pruned, truncated bool
 	const tol = geom.Eps
@@ -140,7 +168,9 @@ func (b *builder) evaluate(sorted []int32, st style) (candidate, error) {
 			return candidate{
 				style: st, left: left, right: right,
 				cutLo: cutLo, cutHi: cutHi,
-				pruned: true, // the whole extent fell left of the line
+				sorted:  sorted,
+				pruned:  true, // the whole extent fell left of the line
+				entries: entries,
 			}, nil
 		}
 		return candidate{}, fmt.Errorf("core: empty partition for style %+v over %d regions", st, n)
@@ -162,10 +192,20 @@ func (b *builder) evaluate(sorted []int32, st style) (candidate, error) {
 		style: st, left: left, right: right,
 		polylines: polylines, points: points,
 		cutLo: cutLo, cutHi: cutHi,
-		interProb: b.interProb(sorted, st.dim, cutLo, cutHi),
+		sorted:    sorted,
 		pruned:    pruned,
 		truncated: truncated,
+		entries:   entries,
 	}, nil
+}
+
+// candProb memoizes the candidate's interlocking-band probability.
+func (b *builder) candProb(c *candidate) float64 {
+	if !c.probed {
+		c.interProb = b.interProb(c.sorted, c.style.dim, c.cutLo, c.cutHi)
+		c.probed = true
+	}
+	return c.interProb
 }
 
 // interProb returns the probability (under uniform queries) that a query in
@@ -201,7 +241,7 @@ const weightedSplit = -1
 // picks the one with the smallest partition size, breaking ties by the
 // lowest inter-prob (Section 4.2). Each style reads its pre-sorted id order
 // straight from the subset (the reference path re-sorts instead).
-func (b *builder) choosePartition(sub subset) (candidate, error) {
+func (b *builder) choosePartition(sub subset, sc *buildScratch) (candidate, error) {
 	n := len(sub[b.keys[0]])
 	half := n / 2
 	counts := []int{half}
@@ -220,6 +260,11 @@ func (b *builder) choosePartition(sub subset) (candidate, error) {
 		}
 	}
 
+	memoize := b.opts.memoize && b.opts.weights == nil && !b.opts.perNodeSort
+	var memo *nodeMemo
+	if memoize {
+		memo = &nodeMemo{}
+	}
 	var best candidate
 	found := false
 	var firstErr error
@@ -228,26 +273,55 @@ func (b *builder) choosePartition(sub subset) (candidate, error) {
 		if b.opts.perNodeSort {
 			sorted = b.resort(sub[b.keys[0]], st)
 		}
-		cand, err := b.evaluate(sorted, st)
+		cand, err := b.evaluate(sorted, st, sc)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
+		if memoize {
+			memo.cands = append(memo.cands, b.memoCandOf(&cand))
+		}
 		if !found {
 			best, found = cand, true
 			continue
 		}
 		if cand.points < best.points ||
-			(cand.points == best.points && b.opts.tieBreak && cand.interProb < best.interProb-1e-12) {
+			(cand.points == best.points && b.opts.tieBreak && b.candProb(&cand) < b.candProb(&best)-1e-12) {
 			best = cand
 		}
 	}
 	if !found {
 		return candidate{}, fmt.Errorf("core: no valid partition for %d regions: %w", n, firstErr)
 	}
+	if memoize {
+		memo.winnerKey = int8(keyIdx(best.style.dim, best.style.sortByMax))
+		best.memo = memo
+	}
 	return best, nil
+}
+
+// memoCandOf captures one evaluated style's rebuild memo: the raw extent
+// entries and the (value, stable key) pair of the last left element — the
+// split threshold — all renumbering-safe.
+func (b *builder) memoCandOf(c *candidate) memoCand {
+	k := c.style.leftCount
+	kidx := keyIdx(c.style.dim, c.style.sortByMax)
+	ll := c.sorted[k-1]
+	return memoCand{
+		key:         int8(kidx),
+		pruned:      c.pruned,
+		truncated:   c.truncated,
+		leftCount:   int32(k),
+		points:      int32(c.points),
+		lastLeftVal: b.spans[ll].keyVal(kidx),
+		lastLeftKey: int32(b.sub.Key(int(ll))),
+		cutLo:       c.cutLo,
+		cutHi:       c.cutHi,
+		entries:     c.entries,
+		polylines:   c.polylines,
+	}
 }
 
 // resort re-derives a style's sorted order from scratch for the current

@@ -36,6 +36,17 @@ type ChurnPoint struct {
 	AvgEpochRestarts float64 // whole-query restarts forced by swaps, per query
 	RestartedFrac    float64 // fraction of queries that hit at least one swap
 
+	// Cut latency: the off-path compile cost of each generation cut
+	// (incremental dirty-subtree rebuild, or a full rebuild when the batch
+	// is large) and the end-to-end reconfiguration latency including
+	// publish, from the server's swap histograms. Milliseconds.
+	CutBuildP50  float64
+	CutBuildP90  float64
+	CutBuildP99  float64
+	SwapP50      float64
+	SwapP99      float64
+	DirtyPermill int64 // rebuilt-node fraction of the last cut, permille
+
 	// Obs holds the cell's full observability snapshot — the live server's
 	// frame/connection/swap metrics (including the swap-latency histogram)
 	// and the client's distributions — keyed "server" and "client" (JSON
@@ -213,7 +224,16 @@ func runChurnCell(ds dataset.Dataset, capacity, churnOps, queries int, seed int6
 	pt.AvgEpochRestarts /= qf
 	pt.RestartedFrac = float64(restarted) / qf
 	pt.Swaps = int(sw.Current().Gen - 1)
-	pt.Obs = map[string]any{"server": srv.Metrics().Snapshot(), "client": cm.Snapshot()}
+	sm := srv.Metrics()
+	const ms = 1e6 // histogram samples are nanoseconds
+	cb, sl := sm.CutBuildNS.Snapshot(), sm.SwapLatencyNS.Snapshot()
+	pt.CutBuildP50 = float64(cb.P50) / ms
+	pt.CutBuildP90 = float64(cb.P90) / ms
+	pt.CutBuildP99 = float64(cb.P99) / ms
+	pt.SwapP50 = float64(sl.P50) / ms
+	pt.SwapP99 = float64(sl.P99) / ms
+	pt.DirtyPermill = sm.CutDirtyPermille.Load()
+	pt.Obs = map[string]any{"server": sm.Snapshot(), "client": cm.Snapshot()}
 
 	// Disconnect before draining: a connected client that has stopped
 	// reading would hold its connection short of the cycle boundary.
@@ -241,16 +261,29 @@ func ChurnTables(ps []ChurnPoint) string {
 		fmt.Fprintf(&b, "%-10d %8d %14.3f %14.3f %16.4f %16.4f\n",
 			p.Ops, p.Swaps, p.AvgLatency, p.AvgTuning, p.AvgEpochRestarts, p.RestartedFrac)
 	}
+	b.WriteString("\ncut latency (generation compile off the serving path, ms)\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %12s %8s\n",
+		"ops", "build p50", "build p90", "build p99", "swap p50", "swap p99", "dirty pm")
+	for _, p := range ps {
+		if p.Swaps == 0 {
+			fmt.Fprintf(&b, "%-10d %10s %10s %10s %12s %12s %8s\n", p.Ops, "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-10d %10.2f %10.2f %10.2f %12.2f %12.2f %8d\n",
+			p.Ops, p.CutBuildP50, p.CutBuildP90, p.CutBuildP99, p.SwapP50, p.SwapP99, p.DirtyPermill)
+	}
 	return b.String()
 }
 
 // ChurnCSV renders the sweep as comma-separated rows for external plotting.
 func ChurnCSV(ps []ChurnPoint) string {
 	var b strings.Builder
-	b.WriteString("dataset,ops,queries,swaps,avg_latency,avg_tuning,avg_epoch_restarts,restarted_frac\n")
+	b.WriteString("dataset,ops,queries,swaps,avg_latency,avg_tuning,avg_epoch_restarts,restarted_frac," +
+		"cut_build_p50_ms,cut_build_p90_ms,cut_build_p99_ms,swap_p50_ms,swap_p99_ms,dirty_permille\n")
 	for _, p := range ps {
-		fmt.Fprintf(&b, "%s,%d,%d,%d,%.4f,%.4f,%.4f,%.4f\n",
-			p.Dataset, p.Ops, p.Queries, p.Swaps, p.AvgLatency, p.AvgTuning, p.AvgEpochRestarts, p.RestartedFrac)
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%d\n",
+			p.Dataset, p.Ops, p.Queries, p.Swaps, p.AvgLatency, p.AvgTuning, p.AvgEpochRestarts, p.RestartedFrac,
+			p.CutBuildP50, p.CutBuildP90, p.CutBuildP99, p.SwapP50, p.SwapP99, p.DirtyPermill)
 	}
 	return b.String()
 }

@@ -166,13 +166,10 @@ func FromSubdivision(sub *region.Subdivision, globalIDs []int, dir *Directory, r
 	return f, nil
 }
 
-// compileShard builds one channel's program: weld the clipped pieces into
-// a shard-local subdivision, build and page its D-tree, and prefix the
-// channel directory (stamped with this channel) to the index packets.
-func compileShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion, capacity int, opts Options) (*Shard, error) {
-	if len(clips) == 0 {
-		return nil, fmt.Errorf("fabric: shard %d covers no regions", ch)
-	}
+// weldClips welds a shard's clipped pieces into its local subdivision and
+// extracts the bucket -> global-id mapping, shared by the from-scratch
+// compile and the snapshot restore.
+func weldClips(ch int, rect geom.Rect, clips []clippedRegion) (*region.Subdivision, []int, error) {
 	polys := make([]geom.Polygon, len(clips))
 	ids := make([]int, len(clips))
 	for i, c := range clips {
@@ -181,10 +178,24 @@ func compileShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion,
 	}
 	sub, err := region.New(rect, polys)
 	if err != nil {
-		return nil, fmt.Errorf("fabric: shard %d subdivision: %w", ch, err)
+		return nil, nil, fmt.Errorf("fabric: shard %d subdivision: %w", ch, err)
 	}
 	if err := sub.Validate(); err != nil {
-		return nil, fmt.Errorf("fabric: shard %d subdivision invalid: %w", ch, err)
+		return nil, nil, fmt.Errorf("fabric: shard %d subdivision invalid: %w", ch, err)
+	}
+	return sub, ids, nil
+}
+
+// compileShard builds one channel's program: weld the clipped pieces into
+// a shard-local subdivision, build and page its D-tree, and prefix the
+// channel directory (stamped with this channel) to the index packets.
+func compileShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion, capacity int, opts Options) (*Shard, error) {
+	if len(clips) == 0 {
+		return nil, fmt.Errorf("fabric: shard %d covers no regions", ch)
+	}
+	sub, ids, err := weldClips(ch, rect, clips)
+	if err != nil {
+		return nil, err
 	}
 	var buildOpts []core.BuildOption
 	if opts.BuildWorkers > 0 {

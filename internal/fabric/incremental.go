@@ -1,0 +1,342 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"airindex/internal/broadcast"
+	"airindex/internal/core"
+	"airindex/internal/geom"
+	"airindex/internal/region"
+	"airindex/internal/stream"
+	"airindex/internal/wire"
+)
+
+// Incremental shard cuts. The naive reconfiguration loop re-snapshots the
+// whole global diagram and re-clips every shard per Apply batch, then
+// recompiles each touched shard from scratch. The incremental path keeps
+// three pieces of cross-generation state and touches only what the batch's
+// dirty cells reach:
+//
+//	maintainer batch delta -> per-cell dirty bounding boxes (old cell union
+//	new cell) prefilter the shards a batch can possibly touch -> patchClips
+//	re-clips only the changed cells against a touched shard's rectangle and
+//	splices the rest of the previous clip sequence -> each shard's retained
+//	region.Patcher + core.Incremental rebuild only the dirty subtrees and
+//	patch the flat arena, exactly like the single-channel stream pipeline.
+//
+// Every product is pinned byte-identical to a from-scratch fabric build of
+// the same live set, and a shard none of the dirty boxes reach skips the
+// cut entirely — generation number, clips, program, and all.
+
+// shardCut reports how one shard's generation was produced.
+type shardCut struct {
+	Incremental bool // false: full shard rebuild (bootstrap, fallback, or large batch)
+	DirtyKeys   int  // canonical dirty regions handed to the shard's index rebuild
+	Spliced     int  // D-tree nodes copied from the shard's previous generation
+	Total       int  // D-tree nodes in the shard's new generation
+}
+
+// dirtyPermille returns the rebuilt-node fraction in permille (1000 for a
+// full rebuild), mirroring the single-channel cut metric.
+func (sc shardCut) dirtyPermille() int64 {
+	if !sc.Incremental || sc.Total == 0 {
+		return 1000
+	}
+	return int64((sc.Total - sc.Spliced) * 1000 / sc.Total)
+}
+
+// shardFullFraction is the dirty-region fraction above which a shard cut
+// falls back to a full rebuild, matching the stream compiler's threshold.
+const shardFullFraction = 0.25
+
+// shardCompiler carries one channel's compile state from generation to
+// generation: the shard-local welded tiling, the retained D-tree builder,
+// and the previous Shard (for arena patching and clip diffing). Not safe
+// for concurrent use; the Swapper runs at most one compile per channel at
+// a time.
+type shardCompiler struct {
+	dir      *Directory
+	ch       int
+	rect     geom.Rect
+	capacity int
+	opts     Options
+
+	patch *region.Patcher
+	inc   *core.Incremental
+	prev  *Shard
+}
+
+func newShardCompiler(dir *Directory, ch int, rect geom.Rect, capacity int, opts Options) *shardCompiler {
+	return &shardCompiler{dir: dir, ch: ch, rect: rect, capacity: capacity, opts: opts}
+}
+
+// reset drops all retained generation state; the next compile bootstraps.
+func (c *shardCompiler) reset() { c.patch, c.inc, c.prev = nil, nil, nil }
+
+func (c *shardCompiler) buildOpts() []core.BuildOption {
+	if c.opts.BuildWorkers > 0 {
+		return []core.BuildOption{core.WithBuildWorkers(c.opts.BuildWorkers)}
+	}
+	return nil
+}
+
+// finish pages, flattens (patching against the previous generation's arena
+// when one is retained), encodes, and assembles a built shard tree into a
+// publishable Shard, then retains it as the next compile's baseline.
+func (c *shardCompiler) finish(tree *core.Tree, sub *region.Subdivision, clips []clippedRegion) (*Shard, error) {
+	ids := make([]int, len(clips))
+	for i, cl := range clips {
+		ids[i] = cl.id
+	}
+	params := wire.DTreeParams(c.capacity)
+	paged, err := tree.Page(params)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d paging: %w", c.ch, err)
+	}
+	var prevFlat *core.FlatPaged
+	if c.prev != nil {
+		prevFlat = c.prev.Flat
+	}
+	flat := paged.FlattenPatched(prevFlat)
+	treePkts, err := flat.EncodePackets()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d encoding: %w", c.ch, err)
+	}
+	dirPkts, err := c.dir.EncodePackets(c.capacity, c.ch)
+	if err != nil {
+		return nil, err
+	}
+	indexPkts := make([][]byte, 0, len(dirPkts)+len(treePkts))
+	indexPkts = append(indexPkts, dirPkts...)
+	indexPkts = append(indexPkts, treePkts...)
+	bucketPackets := params.DataBucketPackets()
+	if bucketPackets > stream.MaxBucketPackets {
+		return nil, fmt.Errorf("fabric: capacity %d needs %d packets per bucket, wire limit %d", c.capacity, bucketPackets, stream.MaxBucketPackets)
+	}
+	m := c.opts.M
+	if m <= 0 {
+		m = broadcast.OptimalM(len(indexPkts), sub.N()*bucketPackets)
+	}
+	sched, err := broadcast.NewSchedule(len(indexPkts), sub.N(), bucketPackets, m)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d schedule: %w", c.ch, err)
+	}
+	prog := &stream.Program{
+		Capacity:     c.capacity,
+		IndexPackets: indexPkts,
+		Sched:        sched,
+		Data:         DataStamp(c.capacity, ids),
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	sh := &Shard{
+		Channel: c.ch,
+		Rect:    c.rect,
+		Sub:     sub,
+		IDs:     ids,
+		Tree:    tree,
+		Paged:   paged,
+		Flat:    flat,
+		Prog:    prog,
+		clips:   clips,
+	}
+	c.prev = sh
+	return sh, nil
+}
+
+// full compiles the shard from scratch through a fresh Patcher bootstrap
+// (coordinate-identical to compileShard's region.New, and leaving the
+// compiler able to patch forward) and retains the generation state.
+func (c *shardCompiler) full(clips []clippedRegion) (*Shard, error) {
+	if len(clips) == 0 {
+		c.reset()
+		return nil, fmt.Errorf("fabric: shard %d covers no regions", c.ch)
+	}
+	keys := make([]int, len(clips))
+	polys := make([]geom.Polygon, len(clips))
+	for i, cl := range clips {
+		keys[i] = cl.id
+		polys[i] = cl.poly
+	}
+	c.reset()
+	c.patch = region.NewPatcher(c.rect)
+	sub, _, err := c.patch.Patch(keys, polys, keys, nil)
+	if err != nil {
+		c.reset()
+		return nil, fmt.Errorf("fabric: shard %d subdivision: %w", c.ch, err)
+	}
+	if err := sub.Validate(); err != nil {
+		c.reset()
+		return nil, fmt.Errorf("fabric: shard %d subdivision invalid: %w", c.ch, err)
+	}
+	c.inc = core.NewIncremental(c.buildOpts()...)
+	tree, err := c.inc.Full(sub)
+	if err != nil {
+		c.reset()
+		return nil, fmt.Errorf("fabric: shard %d tree: %w", c.ch, err)
+	}
+	sh, err := c.finish(tree, sub, clips)
+	if err != nil {
+		c.reset()
+		return nil, err
+	}
+	return sh, nil
+}
+
+// compile produces the shard's next generation: incrementally when retained
+// state exists and the clip delta is small, from scratch otherwise. Any
+// incremental-path error falls back to a full rebuild (byte-identical
+// either way).
+func (c *shardCompiler) compile(clips []clippedRegion, dirty, removed []int) (*Shard, shardCut, error) {
+	if c.patch == nil || c.inc == nil || c.prev == nil ||
+		float64(len(dirty)+len(removed)) > shardFullFraction*float64(len(clips)) {
+		sh, err := c.full(clips)
+		return sh, shardCut{DirtyKeys: len(dirty)}, err
+	}
+	sh, cut, err := c.incremental(clips, dirty, removed)
+	if err != nil {
+		sh, ferr := c.full(clips)
+		return sh, shardCut{DirtyKeys: len(dirty)}, ferr
+	}
+	return sh, cut, nil
+}
+
+func (c *shardCompiler) incremental(clips []clippedRegion, dirty, removed []int) (*Shard, shardCut, error) {
+	keys := make([]int, len(clips))
+	polys := make([]geom.Polygon, len(clips))
+	for i, cl := range clips {
+		keys[i] = cl.id
+		polys[i] = cl.poly
+	}
+	sub, canonDirty, err := c.patch.Patch(keys, polys, dirty, removed)
+	if err != nil {
+		return nil, shardCut{}, err
+	}
+	tree, delta, err := c.inc.Rebuild(sub, canonDirty)
+	if err != nil {
+		return nil, shardCut{}, err
+	}
+	sh, err := c.finish(tree, sub, clips)
+	if err != nil {
+		return nil, shardCut{}, err
+	}
+	cut := shardCut{Incremental: true, DirtyKeys: len(canonDirty), Spliced: delta.Spliced, Total: delta.Total}
+	return sh, cut, nil
+}
+
+// regionPolys extracts a subdivision's canonical polygons in region order.
+func regionPolys(sub *region.Subdivision) []geom.Polygon {
+	out := make([]geom.Polygon, len(sub.Regions))
+	for i, r := range sub.Regions {
+		out[i] = r.Poly
+	}
+	return out
+}
+
+// clipCells is clipShard over the canonical live cells in id order,
+// skipping the full-subdivision snapshot the naive loop paid for.
+func clipCells(ids []int, polys []geom.Polygon, rect geom.Rect) []clippedRegion {
+	var out []clippedRegion
+	for i, poly := range polys {
+		if !poly.Bounds().Intersects(rect) {
+			continue
+		}
+		piece := geom.ClipRect(poly, rect)
+		if piece == nil || piece.Area() <= sliverArea {
+			continue
+		}
+		out = append(out, clippedRegion{id: ids[i], poly: piece})
+	}
+	return out
+}
+
+// cellChange is one globally changed cell of an Apply batch: its id, where
+// it used to be (the previous generation's cell bounds), and — unless it
+// was removed — its new polygon and bounds. The union of old and new
+// bounds is the cell's churn footprint: a shard rectangle disjoint from
+// every footprint in the batch provably keeps its exact clip sequence.
+type cellChange struct {
+	id     int
+	old    geom.Rect
+	hasOld bool
+	poly   geom.Polygon // nil for a removed cell
+	nb     geom.Rect    // new bounds, valid when poly != nil
+}
+
+// touches reports whether the change's footprint reaches rect.
+func (cc *cellChange) touches(rect geom.Rect) bool {
+	return (cc.hasOld && cc.old.Intersects(rect)) || (cc.poly != nil && cc.nb.Intersects(rect))
+}
+
+func pieceEqual(a, b geom.Polygon) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// patchClips advances one shard's clip sequence by re-clipping only the
+// batch's changed cells and splicing the rest of prev — exact clip-equality
+// no-op detection at per-cell granularity, so a batch that grazes a shard
+// without changing any piece inside it is detected as a no-op without
+// rescanning the shard's N cells. Returns the new clip sequence plus the
+// shard-local dirty and removed key sets for the shard's Patcher; changed
+// is false (and the other returns nil) when every touched piece compares
+// bit-equal to its predecessor.
+func patchClips(prev []clippedRegion, changes []*cellChange, rect geom.Rect) (clips []clippedRegion, dirty, removed []int, changed bool) {
+	type repl struct {
+		id    int
+		piece geom.Polygon // nil: the cell has no piece in this shard now
+	}
+	repls := make([]repl, 0, len(changes))
+	for _, cc := range changes {
+		var piece geom.Polygon
+		if cc.poly != nil && cc.nb.Intersects(rect) {
+			if p := geom.ClipRect(cc.poly, rect); p != nil && p.Area() > sliverArea {
+				piece = p
+			}
+		}
+		repls = append(repls, repl{id: cc.id, piece: piece})
+	}
+	// changes concatenates the batch's dirty and removed id lists (each
+	// ascending, mutually disjoint); restore one ascending order for the
+	// merge.
+	sort.Slice(repls, func(a, b int) bool { return repls[a].id < repls[b].id })
+	clips = make([]clippedRegion, 0, len(prev)+len(repls))
+	i, j := 0, 0
+	for i < len(prev) || j < len(repls) {
+		switch {
+		case j >= len(repls) || (i < len(prev) && prev[i].id < repls[j].id):
+			clips = append(clips, prev[i])
+			i++
+		case i >= len(prev) || repls[j].id < prev[i].id:
+			if repls[j].piece != nil { // cell newly entered this shard
+				clips = append(clips, clippedRegion{id: repls[j].id, poly: repls[j].piece})
+				dirty = append(dirty, repls[j].id)
+			}
+			j++
+		default: // same id: replace, drop, or keep
+			if repls[j].piece == nil {
+				removed = append(removed, prev[i].id)
+			} else {
+				clips = append(clips, clippedRegion{id: prev[i].id, poly: repls[j].piece})
+				if !pieceEqual(prev[i].poly, repls[j].piece) {
+					dirty = append(dirty, prev[i].id)
+				}
+			}
+			i++
+			j++
+		}
+	}
+	if len(dirty) == 0 && len(removed) == 0 {
+		return nil, nil, nil, false
+	}
+	return clips, dirty, removed, true
+}

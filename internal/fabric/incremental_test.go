@@ -1,0 +1,160 @@
+package fabric
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"airindex/internal/dataset"
+	"airindex/internal/stream"
+)
+
+// randomBatch draws one Apply batch against the swapper's live ids, never
+// reusing an id already removed earlier in the same batch.
+func randomBatch(rng *rand.Rand, sw *Swapper, ds *dataset.Dataset, batch int) []stream.SiteOp {
+	live := sw.LiveSiteIDs()
+	ops := make([]stream.SiteOp, 0, batch)
+	for i := 0; i < batch; i++ {
+		p := randomPoint(rng, ds.Area)
+		switch op := rng.Intn(3); {
+		case op == 0 || len(live) < 8:
+			ops = append(ops, stream.SiteOp{Kind: stream.OpAdd, P: p})
+		case op == 1:
+			k := rng.Intn(len(live))
+			ops = append(ops, stream.SiteOp{Kind: stream.OpRemove, ID: live[k]})
+			live = append(live[:k], live[k+1:]...)
+		default:
+			ops = append(ops, stream.SiteOp{Kind: stream.OpMove, ID: live[rng.Intn(len(live))], P: p})
+		}
+	}
+	return ops
+}
+
+// requireShardsMatchFresh compares every shard of the swapper against a
+// from-scratch fabric build of the live set: same bucket numbering, byte-
+// identical index packets, byte-identical flat arena snapshots.
+func requireShardsMatchFresh(t *testing.T, label string, sw *Swapper) {
+	t.Helper()
+	sub, globalIDs, err := sw.maint.Snapshot()
+	if err != nil {
+		t.Fatalf("%s: snapshot: %v", label, err)
+	}
+	fresh, err := FromSubdivision(sub, globalIDs, sw.dir, sw.rects, sw.capacity, sw.opts)
+	if err != nil {
+		t.Fatalf("%s: fresh build: %v", label, err)
+	}
+	for ch := range sw.cur {
+		cur := sw.Current(ch).Shard
+		want := fresh.Shards[ch]
+		if len(cur.IDs) != len(want.IDs) {
+			t.Fatalf("%s: shard %d: %d buckets incrementally, %d from scratch", label, ch, len(cur.IDs), len(want.IDs))
+		}
+		for i := range cur.IDs {
+			if cur.IDs[i] != want.IDs[i] {
+				t.Fatalf("%s: shard %d bucket %d: global %d vs %d", label, ch, i, cur.IDs[i], want.IDs[i])
+			}
+		}
+		if len(cur.Prog.IndexPackets) != len(want.Prog.IndexPackets) {
+			t.Fatalf("%s: shard %d: %d index packets incrementally, %d from scratch", label, ch, len(cur.Prog.IndexPackets), len(want.Prog.IndexPackets))
+		}
+		for k := range cur.Prog.IndexPackets {
+			if !bytes.Equal(cur.Prog.IndexPackets[k], want.Prog.IndexPackets[k]) {
+				t.Fatalf("%s: shard %d index packet %d differs from a fresh build", label, ch, k)
+			}
+		}
+		if !bytes.Equal(cur.Flat.Snapshot(), want.Flat.Snapshot()) {
+			t.Fatalf("%s: shard %d arena snapshot differs from a fresh build", label, ch)
+		}
+	}
+}
+
+// TestSwapperIncrementalEveryGeneration pins the fabric's incremental cut
+// pipeline per generation: after every Apply batch, every shard's program
+// and arena are byte-identical to a from-scratch fabric build of the live
+// set, and untouched shards keep not just their generation number but the
+// very same published objects.
+func TestSwapperIncrementalEveryGeneration(t *testing.T) {
+	ds := dataset.Uniform(140, 61)
+	const (
+		capacity = 128
+		S        = 4
+	)
+	sw, err := NewSwapper(ds.Area, ds.Sites, S, capacity, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireShardsMatchFresh(t, "bootstrap", sw)
+	rng := rand.New(rand.NewSource(62))
+	incremental, skipped := 0, 0
+	for batch := 0; batch < 12; batch++ {
+		before := make([]*ShardGeneration, S)
+		for ch := 0; ch < S; ch++ {
+			before[ch] = sw.Current(ch)
+		}
+		gens, _, err := sw.Apply(randomBatch(rng, sw, &ds, 1+rng.Intn(3)))
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		for ch := 0; ch < S; ch++ {
+			if gens[ch] == before[ch].Gen {
+				skipped++
+				if sw.Current(ch) != before[ch] {
+					t.Fatalf("batch %d: shard %d kept generation %d but replaced the published object", batch, ch, gens[ch])
+				}
+			} else if sw.comps[ch].prev != nil && sw.comps[ch].patch != nil {
+				incremental++
+			}
+		}
+		requireShardsMatchFresh(t, "batch", sw)
+	}
+	if skipped == 0 {
+		t.Error("no shard cut was ever skipped; the dirty-footprint prefilter never fired")
+	}
+	if incremental == 0 {
+		t.Error("no shard was ever rebuilt with retained incremental state")
+	}
+}
+
+// TestSwapperReconcileAfterStale pins the recovery path: when an Apply is
+// marked stale (as a failed rebuild or publish would), the next Apply
+// reconciles every shard from a fresh clip scan and converges back to the
+// from-scratch build, after which incremental cutting resumes.
+func TestSwapperReconcileAfterStale(t *testing.T) {
+	ds := dataset.Uniform(120, 71)
+	const (
+		capacity = 128
+		S        = 3
+	)
+	sw, err := NewSwapper(ds.Area, ds.Sites, S, capacity, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	if _, _, err := sw.Apply(randomBatch(rng, sw, &ds, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a failed batch: the maintainer advanced but nothing was
+	// republished and the bounds cache was never updated.
+	sw.mu.Lock()
+	sw.maint.BeginBatch()
+	live, _ := sw.maint.LiveSites()
+	if _, err := sw.maint.Move(live[0], randomPoint(rng, ds.Area)); err != nil {
+		sw.mu.Unlock()
+		t.Fatal(err)
+	}
+	sw.stale = true
+	sw.mu.Unlock()
+	// The next Apply must reconcile the missed churn even though its own
+	// batch is tiny.
+	if _, _, err := sw.Apply(randomBatch(rng, sw, &ds, 1)); err != nil {
+		t.Fatal(err)
+	}
+	requireShardsMatchFresh(t, "reconcile", sw)
+	// And the pipeline keeps cutting incrementally afterwards.
+	for batch := 0; batch < 4; batch++ {
+		if _, _, err := sw.Apply(randomBatch(rng, sw, &ds, 1+rng.Intn(3))); err != nil {
+			t.Fatalf("post-reconcile batch %d: %v", batch, err)
+		}
+	}
+	requireShardsMatchFresh(t, "post-reconcile", sw)
+}

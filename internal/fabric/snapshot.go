@@ -1,0 +1,156 @@
+package fabric
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"airindex/internal/broadcast"
+	"airindex/internal/core"
+	"airindex/internal/geom"
+	"airindex/internal/stream"
+	"airindex/internal/voronoi"
+)
+
+// Per-shard snapshot files extend the single-channel zero-parse restart to
+// the sharded fabric: WriteSnapshotDir persists every shard's flat arena as
+// one DTARENA1 slab, and RestoreSnapshotDir brings the fabric back without
+// rebuilding a single D-tree. The restore recomputes only the cheap
+// geometry — the global Voronoi diagram, the kd partition and the per-shard
+// clips, which pin the bucket->global-id mapping and structurally validate
+// each loaded arena — then re-encodes packets straight from the restored
+// slabs. Because the arena bytes are exactly the writer's and packet
+// encoding is deterministic, the restored programs put byte-identical
+// cycles on the air.
+
+// SnapshotPath names shard ch's snapshot file inside dir.
+func SnapshotPath(dir string, ch int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard%d.dtsnap", ch))
+}
+
+// WriteSnapshotDir writes one DTARENA1 snapshot per shard into dir
+// (creating it if needed), each atomically via the core writer.
+func (f *Fabric) WriteSnapshotDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, sh := range f.Shards {
+		if err := sh.Flat.WriteSnapshotFile(SnapshotPath(dir, sh.Channel)); err != nil {
+			return fmt.Errorf("fabric: shard %d snapshot: %w", sh.Channel, err)
+		}
+	}
+	return nil
+}
+
+// RestoreSnapshotDir rebuilds the fabric from per-shard snapshot files
+// written by WriteSnapshotDir for the same area, sites and shard count. The
+// packet capacity is taken from the snapshots (all shards must agree). Each
+// loaded arena passes the DTARENA1 structural checks plus a region-count
+// match against the shard's freshly clipped subdivision, so a stale or
+// misdirected snapshot fails loudly instead of serving wrong geometry.
+// Restored shards carry no *core.Tree or *core.Paged — only the flat arena
+// that serving and packet encoding need.
+func RestoreSnapshotDir(area geom.Rect, sites []geom.Point, S int, dir string, opts Options) (*Fabric, error) {
+	sub, err := voronoi.Subdivision(area, sites)
+	if err != nil {
+		return nil, err
+	}
+	d, rects, _, err := Partition(area, sites, S)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		Area:   area,
+		Dir:    d,
+		Rects:  rects,
+		Shards: make([]*Shard, S),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, S)
+	for ch := 0; ch < S; ch++ {
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			clips := clipShard(sub, nil, rects[ch])
+			f.Shards[ch], errs[ch] = restoreShard(d, ch, rects[ch], clips, SnapshotPath(dir, ch), opts)
+		}(ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.Capacity = f.Shards[0].Flat.Params.PacketCapacity
+	for _, sh := range f.Shards[1:] {
+		if c := sh.Flat.Params.PacketCapacity; c != f.Capacity {
+			return nil, fmt.Errorf("fabric: shard %d snapshot capacity %d, shard 0 has %d", sh.Channel, c, f.Capacity)
+		}
+	}
+	f.DirPackets = d.PacketCount(f.Capacity)
+	return f, nil
+}
+
+// restoreShard is compileShard with the tree build and arena encode
+// replaced by a snapshot load: the clips still pin the shard's bucket
+// numbering and global ids, and welding them validates the loaded arena's
+// region count.
+func restoreShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion, path string, opts Options) (*Shard, error) {
+	if len(clips) == 0 {
+		return nil, fmt.Errorf("fabric: shard %d covers no regions", ch)
+	}
+	fp, err := core.LoadSnapshotFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d: %w", ch, err)
+	}
+	sub, ids, err := weldClips(ch, rect, clips)
+	if err != nil {
+		return nil, err
+	}
+	if err := fp.AttachSubdivision(sub); err != nil {
+		return nil, fmt.Errorf("fabric: shard %d snapshot does not match the clipped site set: %w", ch, err)
+	}
+	capacity := fp.Params.PacketCapacity
+	treePkts, err := fp.EncodePackets()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d encoding: %w", ch, err)
+	}
+	dirPkts, err := dir.EncodePackets(capacity, ch)
+	if err != nil {
+		return nil, err
+	}
+	indexPkts := make([][]byte, 0, len(dirPkts)+len(treePkts))
+	indexPkts = append(indexPkts, dirPkts...)
+	indexPkts = append(indexPkts, treePkts...)
+	bucketPackets := fp.Params.DataBucketPackets()
+	if bucketPackets > stream.MaxBucketPackets {
+		return nil, fmt.Errorf("fabric: capacity %d needs %d packets per bucket, wire limit %d", capacity, bucketPackets, stream.MaxBucketPackets)
+	}
+	m := opts.M
+	if m <= 0 {
+		m = broadcast.OptimalM(len(indexPkts), sub.N()*bucketPackets)
+	}
+	sched, err := broadcast.NewSchedule(len(indexPkts), sub.N(), bucketPackets, m)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d schedule: %w", ch, err)
+	}
+	prog := &stream.Program{
+		Capacity:     capacity,
+		IndexPackets: indexPkts,
+		Sched:        sched,
+		Data:         DataStamp(capacity, ids),
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &Shard{
+		Channel: ch,
+		Rect:    rect,
+		Sub:     sub,
+		IDs:     ids,
+		Flat:    fp,
+		Prog:    prog,
+		clips:   clips,
+	}, nil
+}

@@ -2,10 +2,12 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"airindex/internal/geom"
+	"airindex/internal/region"
 	"airindex/internal/stream"
 	"airindex/internal/voronoi"
 )
@@ -23,8 +25,12 @@ type ShardGeneration struct {
 // and an Apply batch rebuilds and republishes only the shards whose
 // clipped content actually changed — churn confined to one shard's
 // interior leaves every other channel's broadcast untouched, generation
-// number and all. The partition (rects and directory) is fixed for the
-// swapper's lifetime, so client routing is generation-invariant.
+// number and all. Each cut is incremental end to end: the batch's dirty
+// cells prefilter the touched shards by bounding box, patchClips re-clips
+// only those cells, and each touched shard's retained compiler rebuilds
+// only the dirty D-tree subtrees and arena ranges — byte-identical to a
+// from-scratch fabric build. The partition (rects and directory) is fixed
+// for the swapper's lifetime, so client routing is generation-invariant.
 type Swapper struct {
 	capacity int
 	opts     Options
@@ -36,6 +42,21 @@ type Swapper struct {
 	cur   []*ShardGeneration
 	gens  []map[uint32]*ShardGeneration
 	srvs  []*stream.Server
+	comps []*shardCompiler
+	// gpatch maintains the canonical global subdivision across batches —
+	// shards clip the *welded* polygons (exactly what a from-scratch
+	// Snapshot + clipShard sees), not the maintainer's raw cells, whose
+	// coordinates can differ in the last ulp where welding canonicalizes
+	// near-coincident corners.
+	gpatch *region.Patcher
+	// bounds caches every live cell's bounding box (site id -> bounds of
+	// the cell as of the last published cut); together with a dirty cell's
+	// new bounds it forms the churn footprint the shard prefilter tests.
+	bounds map[int]geom.Rect
+	// stale marks that a failed Apply left the published shards behind the
+	// maintainer; the next Apply reconciles every shard from a fresh clip
+	// scan instead of trusting the incremental clip delta.
+	stale bool
 }
 
 // NewSwapper builds the initial fabric (every shard at generation 1) for
@@ -49,14 +70,6 @@ func NewSwapper(area geom.Rect, sites []geom.Point, S, capacity int, opts Option
 	if err != nil {
 		return nil, err
 	}
-	sub, ids, err := maint.Snapshot()
-	if err != nil {
-		return nil, err
-	}
-	f, err := FromSubdivision(sub, ids, dir, rects, capacity, opts)
-	if err != nil {
-		return nil, err
-	}
 	sw := &Swapper{
 		capacity: capacity,
 		opts:     opts,
@@ -66,11 +79,46 @@ func NewSwapper(area geom.Rect, sites []geom.Point, S, capacity int, opts Option
 		cur:      make([]*ShardGeneration, S),
 		gens:     make([]map[uint32]*ShardGeneration, S),
 		srvs:     make([]*stream.Server, S),
+		comps:    make([]*shardCompiler, S),
+		bounds:   make(map[int]geom.Rect, len(sites)),
 	}
-	for ch, sh := range f.Shards {
-		g := &ShardGeneration{Gen: 1, Shard: sh}
-		sw.gens[ch] = map[uint32]*ShardGeneration{1: g}
-		sw.cur[ch] = g
+	for ch := 0; ch < S; ch++ {
+		sw.comps[ch] = newShardCompiler(dir, ch, rects[ch], capacity, opts)
+	}
+	ids, polys := maint.LiveCells()
+	sw.gpatch = region.NewPatcher(area)
+	gsub, _, err := sw.gpatch.Patch(ids, polys, ids, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := gsub.Validate(); err != nil {
+		return nil, err
+	}
+	canon := regionPolys(gsub)
+	for i, id := range ids {
+		sw.bounds[id] = canon[i].Bounds()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, S)
+	for ch := 0; ch < S; ch++ {
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			sh, err := sw.comps[ch].full(clipCells(ids, canon, rects[ch]))
+			if err != nil {
+				errs[ch] = err
+				return
+			}
+			g := &ShardGeneration{Gen: 1, Shard: sh}
+			sw.gens[ch] = map[uint32]*ShardGeneration{1: g}
+			sw.cur[ch] = g
+		}(ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return sw, nil
 }
@@ -133,18 +181,103 @@ func (sw *Swapper) LiveSiteIDs() []int {
 	return ids
 }
 
-// Apply runs one batch of site operations through the global maintainer,
-// re-clips every shard, and rebuilds and republishes exactly the shards
-// whose clipped content changed — comparing the (global id, exact
-// vertices) sequences, which the maintainer's bit-identity guarantee makes
-// a sound no-op detector. It returns the per-channel generation now on the
-// air (unchanged shards keep their number) and the batch-position ->
-// site-id mapping, with stream.Swapper's shortened-batch semantics: ops
-// already applied stay applied and are published.
+// pendingShard is one shard the batch actually changed, with its new clip
+// sequence and the shard-local dirty/removed key sets.
+type pendingShard struct {
+	ch      int
+	clips   []clippedRegion
+	dirty   []int
+	removed []int
+	full    bool // reconcile path: force a full rebuild
+}
+
+// collectChanges turns the batch's canonical dirty and removed id sets
+// into per-cell churn footprints over the canonical polygons. liveIDs is
+// ascending, so dirty ids (also ascending) resolve by binary search.
+func (sw *Swapper) collectChanges(dirty, removed []int, liveIDs []int, canon []geom.Polygon) []*cellChange {
+	changes := make([]*cellChange, 0, len(dirty)+len(removed))
+	for _, id := range dirty {
+		i := sort.SearchInts(liveIDs, id)
+		if i >= len(liveIDs) || liveIDs[i] != id {
+			continue // defensive: a dirty id must be live
+		}
+		cc := &cellChange{id: id, poly: canon[i], nb: canon[i].Bounds()}
+		if ob, ok := sw.bounds[id]; ok {
+			cc.old, cc.hasOld = ob, true
+		}
+		changes = append(changes, cc)
+	}
+	for _, id := range removed {
+		if ob, ok := sw.bounds[id]; ok {
+			changes = append(changes, &cellChange{id: id, old: ob, hasOld: true})
+		}
+	}
+	return changes
+}
+
+// pendingIncremental computes the touched-shard work list from the batch's
+// churn footprints: a shard no footprint reaches is provably unchanged and
+// is not even re-clipped; a reached shard re-clips only the changed cells
+// (patchClips), and drops out if every piece compares bit-equal.
+func (sw *Swapper) pendingIncremental(changes []*cellChange) []pendingShard {
+	var pending []pendingShard
+	var touched []*cellChange
+	for ch := range sw.cur {
+		rect := sw.rects[ch]
+		touched = touched[:0]
+		for _, cc := range changes {
+			if cc.touches(rect) {
+				touched = append(touched, cc)
+			}
+		}
+		if len(touched) == 0 {
+			continue
+		}
+		clips, dirty, removed, changed := patchClips(sw.cur[ch].Shard.clips, touched, rect)
+		if !changed {
+			continue
+		}
+		pending = append(pending, pendingShard{ch: ch, clips: clips, dirty: dirty, removed: removed})
+	}
+	return pending
+}
+
+// pendingReconcile is the recovery work list after a failed Apply: rescan
+// every shard's clips from the canonical cells and rebuild the ones that
+// drifted from what is published, resetting every compiler first (a failed
+// batch may have advanced compiler state past the published generation).
+func (sw *Swapper) pendingReconcile(liveIDs []int, canon []geom.Polygon) []pendingShard {
+	var pending []pendingShard
+	for ch := range sw.cur {
+		sw.comps[ch].reset()
+		clips := clipCells(liveIDs, canon, sw.rects[ch])
+		if equalClips(clips, sw.cur[ch].Shard.clips) {
+			continue
+		}
+		pending = append(pending, pendingShard{ch: ch, clips: clips, full: true})
+	}
+	return pending
+}
+
+// Apply runs one batch of site operations through the global maintainer
+// and rebuilds and republishes exactly the shards whose clipped content
+// changed. Detection is incremental: the batch's dirty cells (old bounds
+// union new bounds) prefilter the shards the batch can reach, and within a
+// reached shard only the changed cells are re-clipped and compared — exact
+// clip equality at per-cell granularity, sound because the maintainer
+// guarantees untouched cells keep their exact bytes and clipping is
+// deterministic. A changed shard is recompiled incrementally by its
+// retained compiler (dirty D-tree subtrees rebuilt, the rest spliced;
+// full-rebuild fallback), byte-identical to a from-scratch build. It
+// returns the per-channel generation now on the air (unchanged shards keep
+// their number) and the batch-position -> site-id mapping, with
+// stream.Swapper's shortened-batch semantics: ops already applied stay
+// applied and are published.
 func (sw *Swapper) Apply(ops []stream.SiteOp) (gens []uint32, ids []int, err error) {
 	start := time.Now()
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	sw.maint.BeginBatch()
 	ids = make([]int, 0, len(ops))
 	var opErr error
 	for _, op := range ops {
@@ -168,30 +301,59 @@ func (sw *Swapper) Apply(ops []stream.SiteOp) (gens []uint32, ids []int, err err
 	for ch, g := range sw.cur {
 		gens[ch] = g.Gen
 	}
-	if len(ids) == 0 && opErr != nil {
+	if len(ids) == 0 && opErr != nil && !sw.stale {
 		return gens, nil, opErr
 	}
-	sub, globalIDs, err := sw.maint.Snapshot()
-	if err != nil {
-		return gens, ids, err
+	dirty, removed := sw.maint.BatchDelta()
+	if len(dirty) == 0 && len(removed) == 0 && !sw.stale {
+		// Byte-level no-op (e.g. a move back to the same spot): every
+		// shard's program is already exact.
+		return gens, ids, opErr
 	}
-	// Rebuild only the shards whose clipped content changed, concurrently.
-	type rebuilt struct {
-		ch    int
-		shard *Shard
-		err   error
+	liveIDs, livePolys := sw.maint.LiveCells()
+	reconcile := sw.stale
+	// Advance the canonical global tiling; shards clip canonical polygons,
+	// and the canonical dirty set (welding can shrink or grow the raw one)
+	// is what decides which cells actually changed.
+	var canon []geom.Polygon
+	var canonDirty []int
+	if !reconcile {
+		gsub, cd, perr := sw.gpatch.Patch(liveIDs, livePolys, dirty, removed)
+		if perr != nil {
+			reconcile = true
+		} else {
+			canon, canonDirty = regionPolys(gsub), cd
+		}
 	}
-	type pendingShard struct {
-		ch    int
-		clips []clippedRegion
+	if reconcile {
+		// Recovery: re-bootstrap the canonical tiling from scratch — always
+		// sound, and canonical identity keeps unchanged shards' clips exact.
+		sw.gpatch = region.NewPatcher(sw.maint.Area())
+		gsub, _, perr := sw.gpatch.Patch(liveIDs, livePolys, liveIDs, nil)
+		if perr != nil {
+			sw.stale = true
+			return gens, ids, perr
+		}
+		canon = regionPolys(gsub)
 	}
 	var pending []pendingShard
-	for ch := range sw.cur {
-		clips := clipShard(sub, globalIDs, sw.rects[ch])
-		if equalClips(clips, sw.cur[ch].Shard.clips) {
-			continue
-		}
-		pending = append(pending, pendingShard{ch: ch, clips: clips})
+	if reconcile {
+		pending = sw.pendingReconcile(liveIDs, canon)
+	} else {
+		pending = sw.pendingIncremental(sw.collectChanges(canonDirty, removed, liveIDs, canon))
+	}
+	// Until every rebuild and publish lands, the published fabric may
+	// trail the maintainer; any early return leaves the flag set for the
+	// next Apply to reconcile.
+	sw.stale = true
+	// Rebuild the changed shards concurrently; compilers are per-shard, so
+	// each goroutine owns its state.
+	type rebuilt struct {
+		ch      int
+		shard   *Shard
+		cut     shardCut
+		buildNS int64
+		err     error
 	}
 	results := make([]rebuilt, len(pending))
 	var wg sync.WaitGroup
@@ -199,8 +361,16 @@ func (sw *Swapper) Apply(ops []stream.SiteOp) (gens []uint32, ids []int, err err
 		wg.Add(1)
 		go func(i int, ps pendingShard) {
 			defer wg.Done()
-			sh, err := compileShard(sw.dir, ps.ch, sw.rects[ps.ch], ps.clips, sw.capacity, sw.opts)
-			results[i] = rebuilt{ch: ps.ch, shard: sh, err: err}
+			buildStart := time.Now()
+			var sh *Shard
+			var cut shardCut
+			var err error
+			if ps.full {
+				sh, err = sw.comps[ps.ch].full(ps.clips)
+			} else {
+				sh, cut, err = sw.comps[ps.ch].compile(ps.clips, ps.dirty, ps.removed)
+			}
+			results[i] = rebuilt{ch: ps.ch, shard: sh, cut: cut, buildNS: time.Since(buildStart).Nanoseconds(), err: err}
 		}(i, ps)
 	}
 	wg.Wait()
@@ -223,9 +393,32 @@ func (sw *Swapper) Apply(ops []stream.SiteOp) (gens []uint32, ids []int, err err
 				sw.cur[r.ch] = prev
 				return gens, ids, err
 			}
-			srv.Metrics().SwapLatencyNS.Observe(time.Since(start).Nanoseconds())
+			m := srv.Metrics()
+			m.SwapLatencyNS.Observe(time.Since(start).Nanoseconds())
+			m.CutBuildNS.Observe(r.buildNS)
+			m.CutDirtyPermille.Set(r.cut.dirtyPermille())
 		}
 		gens[r.ch] = next
 	}
+	// Everything published; fold the batch into the bounds cache and clear
+	// the reconcile flag. A reconcile pass rebuilds the cache outright —
+	// the failed batches' deltas were never applied to it.
+	if reconcile {
+		sw.bounds = make(map[int]geom.Rect, len(liveIDs))
+		for i, id := range liveIDs {
+			sw.bounds[id] = canon[i].Bounds()
+		}
+	} else {
+		for _, id := range removed {
+			delete(sw.bounds, id)
+		}
+		for _, id := range canonDirty {
+			i := sort.SearchInts(liveIDs, id)
+			if i < len(liveIDs) && liveIDs[i] == id {
+				sw.bounds[id] = canon[i].Bounds()
+			}
+		}
+	}
+	sw.stale = false
 	return gens, ids, opErr
 }

@@ -2,46 +2,129 @@ package region
 
 import "airindex/internal/geom"
 
+// BoundaryScratch is reusable state for BoundarySegmentsInto: an
+// epoch-marked membership array indexed by stable region key. Each caller
+// (e.g. each D-tree build worker) owns its own scratch; the zero value is
+// ready to use.
+type BoundaryScratch struct {
+	mark  []int32
+	epoch int32
+}
+
 // BoundarySegments returns the boundary edges of the union of the given
 // regions: every edge owned by a region in the set whose twin either does
 // not exist (service-area border) or belongs to a region outside the set.
 // This is the "extent" of a subspace in the D-tree partition algorithm
 // (Algorithm 1, line 3); the extent may consist of several closed loops.
 func (s *Subdivision) BoundarySegments(ids []int) []geom.Segment {
-	inSet := make(map[int]bool, len(ids))
-	for _, id := range ids {
-		inSet[id] = true
+	var sc BoundaryScratch
+	return s.BoundarySegmentsInto(ids, &sc, nil)
+}
+
+// BoundarySegmentsInto is BoundarySegments with caller-owned scratch and
+// output slice (appended to), for hot paths: no maps, no per-call
+// allocation once the scratch and output have grown to steady state. The
+// segment order is identical to BoundarySegments.
+func (s *Subdivision) BoundarySegmentsInto(ids []int, sc *BoundaryScratch, out []geom.Segment) []geom.Segment {
+	if int32(len(sc.mark)) <= s.maxKey {
+		sc.mark = make([]int32, s.maxKey+1)
+		sc.epoch = 0
 	}
-	var out []geom.Segment
+	sc.epoch++
+	epoch := sc.epoch
+	if s.keyOf == nil {
+		for _, id := range ids {
+			sc.mark[id] = epoch
+		}
+	} else {
+		for _, id := range ids {
+			sc.mark[s.keyOf[id]] = epoch
+		}
+	}
 	for _, id := range ids {
 		ring := s.rings[id]
+		nbr := s.nbrKey[id]
 		n := len(ring)
 		for j := 0; j < n; j++ {
-			u, v := ring[j], ring[(j+1)%n]
-			if nb := s.Neighbor(u, v); nb >= 0 && inSet[nb] {
+			if k := nbr[j]; k >= 0 && sc.mark[k] == epoch {
 				continue
 			}
+			u, v := ring[j], ring[(j+1)%n]
 			out = append(out, geom.Segment{A: s.Verts[u], B: s.Verts[v]})
 		}
 	}
 	return out
 }
 
+// BoundaryEntry names one surviving edge of a region-set boundary by its
+// owner and ring position instead of its coordinates: the edge from
+// ring[Edge] to ring[Edge+1] of the region whose stable key is Owner. The
+// incremental D-tree rebuild memoizes extents in this form — stable keys
+// survive region renumbering between generations, and clean regions share
+// their ring slices across patched subdivisions, so a cached entry
+// reproduces the exact segment BoundarySegments would emit.
+type BoundaryEntry struct {
+	Owner int32 // stable region key
+	Edge  int32 // ring edge index
+}
+
+// BoundaryEntriesInto is BoundarySegmentsInto emitting both the segments
+// and the matching (owner, edge) entries, in the identical order.
+func (s *Subdivision) BoundaryEntriesInto(ids []int, sc *BoundaryScratch, ents []BoundaryEntry, segs []geom.Segment) ([]BoundaryEntry, []geom.Segment) {
+	if int32(len(sc.mark)) <= s.maxKey {
+		sc.mark = make([]int32, s.maxKey+1)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	epoch := sc.epoch
+	for _, id := range ids {
+		sc.mark[s.Key(id)] = epoch
+	}
+	for _, id := range ids {
+		key := int32(s.Key(id))
+		ring := s.rings[id]
+		nbr := s.nbrKey[id]
+		n := len(ring)
+		for j := 0; j < n; j++ {
+			if k := nbr[j]; k >= 0 && sc.mark[k] == epoch {
+				continue
+			}
+			u, v := ring[j], ring[(j+1)%n]
+			ents = append(ents, BoundaryEntry{Owner: key, Edge: int32(j)})
+			segs = append(segs, geom.Segment{A: s.Verts[u], B: s.Verts[v]})
+		}
+	}
+	return ents, segs
+}
+
+// NbrKeys returns, per ring edge of region id, the stable key of the region
+// on the other side (-1 on the service-area border). Callers must not
+// modify the returned slice.
+func (s *Subdivision) NbrKeys(id int) []int32 { return s.nbrKey[id] }
+
+// EdgeSegment returns the ring edge j of region id as a segment, exactly as
+// BoundarySegments would emit it.
+func (s *Subdivision) EdgeSegment(id, j int) geom.Segment {
+	ring := s.rings[id]
+	u, v := ring[j], ring[(j+1)%len(ring)]
+	return geom.Segment{A: s.Verts[u], B: s.Verts[v]}
+}
+
 // SharedBorder returns the segments separating the two given region sets:
 // edges owned by a region in left whose twin belongs to a region in right.
 func (s *Subdivision) SharedBorder(left, right []int) []geom.Segment {
-	inRight := make(map[int]bool, len(right))
+	inRight := make(map[int32]bool, len(right))
 	for _, id := range right {
-		inRight[id] = true
+		inRight[int32(s.Key(id))] = true
 	}
 	var out []geom.Segment
 	for _, id := range left {
 		ring := s.rings[id]
+		nbr := s.nbrKey[id]
 		n := len(ring)
 		for j := 0; j < n; j++ {
-			u, v := ring[j], ring[(j+1)%n]
-			if nb := s.Neighbor(u, v); nb >= 0 && inRight[nb] {
-				out = append(out, geom.Segment{A: s.Verts[u], B: s.Verts[v]})
+			if k := nbr[j]; k >= 0 && inRight[k] {
+				out = append(out, geom.Segment{A: s.Verts[ring[j]], B: s.Verts[ring[(j+1)%n]]})
 			}
 		}
 	}
@@ -62,6 +145,7 @@ type UniqueEdge struct {
 // deterministic order (ring order over regions), so randomized consumers
 // that shuffle the result are reproducible given their seed.
 func (s *Subdivision) UniqueEdges() []UniqueEdge {
+	s.ensureTwin()
 	seen := make(map[[2]int]bool, len(s.twin))
 	var out []UniqueEdge
 	for _, ring := range s.rings {

@@ -1,0 +1,214 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+
+	"airindex/internal/geom"
+)
+
+// patchHarness drives a Patcher and an independent from-scratch New over
+// the same evolving polygon set and asserts coordinate identity.
+type patchHarness struct {
+	t     *testing.T
+	area  geom.Rect
+	p     *Patcher
+	keys  []int
+	polys map[int]geom.Polygon
+	next  int
+}
+
+func newPatchHarness(t *testing.T, area geom.Rect, polys []geom.Polygon) *patchHarness {
+	h := &patchHarness{t: t, area: area, p: NewPatcher(area), polys: make(map[int]geom.Polygon)}
+	var dirty []int
+	for i, pg := range polys {
+		h.keys = append(h.keys, i)
+		h.polys[i] = pg
+		dirty = append(dirty, i)
+	}
+	h.next = len(polys)
+	h.step(dirty, nil)
+	return h
+}
+
+// step applies one generation through the patcher and cross-checks it
+// against region.New on the same polygon set.
+func (h *patchHarness) step(dirty, removed []int) {
+	h.t.Helper()
+	var flat []geom.Polygon
+	for _, k := range h.keys {
+		flat = append(flat, h.polys[k])
+	}
+	sub, canonDirty, err := h.p.Patch(h.keys, flat, dirty, removed)
+	if err != nil {
+		h.t.Fatalf("patch: %v", err)
+	}
+	want, err := New(h.area, flat)
+	if err != nil {
+		h.t.Fatalf("scratch: %v", err)
+	}
+	if sub.N() != want.N() {
+		h.t.Fatalf("patched %d regions, scratch %d", sub.N(), want.N())
+	}
+	for i := range want.Regions {
+		if !polyEqual(sub.Regions[i].Poly, want.Regions[i].Poly) {
+			h.t.Fatalf("region %d (key %d): patched poly %v != scratch %v",
+				i, sub.Key(i), sub.Regions[i].Poly, want.Regions[i].Poly)
+		}
+	}
+	// canonDirty must cover every region whose canonical polygon changed.
+	// (Checked implicitly by the next generation's identity: a missed dirty
+	// region would splice stale coordinates. Here check it is a subset of
+	// live keys and sorted.)
+	for i := 1; i < len(canonDirty); i++ {
+		if canonDirty[i-1] >= canonDirty[i] {
+			h.t.Fatalf("canonDirty not strictly ascending: %v", canonDirty)
+		}
+	}
+	// Boundary extraction must agree on random subsets (this exercises
+	// nbrKey, including copy-on-write fixups on clean regions).
+	rng := rand.New(rand.NewSource(int64(sub.N())))
+	for trial := 0; trial < 8; trial++ {
+		var ids []int
+		for id := 0; id < sub.N(); id++ {
+			if rng.Intn(2) == 0 {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		got := sub.BoundarySegments(ids)
+		exp := want.BoundarySegments(ids)
+		if len(got) != len(exp) {
+			h.t.Fatalf("subset %v: %d boundary segments patched, %d scratch", ids, len(got), len(exp))
+		}
+		for j := range got {
+			if got[j] != exp[j] {
+				h.t.Fatalf("subset boundary segment %d: patched %v, scratch %v", j, got[j], exp[j])
+			}
+		}
+	}
+}
+
+// voronoiPolys builds the Voronoi tiling of the given sites.
+func voronoiPolys(t *testing.T, area geom.Rect, sites []geom.Point) []geom.Polygon {
+	t.Helper()
+	polys := make([]geom.Polygon, len(sites))
+	for i, s := range sites {
+		cell := area.Polygon()
+		for j, o := range sites {
+			if i == j {
+				continue
+			}
+			cell = geom.ClipHalfPlane(cell, geom.Bisector(s, o))
+			if cell == nil {
+				t.Fatalf("site %d has empty cell", i)
+			}
+		}
+		polys[i] = cell
+	}
+	return polys
+}
+
+func randomPts(n int, seed int64, area geom.Rect) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(area.MinX+rng.Float64()*(area.MaxX-area.MinX),
+			area.MinY+rng.Float64()*(area.MaxY-area.MinY))
+	}
+	return pts
+}
+
+// TestPatcherMatchesNewUnderChurn evolves a Voronoi tiling through random
+// site churn, patching the changed cells each step, and requires the
+// patched subdivision to be coordinate-identical to a from-scratch New.
+func TestPatcherMatchesNewUnderChurn(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		sites := map[int]geom.Point{}
+		pts := randomPts(12, seed*7919+13, area)
+		for i, p := range pts {
+			sites[i] = p
+		}
+		h := newPatchHarness(t, area, voronoiPolys(t, area, pts))
+
+		for step := 0; step < 25; step++ {
+			var dirty, removed []int
+			switch op := rng.Intn(3); {
+			case op == 0 || len(sites) < 5: // add
+				id := h.next
+				h.next++
+				sites[id] = geom.Pt(area.MinX+rng.Float64()*1000, area.MinY+rng.Float64()*1000)
+				h.keys = append(h.keys, id)
+			case op == 1: // remove a random live site
+				ids := h.keys
+				victim := ids[rng.Intn(len(ids))]
+				delete(sites, victim)
+				removed = append(removed, victim)
+				var nk []int
+				for _, k := range h.keys {
+					if k != victim {
+						nk = append(nk, k)
+					}
+				}
+				h.keys = nk
+			default: // move
+				ids := h.keys
+				victim := ids[rng.Intn(len(ids))]
+				sites[victim] = geom.Pt(area.MinX+rng.Float64()*1000, area.MinY+rng.Float64()*1000)
+			}
+			// Recompute all cells from scratch; dirty = cells whose raw
+			// polygon changed (what voronoi.Maintainer reports).
+			var livePts []geom.Point
+			for _, k := range h.keys {
+				livePts = append(livePts, sites[k])
+			}
+			polys := voronoiPolys(t, area, livePts)
+			old := h.polys
+			h.polys = make(map[int]geom.Polygon, len(h.keys))
+			for i, k := range h.keys {
+				h.polys[k] = polys[i]
+				if !polyEqual(old[k], polys[i]) {
+					dirty = append(dirty, k)
+				}
+			}
+			h.step(dirty, removed)
+		}
+	}
+}
+
+// TestPatcherBootstrapMatchesNew pins that the bootstrap generation (all
+// keys dirty, empty patcher) reproduces New exactly, including ring vertex
+// numbering (the two algorithms weld in the same order from a cold start).
+func TestPatcherBootstrapMatchesNew(t *testing.T) {
+	area := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	pts := randomPts(40, 99, area)
+	polys := voronoiPolys(t, area, pts)
+	p := NewPatcher(area)
+	keys := make([]int, len(polys))
+	dirty := make([]int, len(polys))
+	for i := range keys {
+		keys[i], dirty[i] = i, i
+	}
+	sub, _, err := p.Patch(keys, polys, dirty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(area, polys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("patched bootstrap invalid: %v", err)
+	}
+	for i := range want.Regions {
+		for j, v := range want.Ring(i) {
+			if sub.Ring(i)[j] != v {
+				t.Fatalf("region %d ring[%d]: patched vert %d, scratch %d", i, j, sub.Ring(i)[j], v)
+			}
+		}
+	}
+}

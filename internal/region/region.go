@@ -9,6 +9,7 @@ package region
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"airindex/internal/geom"
 )
@@ -36,12 +37,33 @@ type Subdivision struct {
 
 	// Verts holds the canonical vertex coordinates; rings holds, per region,
 	// the ring of canonical vertex indices (same order as Region.Poly).
+	//
+	// Patched subdivisions (see Patcher) share the Verts backing array with
+	// their predecessors append-only: entries below an older generation's
+	// length are never rewritten, and ids of vertices no longer referenced
+	// by any ring are simply retired, so Verts may contain dead entries.
 	Verts []geom.Point
 	rings [][]int
 
+	// keyOf maps region index -> stable external key (the site id, for
+	// subdivisions maintained across generations). nil means the identity
+	// mapping (region index is its own key), which New produces.
+	keyOf []int32
+	// maxKey is the largest key value in keyOf (N-1 under identity);
+	// BoundarySegments sizes its membership scratch from it.
+	maxKey int32
+	// nbrKey holds, per region and ring edge j (from ring[j] to ring[j+1]),
+	// the stable key of the region on the other side, or -1 on the
+	// service-area border. It is the adjacency relation BoundarySegments
+	// walks; unlike twin it survives region renumbering, so patched
+	// generations share the slices of unchanged regions.
+	nbrKey [][]int32
+
 	// twin maps a directed edge (u,v) to the region owning it (regions are
-	// CCW, so the owner lies to the left of u->v).
-	twin map[[2]int]int
+	// CCW, so the owner lies to the left of u->v). Patched subdivisions
+	// build it on first use (ensureTwin); New builds it eagerly.
+	twin     map[[2]int]int
+	twinOnce sync.Once
 }
 
 // DefaultWeldTol is the default vertex-welding tolerance. Voronoi cells are
@@ -132,7 +154,46 @@ func New(area geom.Rect, polys []geom.Polygon, opts ...Option) (*Subdivision, er
 			s.twin[[2]int{u, v}] = i
 		}
 	}
+	s.maxKey = int32(len(rings)) - 1
+	s.nbrKey = make([][]int32, len(rings))
+	for i, ring := range rings {
+		nbr := make([]int32, len(ring))
+		for j := range ring {
+			nbr[j] = int32(s.Neighbor(ring[j], ring[(j+1)%len(ring)]))
+		}
+		s.nbrKey[i] = nbr
+	}
 	return s, nil
+}
+
+// Key returns the stable external key of region id (the id itself for
+// subdivisions built by New, the site id for patched generations).
+func (s *Subdivision) Key(id int) int {
+	if s.keyOf == nil {
+		return id
+	}
+	return int(s.keyOf[id])
+}
+
+// MaxKey returns the largest stable key in the subdivision.
+func (s *Subdivision) MaxKey() int { return int(s.maxKey) }
+
+// ensureTwin builds the directed-edge ownership map on first use. Patched
+// subdivisions defer it because the hot incremental-rebuild path only needs
+// nbrKey; twin is for validators and the baseline index builders.
+func (s *Subdivision) ensureTwin() {
+	s.twinOnce.Do(func() {
+		if s.twin != nil {
+			return
+		}
+		twin := make(map[[2]int]int, len(s.Verts)*3)
+		for i, ring := range s.rings {
+			for j := range ring {
+				twin[[2]int{ring[j], ring[(j+1)%len(ring)]}] = i
+			}
+		}
+		s.twin = twin
+	})
 }
 
 // N returns the number of regions.
@@ -144,6 +205,7 @@ func (s *Subdivision) Ring(id int) []int { return s.rings[id] }
 // Neighbor returns the region on the other side of the directed edge (u,v)
 // owned by some region, or -1 when (v,u) is unowned (service-area boundary).
 func (s *Subdivision) Neighbor(u, v int) int {
+	s.ensureTwin()
 	if r, ok := s.twin[[2]int{v, u}]; ok {
 		return r
 	}
@@ -152,6 +214,7 @@ func (s *Subdivision) Neighbor(u, v int) int {
 
 // EdgeOwner returns the region owning directed edge (u,v), or -1.
 func (s *Subdivision) EdgeOwner(u, v int) int {
+	s.ensureTwin()
 	if r, ok := s.twin[[2]int{u, v}]; ok {
 		return r
 	}
@@ -178,6 +241,7 @@ func (s *Subdivision) Locate(p geom.Point) int {
 // interior edge is shared by exactly two regions with opposite orientation,
 // and all rings are counter-clockwise.
 func (s *Subdivision) Validate() error {
+	s.ensureTwin()
 	var sum float64
 	for i := range s.Regions {
 		a := s.Regions[i].Poly.SignedArea()

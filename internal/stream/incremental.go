@@ -1,0 +1,278 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"airindex/internal/core"
+	"airindex/internal/region"
+	"airindex/internal/voronoi"
+	"airindex/internal/wire"
+)
+
+// Incremental generation cuts. A full program compile at 50k sites spends
+// seconds in Voronoi snapshot + D-tree partition search; a cut that follows
+// a batch of a few site ops re-derives almost all of that from the previous
+// generation instead:
+//
+//	maintainer dirty cells -> region.Patcher (reweld only the touched
+//	neighborhood) -> core.Incremental (rebuild only dirty subtrees, splice
+//	the rest) -> FlattenPatched (bulk-copy clean arena ranges) ->
+//	renderPatched (reuse unchanged frames of the previous cycle).
+//
+// Every stage is pinned byte-identical to its from-scratch counterpart, so
+// an incremental cut broadcasts exactly the bytes a cold rebuild would.
+
+// cutStats reports how one generation cut was produced.
+type cutStats struct {
+	Incremental bool // false: full rebuild (bootstrap, fallback, or large batch)
+	DirtyKeys   int  // canonical dirty regions handed to the index rebuild
+	Spliced     int  // D-tree nodes copied from the previous generation
+	Total       int  // D-tree nodes in the new generation
+}
+
+// dirtyPermille returns the rebuilt-node fraction in permille (1000 for a
+// full rebuild).
+func (cs cutStats) dirtyPermille() int64 {
+	if !cs.Incremental || cs.Total == 0 {
+		return 1000
+	}
+	return int64((cs.Total - cs.Spliced) * 1000 / cs.Total)
+}
+
+// incrFullFraction is the dirty-region fraction above which a cut falls
+// back to a full rebuild: with most of the diagram dirty the splice scan is
+// pure overhead on top of an almost-complete partition search.
+const incrFullFraction = 0.25
+
+// incrCompiler carries the compile pipeline state one generation hands the
+// next. Not safe for concurrent use; the Swapper serializes Apply batches.
+type incrCompiler struct {
+	capacity int
+	m        int
+
+	patch *region.Patcher
+	inc   *core.Incremental
+	prog  *Program
+	flat  *core.FlatPaged
+}
+
+func newIncrCompiler(capacity, m int) *incrCompiler {
+	return &incrCompiler{capacity: capacity, m: m}
+}
+
+// reset drops all retained generation state; the next compile bootstraps.
+func (c *incrCompiler) reset() {
+	c.patch, c.inc, c.prog, c.flat = nil, nil, nil, nil
+}
+
+// finish pages, flattens, assembles, and renders a built tree, patching
+// against the previous generation's arena and frame table when present.
+func (c *incrCompiler) finish(tree *core.Tree) (*Program, *core.FlatPaged, error) {
+	paged, err := tree.Page(wire.DTreeParams(c.capacity))
+	if err != nil {
+		return nil, nil, err
+	}
+	fp := paged.FlattenPatched(c.flat)
+	prog, err := ProgramFromFlat(fp, c.m)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.prog != nil {
+		rc, err := renderPatched(prog, c.prog)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog.setRendered(rc)
+	}
+	if _, err := prog.Rendered(); err != nil {
+		return nil, nil, err
+	}
+	c.prog, c.flat = prog, fp
+	return prog, fp, nil
+}
+
+// full compiles the current diagram from scratch (through a fresh Patcher
+// bootstrap, so subsequent batches can patch forward) and retains the
+// generation state.
+func (c *incrCompiler) full(maint *voronoi.Maintainer) (*region.Subdivision, []int, *Program, *core.FlatPaged, error) {
+	ids, polys := maint.LiveCells()
+	if len(ids) == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("stream: no live sites")
+	}
+	c.reset()
+	c.patch = region.NewPatcher(maint.Area())
+	sub, _, err := c.patch.Patch(ids, polys, ids, nil)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	c.inc = core.NewIncremental()
+	tree, err := c.inc.Full(sub)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	prog, fp, err := c.finish(tree)
+	if err != nil {
+		c.reset()
+		return nil, nil, nil, nil, err
+	}
+	return sub, ids, prog, fp, nil
+}
+
+// compile produces the next generation from the maintainer's batch delta,
+// incrementally when the retained state allows it and the batch is small
+// enough, from scratch otherwise. Any incremental-path error falls back to
+// a full rebuild (the outputs are byte-identical either way).
+func (c *incrCompiler) compile(maint *voronoi.Maintainer, dirty, removed []int) (*region.Subdivision, []int, *Program, *core.FlatPaged, cutStats, error) {
+	n := maint.Len()
+	if c.patch == nil || c.inc == nil ||
+		float64(len(dirty)+len(removed)) > incrFullFraction*float64(n) {
+		sub, ids, prog, fp, err := c.full(maint)
+		return sub, ids, prog, fp, cutStats{DirtyKeys: len(dirty)}, err
+	}
+	sub, ids, prog, fp, st, err := c.incremental(maint, dirty, removed)
+	if err != nil {
+		sub, ids, prog, fp, ferr := c.full(maint)
+		return sub, ids, prog, fp, cutStats{DirtyKeys: len(dirty)}, ferr
+	}
+	return sub, ids, prog, fp, st, nil
+}
+
+func (c *incrCompiler) incremental(maint *voronoi.Maintainer, dirty, removed []int) (*region.Subdivision, []int, *Program, *core.FlatPaged, cutStats, error) {
+	ids, polys := maint.LiveCells()
+	if len(ids) == 0 {
+		return nil, nil, nil, nil, cutStats{}, fmt.Errorf("stream: no live sites")
+	}
+	sub, canonDirty, err := c.patch.Patch(ids, polys, dirty, removed)
+	if err != nil {
+		return nil, nil, nil, nil, cutStats{}, err
+	}
+	tree, delta, err := c.inc.Rebuild(sub, canonDirty)
+	if err != nil {
+		return nil, nil, nil, nil, cutStats{}, err
+	}
+	prog, fp, err := c.finish(tree)
+	if err != nil {
+		return nil, nil, nil, nil, cutStats{}, err
+	}
+	st := cutStats{Incremental: true, DirtyKeys: len(canonDirty), Spliced: delta.Spliced, Total: delta.Total}
+	return sub, ids, prog, fp, st, nil
+}
+
+// renderPatched builds the rendered cycle for p by copying the previous
+// generation's frame table and re-rendering only the slots whose bytes
+// changed. Valid when both programs carry the canonical stamped data
+// generator, so a data payload — and its CRC — is a pure function of
+// (bucket, packet) and never of the generation. Index frames are compared
+// packet by packet (the flat-arena patch leaves most of them byte-equal).
+// The schedule may drift by whole index packets between generations (the
+// encoded tree grows or shrinks past a packet boundary): every frame then
+// shifts position, but only two header fields depend on position — the
+// slot, which transmitSlot overwrites anyway, and the next-index delta —
+// so a reused frame costs a 24-byte header rewrite, not a payload marshal.
+// Anything else (capacity, bucket geometry, or replication changes) falls
+// back to a full render. Byte identity with renderCycle is pinned by
+// TestRenderPatchedMatchesRenderCycle.
+func renderPatched(p, prev *Program) (*renderedCycle, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	prevRC := prev.rendered
+	if prevRC == nil || !p.stamped || !prev.stamped ||
+		p.Capacity != prev.Capacity ||
+		p.Sched.M != prev.Sched.M ||
+		p.Sched.NumBuckets != prev.Sched.NumBuckets ||
+		p.Sched.BucketPackets != prev.Sched.BucketPackets {
+		return renderCycle(p)
+	}
+	if p.Sched.IndexPackets == prev.Sched.IndexPackets {
+		// Aligned schedules: every position keeps its meaning, so start from
+		// a verbatim copy and re-render only the index packets whose bytes
+		// changed. Copying the frames moves the header arrays by value (each
+		// generation owns its headers — transmit-time patching never crosses
+		// generations) and shares the immutable payload slices.
+		rc := &renderedCycle{
+			frames:    make([]renderedFrame, prevRC.cycleLen()),
+			frameSize: prevRC.frameSize,
+		}
+		copy(rc.frames, prevRC.frames)
+		for off := 0; off < p.Sched.IndexPackets; off++ {
+			if bytes.Equal(p.IndexPackets[off], prev.IndexPackets[off]) {
+				continue
+			}
+			for j := 0; j < p.Sched.M; j++ {
+				pos := p.Sched.IndexStartOf(j) + off
+				h, payload := p.frameAt(pos)
+				h.CRC = Checksum(payload)
+				buf, err := marshalFrame(h, payload)
+				if err != nil {
+					return nil, err
+				}
+				f := &rc.frames[pos]
+				copy(f.hdr[:], buf[:headerSize])
+				f.payload = buf[headerSize:]
+			}
+		}
+		return rc, nil
+	}
+
+	// Drifted schedules: walk the new cycle, pull each frame's payload (and
+	// CRC) from the position the same content held in the previous cycle,
+	// and rewrite the two position-dependent header fields in place.
+	cycle := p.Sched.CycleLen()
+	rc := &renderedCycle{
+		frames:    make([]renderedFrame, cycle),
+		frameSize: prevRC.frameSize,
+	}
+	reuse := func(pos, prevPos int) error {
+		next := p.Sched.NextIndexStart(float64(pos) + 1e-9)
+		if next == pos {
+			next = p.Sched.NextIndexStart(float64(pos) + 1)
+		}
+		delta := next - pos
+		if delta > 0xffff {
+			return fmt.Errorf("stream: next-index delta %d exceeds 16 bits", delta)
+		}
+		f := &rc.frames[pos]
+		*f = prevRC.frames[prevPos]
+		binary.LittleEndian.PutUint32(f.hdr[4:], uint32(pos))
+		binary.LittleEndian.PutUint16(f.hdr[14:], uint16(delta))
+		return nil
+	}
+	render := func(pos int) error {
+		h, payload := p.frameAt(pos)
+		h.CRC = Checksum(payload)
+		buf, err := marshalFrame(h, payload)
+		if err != nil {
+			return err
+		}
+		f := &rc.frames[pos]
+		copy(f.hdr[:], buf[:headerSize])
+		f.payload = buf[headerSize:]
+		return nil
+	}
+	for j := 0; j < p.Sched.M; j++ {
+		start := p.Sched.IndexStartOf(j)
+		for off := 0; off < p.Sched.IndexPackets; off++ {
+			pos := start + off
+			if off < prev.Sched.IndexPackets && bytes.Equal(p.IndexPackets[off], prev.IndexPackets[off]) {
+				if err := reuse(pos, prev.Sched.IndexStartOf(0)+off); err != nil {
+					return nil, err
+				}
+			} else if err := render(pos); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for b := 0; b < p.Sched.NumBuckets; b++ {
+		start := p.Sched.BucketStart(b)
+		prevStart := prev.Sched.BucketStart(b)
+		for pkt := 0; pkt < p.Sched.BucketPackets; pkt++ {
+			if err := reuse(start+pkt, prevStart+pkt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rc, nil
+}

@@ -26,6 +26,11 @@ type Metrics struct {
 
 	Swaps         *obs.Counter   // program generations published to the air
 	SwapLatencyNS *obs.Histogram // end-to-end reconfiguration latency (Swapper.Apply), ns
+	CutBuildNS    *obs.Histogram // off-path program compile per generation cut, ns
+	// CutDirtyPermille is the rebuilt-node fraction of the last cut's D-tree
+	// in permille: near 0 when the incremental path spliced almost
+	// everything, 1000 for a full rebuild.
+	CutDirtyPermille *obs.Gauge
 }
 
 // NewMetrics builds a server metrics set backed by a fresh registry.
@@ -37,17 +42,19 @@ func NewMetrics() *Metrics { return NewMetricsIn(obs.NewRegistry(), "") }
 // ...). The prefix must be unique within the registry.
 func NewMetricsIn(reg *obs.Registry, prefix string) *Metrics {
 	return &Metrics{
-		reg:             reg,
-		FramesWritten:   reg.Counter(prefix + "frames_written"),
-		FramesDropped:   reg.Counter(prefix + "frames_dropped"),
-		FramesCorrupted: reg.Counter(prefix + "frames_corrupted"),
-		BytesWritten:    reg.Counter(prefix + "bytes_written"),
-		ConnsActive:     reg.Gauge(prefix + "conns_active"),
-		ConnsTotal:      reg.Counter(prefix + "conns_total"),
-		Evictions:       reg.Counter(prefix + "evictions"),
-		ConnPanics:      reg.Counter(prefix + "conn_panics"),
-		Swaps:           reg.Counter(prefix + "swaps"),
-		SwapLatencyNS:   reg.Histogram(prefix+"swap_latency_ns", 256),
+		reg:              reg,
+		FramesWritten:    reg.Counter(prefix + "frames_written"),
+		FramesDropped:    reg.Counter(prefix + "frames_dropped"),
+		FramesCorrupted:  reg.Counter(prefix + "frames_corrupted"),
+		BytesWritten:     reg.Counter(prefix + "bytes_written"),
+		ConnsActive:      reg.Gauge(prefix + "conns_active"),
+		ConnsTotal:       reg.Counter(prefix + "conns_total"),
+		Evictions:        reg.Counter(prefix + "evictions"),
+		ConnPanics:       reg.Counter(prefix + "conn_panics"),
+		Swaps:            reg.Counter(prefix + "swaps"),
+		SwapLatencyNS:    reg.Histogram(prefix+"swap_latency_ns", 256),
+		CutBuildNS:       reg.Histogram(prefix+"cut_build_ns", 256),
+		CutDirtyPermille: reg.Gauge(prefix + "cut_dirty_permille"),
 	}
 }
 

@@ -71,6 +71,7 @@ func ProgramFromFlat(fp *core.FlatPaged, m int) (*Program, error) {
 		IndexPackets: packets,
 		Sched:        sched,
 		Data:         BucketStamp(capacity),
+		stamped:      true,
 	}, nil
 }
 

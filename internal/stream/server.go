@@ -37,9 +37,22 @@ type Program struct {
 	// are zero-filled. Payloads shorter than Capacity are padded.
 	Data func(bucket, pkt int) []byte
 
+	// stamped marks Data as the canonical BucketStamp generator, whose
+	// payload bytes are a pure function of (bucket, pkt) — the property the
+	// incremental render path (renderPatched) needs to reuse data frames
+	// across generations.
+	stamped bool
+
 	renderOnce sync.Once
 	rendered   *renderedCycle
 	renderErr  error
+}
+
+// setRendered installs a pre-built rendered cycle (the incremental render
+// path builds it against the previous generation); a later Rendered call
+// returns it without re-rendering. No-op if the program already rendered.
+func (p *Program) setRendered(rc *renderedCycle) {
+	p.renderOnce.Do(func() { p.rendered = rc })
 }
 
 // Rendered returns the program's immutable rendered cycle, building it on

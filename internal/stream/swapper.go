@@ -55,6 +55,7 @@ type Swapper struct {
 
 	mu    sync.Mutex
 	maint *voronoi.Maintainer
+	comp  *incrCompiler
 	gens  map[uint32]*Generation
 	cur   *Generation
 	srv   *Server // nil until Bind
@@ -67,30 +68,29 @@ func NewSwapper(area geom.Rect, sites []geom.Point, capacity, m int) (*Swapper, 
 	if err != nil {
 		return nil, err
 	}
-	sw := &Swapper{capacity: capacity, m: m, maint: maint, gens: make(map[uint32]*Generation)}
-	gen, err := sw.buildLocked(1)
+	sw := &Swapper{
+		capacity: capacity, m: m,
+		maint: maint,
+		comp:  newIncrCompiler(capacity, m),
+		gens:  make(map[uint32]*Generation),
+	}
+	sub, ids, prog, flat, err := sw.comp.full(maint)
 	if err != nil {
 		return nil, err
 	}
-	sw.remember(gen)
+	sw.remember(&Generation{Gen: 1, Sub: sub, IDs: ids, Prog: prog, Flat: flat})
 	return sw, nil
 }
 
-// buildLocked snapshots the maintainer and compiles a program; the caller
-// holds mu (or, in NewSwapper, exclusive ownership).
-func (sw *Swapper) buildLocked(gen uint32) (*Generation, error) {
-	sub, ids, err := sw.maint.Snapshot()
+// buildLocked compiles the next program from the maintainer's batch delta —
+// incrementally against the previous generation when the batch is small,
+// from scratch otherwise (byte-identical either way); the caller holds mu.
+func (sw *Swapper) buildLocked(gen uint32, dirty, removed []int) (*Generation, cutStats, error) {
+	sub, ids, prog, flat, st, err := sw.comp.compile(sw.maint, dirty, removed)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	prog, flat, err := CompileDTree(sub, sw.capacity, sw.m)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := prog.Rendered(); err != nil {
-		return nil, err
-	}
-	return &Generation{Gen: gen, Sub: sub, IDs: ids, Prog: prog, Flat: flat}, nil
+	return &Generation{Gen: gen, Sub: sub, IDs: ids, Prog: prog, Flat: flat}, st, nil
 }
 
 func (sw *Swapper) remember(g *Generation) {
@@ -142,16 +142,20 @@ func (sw *Swapper) LiveSiteIDs() []int {
 // Apply runs one batch of site operations through the maintainer, rebuilds
 // the broadcast program in this goroutine (off the serving hot path), and —
 // when bound — publishes it to the server, returning the new generation.
-// An operation that fails stops the batch: operations already applied stay
-// applied and ARE published (the diagram is valid after every op), so the
-// broadcast never reflects a half-applied operation, only a shortened
-// batch. The returned ids slice maps batch position -> resulting site id
-// (new id for Add/Move, the removed id echoed for Remove), valid for the
-// prefix that succeeded.
+// The rebuild is incremental: only the D-tree subtrees, arena ranges, and
+// rendered frames the batch's dirty cells touched are recomputed, and the
+// result is byte-identical to a from-scratch compile. An operation that
+// fails stops the batch: operations already applied stay applied and ARE
+// published (the diagram is valid after every op), so the broadcast never
+// reflects a half-applied operation, only a shortened batch. The returned
+// ids slice maps batch position -> resulting site id (a new id for Add, the
+// site's stable id echoed for Remove and Move), valid for the prefix that
+// succeeded.
 func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
 	start := time.Now()
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	sw.maint.BeginBatch()
 	ids = make([]int, 0, len(ops))
 	var opErr error
 	for _, op := range ops {
@@ -175,11 +179,19 @@ func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
 		// Nothing changed; keep the current generation on the air.
 		return sw.cur.Gen, nil, opErr
 	}
+	dirty, removed := sw.maint.BatchDelta()
+	if len(dirty) == 0 && len(removed) == 0 {
+		// The batch was a byte-level no-op (e.g. a move back to the same
+		// spot); the program on the air is already exact.
+		return sw.cur.Gen, ids, opErr
+	}
 	next := sw.cur.Gen + 1
-	g, err := sw.buildLocked(next)
+	buildStart := time.Now()
+	g, st, err := sw.buildLocked(next, dirty, removed)
 	if err != nil {
 		return sw.cur.Gen, ids, err
 	}
+	buildNS := time.Since(buildStart).Nanoseconds()
 	// Record the generation before publishing: a client may pin it and
 	// look up its ground truth the instant the first swapped frame is on
 	// the air, which can be before Swap even returns.
@@ -192,8 +204,12 @@ func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
 			return prev.Gen, ids, err
 		}
 		// End-to-end reconfiguration latency: maintainer mutation + off-path
-		// rebuild + render + publish, the number capacity planning needs.
-		sw.srv.Metrics().SwapLatencyNS.Observe(time.Since(start).Nanoseconds())
+		// rebuild + render + publish, the number capacity planning needs —
+		// plus the cut's compile cost and dirty fraction on their own series.
+		m := sw.srv.Metrics()
+		m.SwapLatencyNS.Observe(time.Since(start).Nanoseconds())
+		m.CutBuildNS.Observe(buildNS)
+		m.CutDirtyPermille.Set(st.dirtyPermille())
 	}
 	return next, ids, opErr
 }

@@ -3,6 +3,7 @@ package voronoi
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"airindex/internal/geom"
 	"airindex/internal/region"
@@ -10,8 +11,10 @@ import (
 
 // Maintainer keeps a set of Voronoi valid scopes up to date as data
 // instances appear and disappear between broadcast cycles, recomputing only
-// the affected cells. Site ids are stable (removal leaves a tombstone), so
-// the broadcast server can keep bucket numbering consistent.
+// the affected cells. Site ids are stable (removal leaves a tombstone, and
+// Move keeps the id in place), so the broadcast server can keep bucket
+// numbering consistent and downstream consumers can use the id as a stable
+// key across generations.
 //
 // Every touched cell is rebuilt from scratch through the same nearest-first
 // clip sequence Cells uses, and per-cell build metadata (cellMeta) decides
@@ -19,6 +22,12 @@ import (
 // bit-identical to a full rebuild of the live site set — the invariant the
 // live broadcast swap (stream.Swapper) relies on, pinned by
 // TestMaintainerBitIdenticalProperty.
+//
+// The maintainer additionally reports, per batch (BeginBatch/BatchDelta),
+// exactly which live cells' polygon bytes changed — a rebuilt cell whose
+// vertices come out identical is not dirty — which is what makes the
+// incremental index rebuild downstream (core.Incremental) cheap: the dirty
+// set after a small batch is the touched neighborhood, not the diagram.
 type Maintainer struct {
 	area  geom.Rect
 	sites []geom.Point
@@ -26,6 +35,22 @@ type Maintainer struct {
 	meta  []cellMeta
 	alive []bool
 	n     int // alive count
+
+	// breaks mirrors meta[j].breakDist2 in a flat array so the Add/Move
+	// affected-cell scan is one cache-friendly pass.
+	breaks []float64
+	// clippedBy[s] lists the cells whose clip sequence includes site s —
+	// the reverse of meta[j].clipped — so Remove/Move find their affected
+	// set in O(degree) instead of scanning every live cell's metadata.
+	clippedBy [][]int32
+
+	// Batch-dirty tracking (BeginBatch / BatchDelta).
+	dirtyMark  []int32 // per site id, stamped with dirtyEpoch when dirty
+	dirtyEpoch int32
+	dirtyList  []int
+	baseAlive  []bool // alive[] snapshot at BeginBatch
+	removed    []int  // ids live at BeginBatch, dead now
+	rebuilds   int    // cells recomputed since BeginBatch (incl. clean results)
 
 	grid *siteGrid
 }
@@ -52,15 +77,8 @@ type cellMeta struct {
 	breakDist2 float64
 }
 
-// hasClipped reports whether site id was part of the cell's clip sequence.
-func (c *cellMeta) hasClipped(id int) bool {
-	for _, j := range c.clipped {
-		if int(j) == id {
-			return true
-		}
-	}
-	return false
-}
+// Area returns the service area the diagram tiles.
+func (m *Maintainer) Area() geom.Rect { return m.area }
 
 // NewMaintainer builds the initial diagram.
 func NewMaintainer(area geom.Rect, sites []geom.Point) (*Maintainer, error) {
@@ -73,13 +91,16 @@ func NewMaintainer(area geom.Rect, sites []geom.Point) (*Maintainer, error) {
 		}
 	}
 	m := &Maintainer{
-		area:  area,
-		sites: append([]geom.Point(nil), sites...),
-		cells: make([]geom.Polygon, len(sites)),
-		meta:  make([]cellMeta, len(sites)),
-		alive: make([]bool, len(sites)),
-		n:     len(sites),
-		grid:  newSiteGrid(area, sites),
+		area:      area,
+		sites:     append([]geom.Point(nil), sites...),
+		cells:     make([]geom.Polygon, len(sites)),
+		meta:      make([]cellMeta, len(sites)),
+		alive:     make([]bool, len(sites)),
+		breaks:    make([]float64, len(sites)),
+		clippedBy: make([][]int32, len(sites)),
+		dirtyMark: make([]int32, len(sites)),
+		n:         len(sites),
+		grid:      newSiteGrid(area, sites),
 	}
 	for i := range m.alive {
 		m.alive[i] = true
@@ -89,10 +110,108 @@ func NewMaintainer(area geom.Rect, sites []geom.Point) (*Maintainer, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.cells[i], m.meta[i] = cell, meta
+		m.setCell(i, cell, meta)
 	}
+	m.BeginBatch()
 	return m, nil
 }
+
+// setCell installs a freshly computed cell, maintaining the reverse clip
+// index, the flat break-distance mirror, and the batch-dirty set. When the
+// rebuilt polygon is bit-identical to the current one, the old slice is
+// kept (so downstream pointer comparisons keep working) and the cell is not
+// marked dirty; the metadata is still replaced, because an identical
+// polygon can arise from a different clip sequence.
+func (m *Maintainer) setCell(j int, cell geom.Polygon, meta cellMeta) {
+	m.rebuilds++
+	for _, s := range m.meta[j].clipped {
+		m.clippedBy[s] = dropID(m.clippedBy[s], int32(j))
+	}
+	for _, s := range meta.clipped {
+		m.clippedBy[s] = append(m.clippedBy[s], int32(j))
+	}
+	if !polyEq(m.cells[j], cell) {
+		m.cells[j] = cell
+		m.markDirty(j)
+	}
+	m.meta[j] = meta
+	m.breaks[j] = meta.breakDist2
+}
+
+// clearCell tears down a removed cell's bookkeeping.
+func (m *Maintainer) clearCell(j int) {
+	for _, s := range m.meta[j].clipped {
+		m.clippedBy[s] = dropID(m.clippedBy[s], int32(j))
+	}
+	m.cells[j], m.meta[j], m.breaks[j] = nil, cellMeta{}, 0
+}
+
+func dropID(s []int32, v int32) []int32 {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+func polyEq(a, b geom.Polygon) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return len(a) > 0
+}
+
+func (m *Maintainer) markDirty(j int) {
+	if m.dirtyMark[j] == m.dirtyEpoch {
+		return
+	}
+	m.dirtyMark[j] = m.dirtyEpoch
+	m.dirtyList = append(m.dirtyList, j)
+}
+
+// BeginBatch starts a new dirty-tracking window: BatchDelta will report the
+// cells changed and the sites removed from this point on. NewMaintainer
+// begins an initial batch, and stream.Swapper begins one per Apply.
+func (m *Maintainer) BeginBatch() {
+	m.dirtyEpoch++
+	m.dirtyList = m.dirtyList[:0]
+	m.removed = m.removed[:0]
+	m.rebuilds = 0
+	m.baseAlive = append(m.baseAlive[:0], m.alive...)
+}
+
+// BatchDelta reports the current batch's net effect on the live cell set:
+// dirty is the sorted ids of live cells whose polygon bytes differ from the
+// batch start (including sites inserted during the batch), and removed is
+// the sorted ids of sites that were live at the batch start and are gone
+// now. A site added and removed within one batch appears in neither.
+func (m *Maintainer) BatchDelta() (dirty, removed []int) {
+	for _, j := range m.dirtyList {
+		if m.alive[j] {
+			dirty = append(dirty, j)
+		}
+	}
+	sort.Ints(dirty)
+	for _, j := range m.removed {
+		if j < len(m.baseAlive) && m.baseAlive[j] && !m.alive[j] {
+			removed = append(removed, j)
+		}
+	}
+	sort.Ints(removed)
+	return dirty, removed
+}
+
+// BatchRebuilds reports how many cell recomputations the current batch ran,
+// including rebuilds that came out bit-identical (observability: the
+// conservative affected-set size vs the true dirty set).
+func (m *Maintainer) BatchRebuilds() int { return m.rebuilds }
 
 // maybeRegrid re-dimensions the grid when the live population has drifted
 // far from what the buckets were sized for.
@@ -128,6 +247,31 @@ func (m *Maintainer) Cell(id int) (geom.Polygon, error) {
 	return m.cells[id].Clone(), nil
 }
 
+// grow extends the per-site-id arrays for a new id.
+func (m *Maintainer) grow(p geom.Point) int {
+	id := len(m.sites)
+	m.sites = append(m.sites, p)
+	m.cells = append(m.cells, nil)
+	m.meta = append(m.meta, cellMeta{})
+	m.alive = append(m.alive, true)
+	m.breaks = append(m.breaks, 0)
+	m.clippedBy = append(m.clippedBy, nil)
+	m.dirtyMark = append(m.dirtyMark, 0)
+	return id
+}
+
+// addAffected returns the live cells whose clip sequence a site at p can
+// enter: those whose break candidate lies farther than p.
+func (m *Maintainer) addAffected(p geom.Point) []int {
+	var affected []int
+	for j, alive := range m.alive {
+		if alive && p.Dist2(m.sites[j]) < m.breaks[j] {
+			affected = append(affected, j)
+		}
+	}
+	return affected
+}
+
 // Add inserts a new site and returns its id. Only the cells whose clip
 // sequence the new site can enter — those whose break candidate lies
 // farther than the new site — are rebuilt.
@@ -138,17 +282,8 @@ func (m *Maintainer) Add(p geom.Point) (int, error) {
 	if j := m.grid.nearestIn(m.sites, p); j >= 0 && m.sites[j].Dist(p) < 1e-9 {
 		return 0, fmt.Errorf("voronoi: duplicate of live site %d", j)
 	}
-	var affected []int
-	for j, alive := range m.alive {
-		if alive && p.Dist2(m.sites[j]) < m.meta[j].breakDist2 {
-			affected = append(affected, j)
-		}
-	}
-	id := len(m.sites)
-	m.sites = append(m.sites, p)
-	m.cells = append(m.cells, nil)
-	m.meta = append(m.meta, cellMeta{})
-	m.alive = append(m.alive, true)
+	affected := m.addAffected(p)
+	id := m.grow(p)
 	m.n++
 	m.grid.insert(id, p)
 	rollback := func() {
@@ -157,6 +292,9 @@ func (m *Maintainer) Add(p geom.Point) (int, error) {
 		m.cells = m.cells[:id]
 		m.meta = m.meta[:id]
 		m.alive = m.alive[:id]
+		m.breaks = m.breaks[:id]
+		m.clippedBy = m.clippedBy[:id]
+		m.dirtyMark = m.dirtyMark[:id]
 		m.n--
 	}
 	cell, meta, err := m.computeCell(id)
@@ -164,24 +302,26 @@ func (m *Maintainer) Add(p geom.Point) (int, error) {
 		rollback()
 		return 0, fmt.Errorf("voronoi: new site %v has an empty scope (near-duplicate?)", p)
 	}
-	m.cells[id], m.meta[id] = cell, meta
+	m.setCell(id, cell, meta)
 	var touched []int
 	for _, j := range affected {
 		nc, nm, err := m.computeCell(j)
 		if err != nil {
 			// Undo the insert, then restore the neighbors already rebuilt
 			// with the doomed site present.
+			m.clearCell(id)
 			rollback()
 			for _, k := range touched {
 				if rc, rm, rerr := m.computeCell(k); rerr == nil {
-					m.cells[k], m.meta[k] = rc, rm
+					m.setCell(k, rc, rm)
 				}
 			}
 			return 0, err
 		}
-		m.cells[j], m.meta[j] = nc, nm
+		m.setCell(j, nc, nm)
 		touched = append(touched, j)
 	}
+	m.markDirty(id)
 	m.maybeRegrid()
 	return id, nil
 }
@@ -195,19 +335,15 @@ func (m *Maintainer) Remove(id int) error {
 	if m.n == 1 {
 		return fmt.Errorf("voronoi: cannot remove the last site")
 	}
-	var affected []int
-	for j, alive := range m.alive {
-		if alive && j != id && m.meta[j].hasClipped(id) {
-			affected = append(affected, j)
-		}
-	}
+	affected := append([]int32(nil), m.clippedBy[id]...)
+	sort.Slice(affected, func(a, b int) bool { return affected[a] < affected[b] })
 	s := m.sites[id]
 	m.alive[id] = false
 	m.n--
 	m.grid.remove(id, s)
 	var touched []int
 	for _, j := range affected {
-		cell, meta, err := m.computeCell(j)
+		cell, meta, err := m.computeCell(int(j))
 		if err != nil {
 			// Restore the site, then the cells already rebuilt without it.
 			m.alive[id] = true
@@ -215,27 +351,91 @@ func (m *Maintainer) Remove(id int) error {
 			m.grid.insert(id, s)
 			for _, k := range touched {
 				if rc, rm, rerr := m.computeCell(k); rerr == nil {
-					m.cells[k], m.meta[k] = rc, rm
+					m.setCell(k, rc, rm)
 				}
 			}
 			return err
 		}
-		m.cells[j], m.meta[j] = cell, meta
-		touched = append(touched, j)
+		m.setCell(int(j), cell, meta)
+		touched = append(touched, int(j))
 	}
-	m.cells[id], m.meta[id] = nil, cellMeta{}
+	m.clearCell(id)
+	m.removed = append(m.removed, id)
 	m.maybeRegrid()
 	return nil
 }
 
-// Move relocates a live site (remove + add semantics with a stable id is
-// not possible without invalidating neighbors anyway, so Move returns the
-// new id).
+// Move relocates a live site, keeping its id: downstream consumers see the
+// same stable key with a changed scope instead of a remove/add pair, so
+// region numbering — and with it most of the broadcast content — is
+// preserved across a move batch. The returned id always equals the input id
+// on success. The rebuilt set is the union of the cells the removal can
+// alter (those that clipped the site) and the cells the re-insertion can
+// enter (those whose break candidate lies farther than the new position),
+// each rebuilt once against the final site set, so the result is
+// bit-identical to a from-scratch diagram of the final positions.
 func (m *Maintainer) Move(id int, to geom.Point) (int, error) {
-	if err := m.Remove(id); err != nil {
-		return 0, err
+	if id < 0 || id >= len(m.sites) || !m.alive[id] {
+		return 0, fmt.Errorf("voronoi: no live site %d", id)
 	}
-	return m.Add(to)
+	if !m.area.Contains(to) {
+		return 0, fmt.Errorf("voronoi: site %v outside the service area", to)
+	}
+	from := m.sites[id]
+	if j := m.grid.nearestIn(m.sites, to); j >= 0 && j != id && m.sites[j].Dist(to) < 1e-9 {
+		return 0, fmt.Errorf("voronoi: duplicate of live site %d", j)
+	}
+	// Affected set, computed against the pre-move state: cells the departure
+	// can alter, plus cells the arrival can enter.
+	seen := map[int]bool{int(id): true}
+	var affected []int
+	for _, j := range m.clippedBy[id] {
+		if !seen[int(j)] {
+			seen[int(j)] = true
+			affected = append(affected, int(j))
+		}
+	}
+	for _, j := range m.addAffected(to) {
+		if !seen[j] {
+			seen[j] = true
+			affected = append(affected, j)
+		}
+	}
+	sort.Ints(affected)
+
+	m.grid.remove(id, from)
+	m.sites[id] = to
+	m.grid.insert(id, to)
+	rollback := func(touched []int) {
+		m.grid.remove(id, to)
+		m.sites[id] = from
+		m.grid.insert(id, from)
+		if rc, rm, rerr := m.computeCell(id); rerr == nil {
+			m.setCell(id, rc, rm)
+		}
+		for _, k := range touched {
+			if rc, rm, rerr := m.computeCell(k); rerr == nil {
+				m.setCell(k, rc, rm)
+			}
+		}
+	}
+	cell, meta, err := m.computeCell(id)
+	if err != nil {
+		rollback(nil)
+		return 0, fmt.Errorf("voronoi: moved site %v has an empty scope (near-duplicate?)", to)
+	}
+	m.setCell(id, cell, meta)
+	var touched []int
+	for _, j := range affected {
+		nc, nm, err := m.computeCell(j)
+		if err != nil {
+			rollback(touched)
+			return 0, err
+		}
+		m.setCell(j, nc, nm)
+		touched = append(touched, j)
+	}
+	return id, nil
 }
 
 // computeCell rebuilds one cell from scratch with nearest-first pruning —
@@ -282,17 +482,27 @@ func (m *Maintainer) LiveSites() (ids []int, sites []geom.Point) {
 	return ids, sites
 }
 
-// Snapshot assembles the current scopes into a validated subdivision for
-// index building. The returned id slice maps region index -> site id.
-func (m *Maintainer) Snapshot() (*region.Subdivision, []int, error) {
-	ids := make([]int, 0, m.n)
-	polys := make([]geom.Polygon, 0, m.n)
+// LiveCells returns the live cell polygons in site-id order together with
+// their site ids, without building a subdivision. The returned polygon
+// slices are the maintainer's own: they are never mutated in place (every
+// rebuild installs a fresh slice), so callers may hold them across future
+// updates, but must not modify them.
+func (m *Maintainer) LiveCells() (ids []int, polys []geom.Polygon) {
+	ids = make([]int, 0, m.n)
+	polys = make([]geom.Polygon, 0, m.n)
 	for j, alive := range m.alive {
 		if alive {
 			ids = append(ids, j)
 			polys = append(polys, m.cells[j])
 		}
 	}
+	return ids, polys
+}
+
+// Snapshot assembles the current scopes into a validated subdivision for
+// index building. The returned id slice maps region index -> site id.
+func (m *Maintainer) Snapshot() (*region.Subdivision, []int, error) {
+	ids, polys := m.LiveCells()
 	sub, err := region.New(m.area, polys)
 	if err != nil {
 		return nil, nil, fmt.Errorf("voronoi: snapshot: %w", err)

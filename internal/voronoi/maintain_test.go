@@ -187,8 +187,8 @@ func TestMaintainerMove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Cell(5); err == nil {
-		t.Error("old id should be dead after move")
+	if id != 5 {
+		t.Errorf("move should keep the site id stable, got %d", id)
 	}
 	c, err := m.Cell(id)
 	if err != nil {

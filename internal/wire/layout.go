@@ -46,43 +46,34 @@ func EmptyLayout(capacity int) *Layout {
 	return &Layout{PacketCapacity: capacity}
 }
 
-// newLayout freezes a construction-time placement map into the contiguous
-// representation. The dense table is used when the id space is compact
-// (every hot-path index family numbers nodes 0..n-1); wide, sparse id sets
-// keep the map.
-func newLayout(capacity, count int, occupied []int, packetNodes [][]int, place map[int][]int) *Layout {
+// newLayout freezes a construction-time placement table into the contiguous
+// representation. A dense placement table (every hot-path index family
+// numbers nodes 0..n-1) freezes straight into the pooled slab with no map
+// traffic at all; sparse placements keep a map.
+func newLayout(capacity, count int, occupied []int, packetNodes [][]int, place *placeTable) *Layout {
 	l := &Layout{
 		PacketCapacity: capacity,
 		PacketCount:    count,
 		Occupied:       occupied,
 		PacketNodes:    packetNodes,
 	}
-	maxID, total := -1, 0
-	for id, pks := range place {
-		if id > maxID {
-			maxID = id
+	if place.dense != nil {
+		total := 0
+		for _, pks := range place.dense {
+			total += len(pks)
 		}
-		total += len(pks)
-	}
-	if maxID >= 0 && maxID < 2*len(place)+64 {
-		l.starts = make([]int32, maxID+2)
-		for id, pks := range place {
-			l.starts[id+1] = int32(len(pks))
-		}
-		for i := 1; i < len(l.starts); i++ {
-			l.starts[i] += l.starts[i-1]
-		}
-		l.packets = make([]int32, total)
-		for id, pks := range place {
-			off := l.starts[id]
-			for i, pk := range pks {
-				l.packets[off+int32(i)] = int32(pk)
+		l.starts = make([]int32, len(place.dense)+1)
+		l.packets = make([]int32, 0, total)
+		for id, pks := range place.dense {
+			for _, pk := range pks {
+				l.packets = append(l.packets, int32(pk))
 			}
+			l.starts[id+1] = int32(len(l.packets))
 		}
 		return l
 	}
-	l.sparse = make(map[int][]int32, len(place))
-	for id, pks := range place {
+	l.sparse = make(map[int][]int32, len(place.sparse))
+	for id, pks := range place.sparse {
 		s := make([]int32, len(pks))
 		for i, pk := range pks {
 			s[i] = int32(pk)

@@ -26,6 +26,90 @@ func Greedy(nodes []NodeSpec, capacity int) (*Layout, error) {
 	return page(nodes, capacity, false, false)
 }
 
+// placeTable maps node id -> packet indices during placement. Hot-path index
+// families number nodes densely 0..n-1; those run on plain slices (no map
+// probes or per-node hashing). Sparse id spaces (the R*-tree's shape layer)
+// fall back to maps.
+type placeTable struct {
+	dense    [][]int
+	packetOf []int32 // dense tail-packet table, -1 unplaced
+
+	sparse  map[int][]int
+	sPacket map[int]int
+}
+
+// newPlaceTable picks the dense representation when ids are compact, using
+// the same compactness heuristic the frozen Layout applies.
+func newPlaceTable(nodes []NodeSpec) *placeTable {
+	maxID := -1
+	for _, n := range nodes {
+		if n.ID < 0 {
+			maxID = -1
+			break
+		}
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	if maxID >= 0 && maxID < 2*len(nodes)+64 {
+		t := &placeTable{dense: make([][]int, maxID+1), packetOf: make([]int32, maxID+1)}
+		for i := range t.packetOf {
+			t.packetOf[i] = -1
+		}
+		return t
+	}
+	return &placeTable{sparse: make(map[int][]int, len(nodes)), sPacket: make(map[int]int, len(nodes))}
+}
+
+func (t *placeTable) get(id int) []int {
+	if t.dense != nil {
+		return t.dense[id]
+	}
+	return t.sparse[id]
+}
+
+func (t *placeTable) add(id, k int) {
+	if t.dense != nil {
+		t.dense[id] = append(t.dense[id], k)
+		return
+	}
+	t.sparse[id] = append(t.sparse[id], k)
+}
+
+func (t *placeTable) tail(id int) (int, bool) {
+	if t.dense != nil {
+		if id < 0 || id >= len(t.packetOf) || t.packetOf[id] < 0 {
+			return 0, false
+		}
+		return int(t.packetOf[id]), true
+	}
+	k, ok := t.sPacket[id]
+	return k, ok
+}
+
+func (t *placeTable) setTail(id, k int) {
+	if t.dense != nil {
+		t.packetOf[id] = int32(k)
+		return
+	}
+	t.sPacket[id] = k
+}
+
+// each visits every placed node (ascending id order in the dense case).
+func (t *placeTable) each(f func(id int, pks []int)) {
+	if t.dense != nil {
+		for id, pks := range t.dense {
+			if pks != nil {
+				f(id, pks)
+			}
+		}
+		return
+	}
+	for id, pks := range t.sparse {
+		f(id, pks)
+	}
+}
+
 func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*Layout, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("wire: packet capacity %d must be positive", capacity)
@@ -38,8 +122,7 @@ func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*La
 		dedic    bool // dedicated to a single multi-packet node
 	}
 	var packets []packet
-	place := make(map[int][]int, len(nodes)) // node -> packet indices
-	packetOf := make(map[int]int)            // node -> packet holding its tail (for children affinity)
+	place := newPlaceTable(nodes)
 
 	newPacket := func() int {
 		packets = append(packets, packet{})
@@ -51,7 +134,7 @@ func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*La
 		if n.Leaf {
 			packets[k].hasLeaf = true
 		}
-		place[n.ID] = append(place[n.ID], k)
+		place.add(n.ID, k)
 	}
 
 	cur := -1 // current open packet for greedy mode
@@ -59,13 +142,13 @@ func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*La
 		if n.Size <= 0 {
 			return nil, fmt.Errorf("wire: node %d has non-positive size %d", n.ID, n.Size)
 		}
-		if _, dup := place[n.ID]; dup {
+		if place.get(n.ID) != nil {
 			return nil, fmt.Errorf("wire: node %d listed twice", n.ID)
 		}
 		target := -1
 		if parentAffinity {
 			if n.Parent >= 0 {
-				pk, ok := packetOf[n.Parent]
+				pk, ok := place.tail(n.Parent)
 				if !ok {
 					return nil, fmt.Errorf("wire: node %d placed before its parent %d", n.ID, n.Parent)
 				}
@@ -79,7 +162,7 @@ func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*La
 
 		if target >= 0 {
 			putIn(target, n, n.Size)
-			packetOf[n.ID] = target
+			place.setTail(n.ID, target)
 			if !parentAffinity {
 				cur = target
 			}
@@ -96,7 +179,7 @@ func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*La
 		}
 		k := newPacket()
 		putIn(k, n, rest)
-		packetOf[n.ID] = k
+		place.setTail(n.ID, k)
 		if !parentAffinity {
 			cur = k
 		}
@@ -112,7 +195,7 @@ func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*La
 				return false
 			}
 			for _, id := range packets[k].nodes {
-				if len(place[id]) > 1 {
+				if len(place.get(id)) > 1 {
 					return false
 				}
 			}
@@ -127,9 +210,10 @@ func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*La
 				// Merge packet k into prev.
 				packets[prev].occupied += packets[k].occupied
 				for _, id := range packets[k].nodes {
-					for i, pk := range place[id] {
+					pks := place.get(id)
+					for i, pk := range pks {
 						if pk == k {
-							place[id][i] = prev
+							pks[i] = prev
 						}
 					}
 					packets[prev].nodes = append(packets[prev].nodes, id)
@@ -156,14 +240,12 @@ func page(nodes []NodeSpec, capacity int, parentAffinity, mergeLeaves bool) (*La
 		packetNodes = append(packetNodes, packets[k].nodes)
 		count++
 	}
-	for id, pks := range place {
-		mapped := make([]int, len(pks))
+	place.each(func(id int, pks []int) {
 		for i, pk := range pks {
-			mapped[i] = remap[pk]
+			pks[i] = remap[pk]
 		}
-		sort.Ints(mapped)
-		place[id] = mapped
-	}
+		sort.Ints(pks)
+	})
 
 	return newLayout(capacity, count, occupied, packetNodes, place), nil
 }
