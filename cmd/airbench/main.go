@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache|loss|churn|shards]
+//	airbench [-figure 10|11|12|13|all|ablation|dist|skew|cache|loss|churn|ingest|shards]
 //	         [-queries n] [-capacities 64,128,...] [-datasets uniform,hospital,park]
 //	         [-theta 1.0] [-queries-by-area] [-csv] [-seed n] [-loss-queries n]
 //	         [-shardcounts 1,2,4,8] [-sites 50000] [-baselines]
@@ -19,7 +19,10 @@
 // Bernoulli, Gilbert-Elliott and bit-corruption fault models, run against
 // the live frame stream at the first listed capacity), "churn" (latency
 // and tuning penalty of hot program swaps while sites are added, removed
-// and moved under live queries), and "shards" (the multi-channel sharded
+// and moved under live queries), "ingest" (the asynchronous bounded-queue
+// update pipeline: sustained ops/sec, coalescing fold factor, op-to-on-air
+// latency and shed counts under streamed offered load with live verified
+// queries), and "shards" (the multi-channel sharded
 // fabric: access latency and tuning vs channel count at the first listed
 // capacity, over a large uniform dataset of -sites sites).
 //
@@ -54,7 +57,7 @@ func main() {
 		csvOut     = flag.Bool("csv", false, "emit raw measurements as CSV")
 		jsonOut    = flag.Bool("json", false, "emit raw measurements as JSON; loss/churn cells carry per-cell observability snapshots")
 		seed       = flag.Int64("seed", 42, "random seed")
-		lossQ      = flag.Int("loss-queries", 200, "streamed queries per cell of the loss/churn sweeps (with -figure loss or churn)")
+		lossQ      = flag.Int("loss-queries", 200, "streamed queries per cell of the loss/churn/ingest sweeps (with -figure loss, churn or ingest)")
 		shardCnts  = flag.String("shardcounts", "1,2,4,8", "channel counts of the shard sweep (with -figure shards)")
 		sites      = flag.Int("sites", 50000, "site count of the shard sweep's large uniform dataset (with -figure shards)")
 		baselines  = flag.Bool("baselines", false, "also build the serial trian-tree and trap-tree baselines (opt-in: they dominate build time at large N)")
@@ -178,6 +181,24 @@ func main() {
 				continue
 			}
 			fmt.Printf("=== Live reconfiguration, %s, %d B packets ===\n%s\n", d.Name, caps[0], experiment.ChurnTables(ps))
+		}
+		return
+	}
+	if *figure == "ingest" {
+		for _, d := range ds {
+			ps, err := experiment.RunIngest(d, caps[0], experiment.IngestLevels(), *lossQ, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonOut {
+				emitJSON(map[string]any{"figure": "ingest", "dataset": d.Name, "capacity": caps[0], "points": ps})
+				continue
+			}
+			if *csvOut {
+				fmt.Print(experiment.IngestCSV(ps))
+				continue
+			}
+			fmt.Printf("=== Asynchronous ingest, %s, %d B packets ===\n%s\n", d.Name, caps[0], experiment.IngestTables(ps))
 		}
 		return
 	}

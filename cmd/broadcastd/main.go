@@ -44,6 +44,19 @@
 //	           [-loss 0] [-burst 1] [-corrupt 0]
 //	           [-churn 0] [-churn-ops 4] [-write-timeout 30s]
 //	           [-drain-timeout 10s] [-debug-addr ""] [-demo]
+//	           [-ingest-addr ""] [-ingest-queue 4096] [-ingest-policy reject]
+//	           [-cut-max-ops 256] [-cut-interval 200ms]
+//
+// With -ingest-addr the daemon also accepts live site updates over HTTP:
+// POST /ingest takes a JSON batch ({"ops":[{"op":"add","id":-1,"x":..,
+// "y":..},{"op":"move","id":17,...},{"op":"remove","id":17}]}), admits it
+// into a bounded queue (429 + Retry-After when full, policy configurable
+// via -ingest-policy), coalesces per-site redundancy, and cuts hot-swapped
+// generations at the -cut-max-ops / -cut-interval pace. Negative ids are
+// client-chosen provisional handles for sites added in the same stream;
+// SIGINT/SIGTERM drain the queue through final cuts before the broadcast
+// stops. Requires a maintainable index, so it rejects -snapshot and
+// -snapshot-dir, and like -churn it requires an explicit -seed.
 //
 // With -debug-addr the daemon also serves an HTTP debug endpoint:
 // /metrics (the counters and histograms of every shard as JSON), /healthz
@@ -72,6 +85,7 @@ import (
 	"airindex/internal/dataset"
 	"airindex/internal/fabric"
 	"airindex/internal/geom"
+	"airindex/internal/ingest"
 	"airindex/internal/obs"
 	"airindex/internal/stream"
 )
@@ -99,6 +113,13 @@ type config struct {
 	drainTO  time.Duration
 	dbgAddr  string
 	demo     bool
+
+	ingestAddr   string
+	ingestQueue  int
+	ingestPolicy string
+	cutMaxOps    int
+	cutInterval  time.Duration
+	ingestTuned  []string // ingest tuning flags the user set explicitly
 }
 
 // validateConfig rejects nonsensical flag combinations before any listener
@@ -160,6 +181,31 @@ func validateConfig(c config) error {
 	if c.drainTO <= 0 {
 		return fmt.Errorf("-drain-timeout %v: must be positive", c.drainTO)
 	}
+	if c.ingestAddr != "" {
+		if c.snapshot != "" {
+			return fmt.Errorf("-ingest-addr with -snapshot: a restored arena has no site maintainer to ingest into; rebuild from -dataset instead")
+		}
+		if c.snapDir != "" {
+			return fmt.Errorf("-ingest-addr with -snapshot-dir: a restored arena has no site maintainer to ingest into; rebuild from -dataset instead")
+		}
+		if !c.seedSet {
+			return fmt.Errorf("-ingest-addr without an explicit -seed: live-update runs must be reproducible, pass -seed")
+		}
+	} else if len(c.ingestTuned) > 0 {
+		return fmt.Errorf("-%s without -ingest-addr: ingest tuning has no effect when the ingest endpoint is disabled", c.ingestTuned[0])
+	}
+	if c.ingestQueue < 1 {
+		return fmt.Errorf("-ingest-queue %d: the admission ring needs at least one slot", c.ingestQueue)
+	}
+	if c.cutMaxOps < 1 {
+		return fmt.Errorf("-cut-max-ops %d: a generation cut needs at least one operation", c.cutMaxOps)
+	}
+	if c.cutInterval <= 0 {
+		return fmt.Errorf("-cut-interval %v: must be positive", c.cutInterval)
+	}
+	if _, err := ingest.ParsePolicy(c.ingestPolicy); err != nil {
+		return fmt.Errorf("-ingest-policy: %w", err)
+	}
 	return nil
 }
 
@@ -183,10 +229,18 @@ func main() {
 	flag.DurationVar(&cfg.drainTO, "drain-timeout", 10*time.Second, "graceful-shutdown drain budget before stragglers are severed")
 	flag.StringVar(&cfg.dbgAddr, "debug-addr", "", "serve /metrics, /healthz and /trace on this HTTP address (empty = disabled)")
 	flag.BoolVar(&cfg.demo, "demo", false, "run a demo client against the server and exit")
+	flag.StringVar(&cfg.ingestAddr, "ingest-addr", "", "accept site add/remove/move batches as JSON POSTs on this HTTP address (empty = disabled; requires -seed)")
+	flag.IntVar(&cfg.ingestQueue, "ingest-queue", 4096, "ingest admission ring capacity in operations (with -ingest-addr)")
+	flag.StringVar(&cfg.ingestPolicy, "ingest-policy", "reject", "ingest overflow policy: reject, block or drop-move (with -ingest-addr)")
+	flag.IntVar(&cfg.cutMaxOps, "cut-max-ops", 256, "cut a generation when this many coalesced operations are pending (with -ingest-addr)")
+	flag.DurationVar(&cfg.cutInterval, "cut-interval", 200*time.Millisecond, "cut a generation at least this often while operations are pending (with -ingest-addr)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "seed" {
+		switch f.Name {
+		case "seed":
 			cfg.seedSet = true
+		case "ingest-queue", "ingest-policy", "cut-max-ops", "cut-interval":
+			cfg.ingestTuned = append(cfg.ingestTuned, f.Name)
 		}
 	})
 	if err := validateConfig(cfg); err != nil {
@@ -222,7 +276,7 @@ func runSingle(cfg config, ds dataset.Dataset) {
 	var prog *stream.Program
 	srcName, instances := ds.Name, ds.N()
 	switch {
-	case cfg.churn > 0:
+	case cfg.churn > 0 || cfg.ingestAddr != "":
 		var err error
 		sw, err = stream.NewSwapper(ds.Area, ds.Sites, cfg.capacity, 0)
 		if err != nil {
@@ -299,12 +353,18 @@ func runSingle(cfg config, ds dataset.Dataset) {
 		fmt.Printf("broadcastd: unreliable channel: %s loss %.2f%% (burst %.1f), corruption %.2f%%, seed %d\n",
 			spec.Model(spec.Seed).Name(), 100*cfg.loss, cfg.burst, 100*cfg.corrupt, cfg.seed)
 	}
-	if sw != nil {
+	if sw != nil && cfg.churn > 0 {
 		fmt.Printf("broadcastd: live churn: %d site ops every %v, hot-swapped at cycle boundaries\n", cfg.churnOps, cfg.churn)
 	}
 
+	var pipe *ingest.Pipeline
+	var ingestLn net.Listener
+	if cfg.ingestAddr != "" {
+		pipe, ingestLn = startIngest(cfg, ingest.SwapperSink(sw), srv.Metrics().Registry())
+	}
+
 	stopChurn := make(chan struct{})
-	if sw != nil {
+	if sw != nil && cfg.churn > 0 {
 		go runChurn(sw, cfg.churn, cfg.churnOps, ds.N(), cfg.seed+99, stopChurn)
 	}
 
@@ -312,7 +372,7 @@ func runSingle(cfg config, ds dataset.Dataset) {
 	go func() { serveErr <- srv.Serve() }()
 
 	if !cfg.demo {
-		waitForSignal(cfg, stopChurn, []*stream.Server{srv}, serveErr)
+		waitForSignal(cfg, stopChurn, pipe, ingestLn, []*stream.Server{srv}, serveErr)
 		return
 	}
 
@@ -354,7 +414,7 @@ func runSingle(cfg config, ds dataset.Dataset) {
 	if spec.Enabled() {
 		fmt.Printf("channel: %v\n", stats.Snapshot())
 	}
-	shutdownAll(cfg, stopChurn, []*stream.Server{srv}, serveErr)
+	shutdownAll(cfg, stopChurn, pipe, ingestLn, []*stream.Server{srv}, serveErr)
 }
 
 // runSharded serves the S-channel fabric: one listener, program and
@@ -367,7 +427,7 @@ func runSharded(cfg config, ds dataset.Dataset) {
 	var progs []*stream.Program
 	var dirPackets, channels int
 	switch {
-	case cfg.churn > 0:
+	case cfg.churn > 0 || cfg.ingestAddr != "":
 		var err error
 		fsw, err = fabric.NewSwapper(ds.Area, ds.Sites, S, cfg.capacity, opts)
 		if err != nil {
@@ -460,13 +520,19 @@ func runSharded(cfg config, ds dataset.Dataset) {
 		fmt.Printf("broadcastd: unreliable channels: loss %.2f%% (burst %.1f), corruption %.2f%%, per-shard seeds %d..%d\n",
 			100*cfg.loss, cfg.burst, 100*cfg.corrupt, cfg.seed, cfg.seed+int64(channels-1))
 	}
-	if fsw != nil {
+	if fsw != nil && cfg.churn > 0 {
 		fmt.Printf("broadcastd: live churn: %d site ops every %v, republishing only the shards each batch touches\n",
 			cfg.churnOps, cfg.churn)
 	}
 
+	var pipe *ingest.Pipeline
+	var ingestLn net.Listener
+	if cfg.ingestAddr != "" {
+		pipe, ingestLn = startIngest(cfg, ingest.FabricSink(fsw), reg)
+	}
+
 	stopChurn := make(chan struct{})
-	if fsw != nil {
+	if fsw != nil && cfg.churn > 0 {
 		go runFabricChurn(fsw, cfg.churn, cfg.churnOps, ds.N(), cfg.seed+99, stopChurn)
 	}
 	for _, srv := range srvs {
@@ -475,7 +541,7 @@ func runSharded(cfg config, ds dataset.Dataset) {
 	}
 
 	if !cfg.demo {
-		waitForSignal(cfg, stopChurn, srvs, serveErr)
+		waitForSignal(cfg, stopChurn, pipe, ingestLn, srvs, serveErr)
 		return
 	}
 
@@ -514,7 +580,7 @@ func runSharded(cfg config, ds dataset.Dataset) {
 			lat.Count, lat.P50, lat.P99, tune.P50, tune.P99)
 	}
 	client.Close()
-	shutdownAll(cfg, stopChurn, srvs, serveErr)
+	shutdownAll(cfg, stopChurn, pipe, ingestLn, srvs, serveErr)
 }
 
 // shardAddr derives shard ch's listen address from the base address: a
@@ -529,6 +595,39 @@ func shardAddr(base string, ch int) string {
 		return base
 	}
 	return net.JoinHostPort(host, strconv.Itoa(p+ch))
+}
+
+// startIngest launches the asynchronous update pipeline in front of the
+// swapper and its HTTP admission endpoint, registering the pipeline's
+// metrics in the server registry so /metrics shows broadcast and ingest
+// behavior in one document.
+func startIngest(cfg config, sink ingest.Sink, reg *obs.Registry) (*ingest.Pipeline, net.Listener) {
+	policy, err := ingest.ParsePolicy(cfg.ingestPolicy)
+	if err != nil {
+		fatal(err) // unreachable: validateConfig already parsed it
+	}
+	pipe := ingest.Start(sink, ingest.Config{
+		QueueCap:    cfg.ingestQueue,
+		Policy:      policy,
+		CutMaxOps:   cfg.cutMaxOps,
+		CutInterval: cfg.cutInterval,
+		Metrics:     ingest.NewMetricsIn(reg, "ingest_"),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "broadcastd: "+format+"\n", args...)
+		},
+	})
+	ln, err := net.Listen("tcp", cfg.ingestAddr)
+	if err != nil {
+		fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, ingest.NewHandler(pipe)); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "broadcastd: ingest endpoint:", err)
+		}
+	}()
+	fmt.Printf("broadcastd: ingest endpoint on http://%s (POST /ingest; queue %d ops, policy %s, cuts at %d ops or every %v)\n",
+		ln.Addr(), cfg.ingestQueue, cfg.ingestPolicy, cfg.cutMaxOps, cfg.cutInterval)
+	return pipe, ln
 }
 
 // serveDebug starts the HTTP debug endpoint when addr is non-empty.
@@ -550,14 +649,14 @@ func serveDebug(addr string, reg *obs.Registry, health func() any, traces *obs.T
 }
 
 // waitForSignal blocks until SIGINT/SIGTERM or the first serve error, then
-// drains every server.
-func waitForSignal(cfg config, stopChurn chan struct{}, srvs []*stream.Server, serveErr chan error) {
+// drains the ingest pipeline and every server.
+func waitForSignal(cfg config, stopChurn chan struct{}, pipe *ingest.Pipeline, ingestLn net.Listener, srvs []*stream.Server, serveErr chan error) {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigs:
 		fmt.Printf("broadcastd: %v: draining connections (budget %v)\n", sig, cfg.drainTO)
-		shutdownAll(cfg, stopChurn, srvs, serveErr)
+		shutdownAll(cfg, stopChurn, pipe, ingestLn, srvs, serveErr)
 		fmt.Println("broadcastd: stopped")
 	case err := <-serveErr:
 		close(stopChurn)
@@ -567,12 +666,21 @@ func waitForSignal(cfg config, stopChurn chan struct{}, srvs []*stream.Server, s
 	}
 }
 
-// shutdownAll stops churn and drains every server in parallel within the
-// drain budget.
-func shutdownAll(cfg config, stopChurn chan struct{}, srvs []*stream.Server, serveErr chan error) {
+// shutdownAll stops churn, drains the ingest pipeline through its final
+// generation cuts (admitted operations reach the air before the air goes
+// away), then drains every server in parallel within the drain budget.
+func shutdownAll(cfg config, stopChurn chan struct{}, pipe *ingest.Pipeline, ingestLn net.Listener, srvs []*stream.Server, serveErr chan error) {
 	close(stopChurn)
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTO)
 	defer cancel()
+	if pipe != nil {
+		ingestLn.Close() // new batches now land on a dead socket, not the queue
+		if err := pipe.Close(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "broadcastd: ingest drain incomplete:", err)
+		} else {
+			fmt.Println("broadcastd: ingest queue drained")
+		}
+	}
 	done := make(chan error, len(srvs))
 	for _, srv := range srvs {
 		srv := srv

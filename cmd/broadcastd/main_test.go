@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -161,6 +162,8 @@ func baseConfig() config {
 		addr: "127.0.0.1:7343", dataset: "hospital", n: 1000, capacity: 256,
 		shards: 1, seed: 1, burst: 1, churnOps: 4,
 		writeTO: 30 * time.Second, drainTO: 10 * time.Second,
+		ingestQueue: 4096, ingestPolicy: "reject",
+		cutMaxOps: 256, cutInterval: 200 * time.Millisecond,
 	}
 }
 
@@ -200,6 +203,27 @@ func TestValidateConfig(t *testing.T) {
 		{"negative slot duration", func(c *config) { c.slotDur = -time.Millisecond }, false},
 		{"negative write timeout", func(c *config) { c.writeTO = -time.Second }, false},
 		{"zero drain budget", func(c *config) { c.drainTO = 0 }, false},
+		{"ingest", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true }, true},
+		{"ingest sharded", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true; c.shards = 3 }, true},
+		{"ingest tuned", func(c *config) {
+			c.ingestAddr = "127.0.0.1:0"
+			c.seedSet = true
+			c.ingestPolicy = "drop-move"
+			c.ingestTuned = []string{"ingest-policy"}
+		}, true},
+		{"ingest with snapshot", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true; c.snapshot = "index.dtsnap" }, false},
+		{"ingest with snapshot dir", func(c *config) {
+			c.ingestAddr = "127.0.0.1:0"
+			c.seedSet = true
+			c.shards = 3
+			c.snapDir = "snaps"
+		}, false},
+		{"ingest without seed", func(c *config) { c.ingestAddr = "127.0.0.1:0" }, false},
+		{"ingest tuning without endpoint", func(c *config) { c.ingestTuned = []string{"cut-interval"}; c.seedSet = true }, false},
+		{"zero ingest queue", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true; c.ingestQueue = 0 }, false},
+		{"zero cut max ops", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true; c.cutMaxOps = 0 }, false},
+		{"zero cut interval", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true; c.cutInterval = 0 }, false},
+		{"unknown ingest policy", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true; c.ingestPolicy = "yolo" }, false},
 	}
 	for _, tc := range cases {
 		cfg := baseConfig()
@@ -332,6 +356,164 @@ func TestShardedSnapshotRestartEndToEnd(t *testing.T) {
 	for i := range q1 {
 		if q1[i] != q2[i] {
 			t.Fatalf("query %d diverged after restore:\nbuilt:    %s\nrestored: %s", i, q1[i], q2[i])
+		}
+	}
+}
+
+// TestIngestEndToEnd runs the daemon with -ingest-addr, POSTs a live site
+// batch over HTTP, waits for the pipeline to cut a new generation onto the
+// air, and then SIGTERMs the process expecting the ingest queue to drain
+// before the broadcast goes away.
+func TestIngestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	t.Run("single", func(t *testing.T) { ingestEndToEnd(t, bin) })
+	t.Run("sharded", func(t *testing.T) { ingestEndToEnd(t, bin, "-shards", "3") })
+}
+
+func ingestEndToEnd(t *testing.T, bin string, extra ...string) {
+	args := []string{
+		"-dataset", "uniform", "-n", "40", "-capacity", "128", "-seed", "7",
+		"-slot-duration", "2ms", "-addr", "127.0.0.1:0",
+		"-ingest-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
+		"-cut-interval", "20ms", "-cut-max-ops", "8",
+	}
+	cmd := exec.Command(bin, append(args, extra...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ingestURL := make(chan string, 1)
+	debugURL := make(chan string, 1)
+	var mu sync.Mutex
+	var tailBuf strings.Builder
+	tail := func() string { mu.Lock(); defer mu.Unlock(); return tailBuf.String() }
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			tailBuf.WriteString(line + "\n")
+			mu.Unlock()
+			if _, rest, ok := strings.Cut(line, "ingest endpoint on http://"); ok {
+				ingestURL <- "http://" + strings.Fields(rest)[0]
+			}
+			if _, rest, ok := strings.Cut(line, "debug endpoint on http://"); ok {
+				debugURL <- "http://" + strings.Fields(rest)[0]
+			}
+		}
+	}()
+	// Reap only after the scanner hits EOF: Wait closes the stdout pipe
+	// and would otherwise race the scanner out of the daemon's last lines
+	// (the drain messages this test exists to observe).
+	var waitErr error
+	done := make(chan struct{})
+	go func() { <-scanDone; waitErr = cmd.Wait(); close(done) }()
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck
+		<-done
+	}()
+	await := func(ch chan string, what string) string {
+		select {
+		case u := <-ch:
+			return u
+		case <-done:
+			t.Fatalf("daemon exited before announcing the %s endpoint: %v\n%s", what, waitErr, tail())
+		case <-time.After(30 * time.Second):
+			t.Fatalf("no %s endpoint announced\n%s", what, tail())
+		}
+		return ""
+	}
+	ingestBase := await(ingestURL, "ingest")
+	debugBase := await(debugURL, "debug")
+
+	// A live batch: one tagged add, a move addressed by its provisional
+	// handle, and an anonymous add.
+	body := `{"ops":[{"op":"add","id":-1,"x":5000,"y":5000},{"op":"move","id":-1,"x":120,"y":80},{"op":"add","x":9000,"y":1000}]}`
+	resp, err := http.Post(ingestBase+"/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /ingest: %v\n%s", err, tail())
+	}
+	var acc struct {
+		Accepted int `json:"accepted"`
+	}
+	decodeErr := json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || decodeErr != nil || acc.Accepted != 3 {
+		t.Fatalf("POST /ingest = %d accepted %d (decode %v), want 202 accepted 3\n%s",
+			resp.StatusCode, acc.Accepted, decodeErr, tail())
+	}
+
+	// Malformed batches are refused at the door, not enqueued.
+	resp, err = http.Post(ingestBase+"/ingest", "application/json", strings.NewReader(`{"ops":[{"op":"warp"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed POST = %d, want 400", resp.StatusCode)
+	}
+
+	// The batch must reach the air: a cut is counted in the shared metrics
+	// registry and the on-air generation moves past the seed build.
+	// In single-channel mode /healthz reports the server's health directly;
+	// in sharded mode it nests one health object per shard, and an ingest
+	// cut republishes only the shards the batch touched — any generation
+	// moving past the seed build proves the cut reached the air.
+	maxGen := func(v map[string]any) float64 {
+		if g, ok := v["generation"].(float64); ok {
+			return g
+		}
+		var best float64
+		for _, sub := range v {
+			if m, ok := sub.(map[string]any); ok {
+				if g, ok := m["generation"].(float64); ok && g > best {
+					best = g
+				}
+			}
+		}
+		return best
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var metrics map[string]any
+		getJSON(t, debugBase+"/metrics", &metrics)
+		cuts, _ := metrics["ingest_cuts"].(float64)
+		var health map[string]any
+		getJSON(t, debugBase+"/healthz", &health)
+		if gen := maxGen(health); cuts >= 1 && gen >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no ingest cut on the air: cuts=%v health=%v\n%s", cuts, health, tail())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Graceful shutdown drains the ingest queue before the servers stop.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM\n%s", tail())
+	}
+	if waitErr != nil {
+		t.Fatalf("daemon exited with %v\n%s", waitErr, tail())
+	}
+	out := tail()
+	for _, want := range []string{"broadcastd: ingest queue drained", "broadcastd: stopped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
 		}
 	}
 }

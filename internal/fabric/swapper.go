@@ -181,6 +181,16 @@ func (sw *Swapper) LiveSiteIDs() []int {
 	return ids
 }
 
+// Pending reports whether a failed Apply left the published fabric behind
+// the maintainer (the stale-reconcile state). The next Apply — an empty
+// batch suffices — rescans and republishes every drifted shard; retriers
+// consult this to avoid re-applying operations that already landed.
+func (sw *Swapper) Pending() bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.stale
+}
+
 // pendingShard is one shard the batch actually changed, with its new clip
 // sequence and the shard-local dirty/removed key sets.
 type pendingShard struct {

@@ -1,0 +1,117 @@
+package ingest
+
+import "time"
+
+// pending states of one coalescer slot.
+const (
+	pendAdd = iota + 1
+	pendMove
+	pendRemove
+	pendCancelled // add+remove annihilated; emits nothing
+)
+
+// pendingOp is one coalescer slot: the folded fate of every operation that
+// touched a single site (or provisional handle) inside the current window.
+type pendingOp struct {
+	state int
+	id    int64   // site id or provisional handle (slot key); 0 for anonymous adds
+	x, y  float64 // position for add/move
+	at    time.Time
+}
+
+// coalescer folds a window of operations per site before they cost a cut.
+// Slots are keyed by the operation's target: a stable site id (>= 0) or a
+// provisional handle (< 0). Anonymous adds (ID 0 on an Add) are unkeyed —
+// nothing can reference them inside the window, so each gets its own slot.
+//
+// Transition table per keyed slot (old state + incoming op -> new state):
+//
+//	add    + move   -> add at the new position
+//	add    + remove -> cancelled (the site never existed on air)
+//	move   + move   -> move to the newest position
+//	move   + remove -> remove
+//	remove + any    -> invalid; the late op is counted and dropped
+//
+// Emission preserves first-touch order and carries each slot's earliest
+// admission time, so the op-to-on-air latency histogram reflects the
+// oldest folded-in operation, not the freshest.
+type coalescer struct {
+	order []*pendingOp
+	byKey map[int64]*pendingOp
+	m     *Metrics
+}
+
+func newCoalescer(m *Metrics) *coalescer {
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &coalescer{byKey: make(map[int64]*pendingOp), m: m}
+}
+
+// add folds one admitted entry into the window.
+func (c *coalescer) add(e entry) {
+	c.m.CoalescedIn.Inc()
+	op := e.op
+	if op.Kind == OpAdd {
+		slot := &pendingOp{state: pendAdd, id: op.ID, x: op.X, y: op.Y, at: e.at}
+		c.order = append(c.order, slot)
+		if op.ID < 0 {
+			// On a reused handle the earlier slot keeps its fate and the
+			// newest add owns the key from here on.
+			c.byKey[op.ID] = slot
+		}
+		return
+	}
+	slot, ok := c.byKey[op.ID]
+	if !ok {
+		// First touch of a live site (or a handle resolved in an earlier
+		// window — the pipeline translates before apply).
+		st := pendMove
+		if op.Kind == OpRemove {
+			st = pendRemove
+		}
+		slot = &pendingOp{state: st, id: op.ID, x: op.X, y: op.Y, at: e.at}
+		c.order = append(c.order, slot)
+		c.byKey[op.ID] = slot
+		return
+	}
+	switch slot.state {
+	case pendAdd:
+		if op.Kind == OpMove {
+			slot.x, slot.y = op.X, op.Y
+		} else { // remove annihilates the unborn site
+			slot.state = pendCancelled
+			delete(c.byKey, op.ID)
+		}
+	case pendMove:
+		if op.Kind == OpMove {
+			slot.x, slot.y = op.X, op.Y
+		} else {
+			slot.state = pendRemove
+		}
+	case pendRemove, pendCancelled:
+		// Operations addressing a site already removed in this window are
+		// invalid — the producer raced its own remove.
+		c.m.InvalidOps.Inc()
+	}
+}
+
+// len reports how many operations the window currently holds (cancelled
+// pairs still count toward the cut trigger: they occupied queue slots).
+func (c *coalescer) len() int { return len(c.order) }
+
+// flush drains the window in first-touch order, skipping annihilated
+// pairs, and resets the coalescer for the next window.
+func (c *coalescer) flush() []pendingOp {
+	out := make([]pendingOp, 0, len(c.order))
+	for _, slot := range c.order {
+		if slot.state == pendCancelled {
+			continue
+		}
+		out = append(out, *slot)
+	}
+	c.m.CoalescedOut.Add(int64(len(out)))
+	c.order = c.order[:0]
+	clear(c.byKey)
+	return out
+}

@@ -1,0 +1,220 @@
+package ingest
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func feed(c *coalescer, ops ...Op) {
+	at := time.Now()
+	for _, o := range ops {
+		c.add(entry{op: o, at: at})
+	}
+}
+
+func TestCoalesceMoveMoveKeepsNewest(t *testing.T) {
+	c := newCoalescer(nil)
+	feed(c, Op{Kind: OpMove, ID: 7, X: 1, Y: 1}, Op{Kind: OpMove, ID: 7, X: 2, Y: 3})
+	out := c.flush()
+	if len(out) != 1 {
+		t.Fatalf("flush len = %d, want 1", len(out))
+	}
+	if out[0].state != pendMove || out[0].x != 2 || out[0].y != 3 {
+		t.Fatalf("folded move = %+v, want move to (2,3)", out[0])
+	}
+}
+
+func TestCoalesceAddRemoveAnnihilates(t *testing.T) {
+	c := newCoalescer(nil)
+	feed(c,
+		Op{Kind: OpAdd, ID: -1, X: 5, Y: 5},
+		Op{Kind: OpMove, ID: -1, X: 6, Y: 6},
+		Op{Kind: OpRemove, ID: -1},
+	)
+	if out := c.flush(); len(out) != 0 {
+		t.Fatalf("annihilated pair emitted %d ops, want 0", len(out))
+	}
+	if got := c.m.CoalescedIn.Load(); got != 3 {
+		t.Fatalf("CoalescedIn = %d, want 3", got)
+	}
+	if got := c.m.CoalescedOut.Load(); got != 0 {
+		t.Fatalf("CoalescedOut = %d, want 0", got)
+	}
+}
+
+func TestCoalesceMoveRemoveKeepsRemove(t *testing.T) {
+	c := newCoalescer(nil)
+	feed(c, Op{Kind: OpMove, ID: 4, X: 9, Y: 9}, Op{Kind: OpRemove, ID: 4})
+	out := c.flush()
+	if len(out) != 1 || out[0].state != pendRemove || out[0].id != 4 {
+		t.Fatalf("move+remove folded to %+v, want a single remove of 4", out)
+	}
+}
+
+func TestCoalesceAddMoveFoldsIntoAdd(t *testing.T) {
+	c := newCoalescer(nil)
+	feed(c, Op{Kind: OpAdd, ID: -3, X: 1, Y: 1}, Op{Kind: OpMove, ID: -3, X: 8, Y: 9})
+	out := c.flush()
+	if len(out) != 1 || out[0].state != pendAdd || out[0].x != 8 || out[0].y != 9 {
+		t.Fatalf("add+move folded to %+v, want a single add at (8,9)", out)
+	}
+}
+
+func TestCoalesceOpAfterRemoveIsInvalid(t *testing.T) {
+	c := newCoalescer(nil)
+	feed(c, Op{Kind: OpRemove, ID: 2}, Op{Kind: OpMove, ID: 2, X: 1, Y: 1})
+	out := c.flush()
+	if len(out) != 1 || out[0].state != pendRemove {
+		t.Fatalf("flush = %+v, want only the remove", out)
+	}
+	if got := c.m.InvalidOps.Load(); got != 1 {
+		t.Fatalf("InvalidOps = %d, want 1", got)
+	}
+}
+
+func TestCoalesceFirstTouchOrder(t *testing.T) {
+	c := newCoalescer(nil)
+	feed(c,
+		Op{Kind: OpMove, ID: 10, X: 1, Y: 1},
+		Op{Kind: OpMove, ID: 20, X: 2, Y: 2},
+		Op{Kind: OpMove, ID: 10, X: 3, Y: 3}, // folds into the first slot
+		Op{Kind: OpRemove, ID: 30},
+	)
+	out := c.flush()
+	ids := make([]int64, len(out))
+	for i, po := range out {
+		ids[i] = po.id
+	}
+	want := []int64{10, 20, 30}
+	if len(ids) != len(want) {
+		t.Fatalf("flush ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("flush ids = %v, want %v (first-touch order)", ids, want)
+		}
+	}
+}
+
+func TestCoalesceEarliestTimestampSurvivesFolding(t *testing.T) {
+	c := newCoalescer(nil)
+	early := time.Now().Add(-time.Minute)
+	c.add(entry{op: Op{Kind: OpMove, ID: 1, X: 1, Y: 1}, at: early})
+	c.add(entry{op: Op{Kind: OpMove, ID: 1, X: 2, Y: 2}, at: time.Now()})
+	out := c.flush()
+	if len(out) != 1 || !out[0].at.Equal(early) {
+		t.Fatalf("folded op carries %v, want the earliest admission time %v", out[0].at, early)
+	}
+}
+
+func TestCoalesceFlushResetsWindow(t *testing.T) {
+	c := newCoalescer(nil)
+	feed(c, Op{Kind: OpRemove, ID: 2})
+	c.flush()
+	// Site 2 was removed in the PREVIOUS window; a move in a new window is
+	// not the coalescer's business to reject (the site may have been
+	// re-added between windows as far as it knows).
+	feed(c, Op{Kind: OpMove, ID: 2, X: 1, Y: 1})
+	out := c.flush()
+	if len(out) != 1 || out[0].state != pendMove {
+		t.Fatalf("move after cross-window remove = %+v, want a move", out)
+	}
+	if got := c.m.InvalidOps.Load(); got != 0 {
+		t.Fatalf("InvalidOps = %d, want 0 across windows", got)
+	}
+}
+
+// siteModel is the reference semantics of an op stream: a dictionary from
+// key to liveness + position, applied one op at a time.
+type siteModel map[int64]struct {
+	live bool
+	x, y float64
+}
+
+func (m siteModel) apply(o Op) {
+	s := m[o.ID]
+	switch o.Kind {
+	case OpAdd:
+		s.live, s.x, s.y = true, o.X, o.Y
+	case OpMove:
+		if !s.live {
+			return // invalid: dropped, like the pipeline drops it
+		}
+		s.x, s.y = o.X, o.Y
+	case OpRemove:
+		if !s.live {
+			return
+		}
+		s.live = false
+		s.x, s.y = 0, 0
+	}
+	m[o.ID] = s
+}
+
+func (m siteModel) applyPending(po pendingOp) {
+	switch po.state {
+	case pendAdd:
+		m.apply(Op{Kind: OpAdd, ID: po.id, X: po.x, Y: po.y})
+	case pendMove:
+		m.apply(Op{Kind: OpMove, ID: po.id, X: po.x, Y: po.y})
+	case pendRemove:
+		m.apply(Op{Kind: OpRemove, ID: po.id})
+	}
+}
+
+// TestCoalesceEquivalenceProperty: for random op streams cut into random
+// windows, applying each window's coalesced output must leave the site
+// dictionary in exactly the state op-by-op application produces. This is
+// the contract that makes coalescing safe to enable unconditionally.
+func TestCoalesceEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 200; trial++ {
+		oracle := siteModel{}
+		folded := siteModel{}
+		c := newCoalescer(NewMetrics())
+
+		// Keys -1..-6: a small space so collisions (and thus folding) are
+		// common. The generator tracks liveness so most ops are valid, with
+		// a deliberate slice of invalid ones mixed in.
+		live := map[int64]bool{}
+		nOps := 1 + rng.Intn(60)
+		for i := 0; i < nOps; i++ {
+			id := -1 - int64(rng.Intn(6))
+			var o Op
+			switch k := rng.Intn(10); {
+			case k < 4 && !live[id]:
+				// Re-adding a live handle is a producer error (it would fork a
+				// second site under the same handle), so the generator only
+				// adds dead keys — like a correct client.
+				o = Op{Kind: OpAdd, ID: id, X: rng.Float64() * 100, Y: rng.Float64() * 100}
+				live[id] = true
+			case k < 8:
+				o = Op{Kind: OpMove, ID: id, X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			default:
+				o = Op{Kind: OpRemove, ID: id}
+				live[id] = false
+			}
+			oracle.apply(o)
+			c.add(entry{op: o, at: time.Now()})
+			// Cut a window at random points and at the end.
+			if rng.Intn(8) == 0 || i == nOps-1 {
+				for _, po := range c.flush() {
+					folded.applyPending(po)
+				}
+			}
+		}
+
+		for id, want := range oracle {
+			got := folded[id]
+			if got != want {
+				t.Fatalf("trial %d: key %d diverged: coalesced %+v, oracle %+v", trial, id, got, want)
+			}
+		}
+		for id, got := range folded {
+			if want := oracle[id]; got != want {
+				t.Fatalf("trial %d: key %d diverged: coalesced %+v, oracle %+v", trial, id, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func op(kind int, id int64) Op { return Op{Kind: kind, ID: id} }
+
+func TestQueueRejectPolicy(t *testing.T) {
+	q := NewQueue(4, Reject, 0, nil)
+	if err := q.Enqueue(op(OpAdd, 0), op(OpAdd, 0), op(OpAdd, 0), op(OpAdd, 0)); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	if err := q.Enqueue(op(OpAdd, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow enqueue = %v, want ErrQueueFull", err)
+	}
+	if got := q.m.ShedOps.Load(); got != 1 {
+		t.Fatalf("ShedOps = %d, want 1", got)
+	}
+	if got := q.Depth(); got != 4 {
+		t.Fatalf("Depth = %d, want 4", got)
+	}
+}
+
+func TestQueueBatchAtomicity(t *testing.T) {
+	q := NewQueue(4, Reject, 0, nil)
+	if err := q.Enqueue(op(OpAdd, 0), op(OpAdd, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Three ops into two free slots: all-or-nothing, so nothing lands.
+	if err := q.Enqueue(op(OpMove, 1), op(OpMove, 2), op(OpMove, 3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("oversized batch = %v, want ErrQueueFull", err)
+	}
+	if got := q.Depth(); got != 2 {
+		t.Fatalf("Depth after rejected batch = %d, want 2", got)
+	}
+	if got := q.m.ShedOps.Load(); got != 3 {
+		t.Fatalf("ShedOps = %d, want 3 (the whole batch)", got)
+	}
+	// A batch larger than the ring can never fit.
+	big := make([]Op, 5)
+	if err := q.Enqueue(big...); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity batch = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestQueueBlockPolicyWaitsForSpace(t *testing.T) {
+	q := NewQueue(2, Block, 2*time.Second, nil)
+	if err := q.Enqueue(op(OpAdd, 0), op(OpAdd, 0)); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		q.popOne(time.Time{})
+	}()
+	if err := q.Enqueue(op(OpMove, 1)); err != nil {
+		t.Fatalf("blocked enqueue after space freed = %v, want nil", err)
+	}
+}
+
+func TestQueueBlockPolicyDeadline(t *testing.T) {
+	q := NewQueue(1, Block, 30*time.Millisecond, nil)
+	if err := q.Enqueue(op(OpAdd, 0)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := q.Enqueue(op(OpMove, 1)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("blocked enqueue past deadline = %v, want ErrQueueFull", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("deadline rejection came after %v, want >= ~30ms of blocking", elapsed)
+	}
+}
+
+func TestQueueDropOldestMove(t *testing.T) {
+	q := NewQueue(4, DropOldestMove, 0, nil)
+	if err := q.Enqueue(op(OpMove, 1), op(OpAdd, 0), op(OpMove, 2), op(OpRemove, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Full ring: the oldest move (id 1) is shed to admit the new op.
+	if err := q.Enqueue(op(OpAdd, 0)); err != nil {
+		t.Fatalf("enqueue with sheddable move = %v, want nil", err)
+	}
+	if got := q.m.DroppedMove.Load(); got != 1 {
+		t.Fatalf("DroppedMove = %d, want 1", got)
+	}
+	want := []Op{op(OpAdd, 0), op(OpMove, 2), op(OpRemove, 3), op(OpAdd, 0)}
+	for i, w := range want {
+		e, ok := q.popOne(time.Time{})
+		if !ok {
+			t.Fatalf("popOne %d: queue empty", i)
+		}
+		if e.op != w {
+			t.Fatalf("popOne %d = %+v, want %+v", i, e.op, w)
+		}
+	}
+
+	// Adds and removes never shed: a full ring of them rejects.
+	q2 := NewQueue(2, DropOldestMove, 0, nil)
+	if err := q2.Enqueue(op(OpAdd, 0), op(OpRemove, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Enqueue(op(OpAdd, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("enqueue with no sheddable moves = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestQueueCloseSemantics(t *testing.T) {
+	q := NewQueue(4, Reject, 0, nil)
+	if err := q.Enqueue(op(OpAdd, 0), op(OpMove, 1)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	q.Close() // idempotent
+	if err := q.Enqueue(op(OpAdd, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close = %v, want ErrClosed", err)
+	}
+	// The queued ops drain...
+	for i := 0; i < 2; i++ {
+		if _, ok := q.popOne(time.Time{}); !ok {
+			t.Fatalf("popOne %d after close: want queued op", i)
+		}
+	}
+	// ...then popOne reports closed-and-empty instead of blocking.
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.popOne(time.Time{})
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("popOne on a drained closed queue returned an op")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("popOne blocked on a drained closed queue")
+	}
+}
+
+func TestQueuePopDeadline(t *testing.T) {
+	q := NewQueue(4, Reject, 0, nil)
+	start := time.Now()
+	if _, ok := q.popOne(start.Add(20 * time.Millisecond)); ok {
+		t.Fatal("popOne on an empty queue returned an op")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("popOne returned after %v, want it to wait ~20ms", elapsed)
+	}
+}
+
+// TestQueueConcurrentConservation hammers the queue from many producers
+// against one consumer and checks no operation is lost or duplicated:
+// admitted ops == popped ops, and under Reject every submission is either
+// admitted or shed.
+func TestQueueConcurrentConservation(t *testing.T) {
+	const producers = 8
+	const perProducer = 500
+	q := NewQueue(64, Reject, 0, nil)
+
+	var admitted int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			n := int64(0)
+			for i := 0; i < perProducer; i++ {
+				if err := q.Enqueue(op(OpMove, int64(pr*perProducer+i))); err == nil {
+					n++
+				}
+			}
+			mu.Lock()
+			admitted += n
+			mu.Unlock()
+		}(pr)
+	}
+
+	popped := make(chan int64, 1)
+	go func() {
+		n := int64(0)
+		for {
+			if _, ok := q.popOne(time.Time{}); !ok {
+				break
+			}
+			n++
+		}
+		popped <- n
+	}()
+
+	wg.Wait()
+	q.Close()
+	got := <-popped
+	if got != admitted {
+		t.Fatalf("popped %d ops, admitted %d", got, admitted)
+	}
+	if shed := q.m.ShedOps.Load(); admitted+shed != producers*perProducer {
+		t.Fatalf("admitted %d + shed %d != submitted %d", admitted, shed, producers*perProducer)
+	}
+}

@@ -56,6 +56,11 @@ type incrCompiler struct {
 	inc   *core.Incremental
 	prog  *Program
 	flat  *core.FlatPaged
+
+	// failNext, when non-nil, fails the next compile with this error and
+	// clears itself — the fault-injection hook the Apply error-path tests
+	// use to exercise cut-failure recovery without corrupting real state.
+	failNext error
 }
 
 func newIncrCompiler(capacity, m int) *incrCompiler {
@@ -95,7 +100,10 @@ func (c *incrCompiler) finish(tree *core.Tree) (*Program, *core.FlatPaged, error
 
 // full compiles the current diagram from scratch (through a fresh Patcher
 // bootstrap, so subsequent batches can patch forward) and retains the
-// generation state.
+// generation state. Any failure resets the retained state entirely: a
+// partially bootstrapped patcher paired with a stale incremental rebuilder
+// must never survive into the next compile, where the incremental path
+// would patch against a base that no generation ever had.
 func (c *incrCompiler) full(maint *voronoi.Maintainer) (*region.Subdivision, []int, *Program, *core.FlatPaged, error) {
 	ids, polys := maint.LiveCells()
 	if len(ids) == 0 {
@@ -105,11 +113,13 @@ func (c *incrCompiler) full(maint *voronoi.Maintainer) (*region.Subdivision, []i
 	c.patch = region.NewPatcher(maint.Area())
 	sub, _, err := c.patch.Patch(ids, polys, ids, nil)
 	if err != nil {
+		c.reset()
 		return nil, nil, nil, nil, err
 	}
 	c.inc = core.NewIncremental()
 	tree, err := c.inc.Full(sub)
 	if err != nil {
+		c.reset()
 		return nil, nil, nil, nil, err
 	}
 	prog, fp, err := c.finish(tree)
@@ -125,6 +135,12 @@ func (c *incrCompiler) full(maint *voronoi.Maintainer) (*region.Subdivision, []i
 // enough, from scratch otherwise. Any incremental-path error falls back to
 // a full rebuild (the outputs are byte-identical either way).
 func (c *incrCompiler) compile(maint *voronoi.Maintainer, dirty, removed []int) (*region.Subdivision, []int, *Program, *core.FlatPaged, cutStats, error) {
+	if err := c.failNext; err != nil {
+		// Deliberately leaves the retained state untouched: the Swapper's
+		// error path owns the cleanup, and the tests pin that it happens.
+		c.failNext = nil
+		return nil, nil, nil, nil, cutStats{DirtyKeys: len(dirty)}, err
+	}
 	n := maint.Len()
 	if c.patch == nil || c.inc == nil ||
 		float64(len(dirty)+len(removed)) > incrFullFraction*float64(n) {

@@ -59,6 +59,13 @@ type Swapper struct {
 	gens  map[uint32]*Generation
 	cur   *Generation
 	srv   *Server // nil until Bind
+	// pending marks that a failed cut left the maintainer ahead of the
+	// published program: mutations were applied but never compiled or never
+	// swapped onto the air. The failed batch's dirty window is rolled back
+	// (BeginBatch) and the compiler reset, so the next Apply — even an
+	// empty one — recompiles from scratch and republishes; the incremental
+	// path never patches against a base the air never carried.
+	pending bool
 }
 
 // NewSwapper builds the initial program (generation 1) for the given sites.
@@ -139,6 +146,29 @@ func (sw *Swapper) LiveSiteIDs() []int {
 	return ids
 }
 
+// Pending reports whether a failed cut left the maintainer ahead of the
+// published program. The next Apply — `Apply(nil)` suffices — recompiles
+// the current site set from scratch and republishes; callers retrying a
+// failed batch consult this to avoid re-applying operations that already
+// landed (the ingest pipeline's republish path).
+func (sw *Swapper) Pending() bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.pending
+}
+
+// abortCut rolls the cut pipeline back after a failed build or publish:
+// the compiler forgets its retained generation state (the next compile is
+// a clean full rebuild) and the maintainer's dirty-batch window closes, so
+// a later batch never inherits stale dirty cells from this one. The
+// maintainer's site mutations stay — they are valid after every op — and
+// pending records that the air now trails them. Caller holds mu.
+func (sw *Swapper) abortCut() {
+	sw.comp.reset()
+	sw.maint.BeginBatch()
+	sw.pending = true
+}
+
 // Apply runs one batch of site operations through the maintainer, rebuilds
 // the broadcast program in this goroutine (off the serving hot path), and —
 // when bound — publishes it to the server, returning the new generation.
@@ -151,6 +181,14 @@ func (sw *Swapper) LiveSiteIDs() []int {
 // ids slice maps batch position -> resulting site id (a new id for Add, the
 // site's stable id echoed for Remove and Move), valid for the prefix that
 // succeeded.
+//
+// A failed cut (build or publish error) keeps the applied operations in
+// the maintainer but rolls the cut pipeline back — the compiler state and
+// the dirty-batch window are reset, and Pending() turns true — so the next
+// Apply, even with an empty batch, recompiles the live site set from
+// scratch and republishes it. Retriers should therefore NOT resubmit a
+// batch whose error came after its operations applied: `Apply(nil)`
+// finishes the cut without double-applying anything.
 func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
 	start := time.Now()
 	sw.mu.Lock()
@@ -175,12 +213,12 @@ func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
 		}
 		ids = append(ids, id)
 	}
-	if len(ids) == 0 && opErr != nil {
+	if len(ids) == 0 && opErr != nil && !sw.pending {
 		// Nothing changed; keep the current generation on the air.
 		return sw.cur.Gen, nil, opErr
 	}
 	dirty, removed := sw.maint.BatchDelta()
-	if len(dirty) == 0 && len(removed) == 0 {
+	if len(dirty) == 0 && len(removed) == 0 && !sw.pending {
 		// The batch was a byte-level no-op (e.g. a move back to the same
 		// spot); the program on the air is already exact.
 		return sw.cur.Gen, ids, opErr
@@ -189,6 +227,7 @@ func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
 	buildStart := time.Now()
 	g, st, err := sw.buildLocked(next, dirty, removed)
 	if err != nil {
+		sw.abortCut()
 		return sw.cur.Gen, ids, err
 	}
 	buildNS := time.Since(buildStart).Nanoseconds()
@@ -201,6 +240,7 @@ func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
 		if _, err := sw.srv.Swap(g.Prog); err != nil {
 			delete(sw.gens, g.Gen)
 			sw.cur = prev
+			sw.abortCut()
 			return prev.Gen, ids, err
 		}
 		// End-to-end reconfiguration latency: maintainer mutation + off-path
@@ -211,5 +251,6 @@ func (sw *Swapper) Apply(ops []SiteOp) (gen uint32, ids []int, err error) {
 		m.CutBuildNS.Observe(buildNS)
 		m.CutDirtyPermille.Set(st.dirtyPermille())
 	}
+	sw.pending = false
 	return next, ids, opErr
 }

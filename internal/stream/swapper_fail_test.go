@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/testutil"
+)
+
+// freshProgramFor compiles a from-scratch program for the swapper's current
+// live site set — the oracle every post-failure generation must match byte
+// for byte.
+func freshProgramFor(t *testing.T, sw *Swapper, capacity int) *Program {
+	t.Helper()
+	sw.mu.Lock()
+	_, sites := sw.maint.LiveSites()
+	sw.mu.Unlock()
+	fresh, err := NewSwapper(testArea, sites, capacity, 0)
+	if err != nil {
+		t.Fatalf("fresh oracle build: %v", err)
+	}
+	return fresh.Program()
+}
+
+func sameIndexBytes(a, b *Program) error {
+	if len(a.IndexPackets) != len(b.IndexPackets) {
+		return fmt.Errorf("index packet count %d != %d", len(a.IndexPackets), len(b.IndexPackets))
+	}
+	for i := range a.IndexPackets {
+		if !bytes.Equal(a.IndexPackets[i], b.IndexPackets[i]) {
+			return fmt.Errorf("index packet %d differs", i)
+		}
+	}
+	return nil
+}
+
+// TestApplyCutFailureRollsBackBatchState: a failed cut must not poison the
+// swapper. The maintainer keeps the applied operations, but the compiler
+// state and the dirty-batch window are rolled back, Pending() turns true,
+// and the next Apply — here an empty one — recompiles from scratch and
+// produces a program byte-identical to a cold build of the same site set.
+// Before the rollback existed, the next batch inherited a compiler whose
+// retained base no published generation ever had.
+func TestApplyCutFailureRollsBackBatchState(t *testing.T) {
+	const capacity = 256
+	sites := testutil.RandomSites(testArea, 50, 5001)
+	sw, err := NewSwapper(testArea, sites, capacity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A normal incremental cut first, so the compiler holds retained state.
+	if _, _, err := sw.Apply([]SiteOp{{Kind: OpMove, ID: 3, P: geom.Pt(1234.5, 987.25)}}); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Pending() {
+		t.Fatal("Pending() true after a successful cut")
+	}
+
+	// Inject a compile failure under a real mutation batch.
+	injected := errors.New("injected cut failure")
+	sw.comp.failNext = injected
+	gen, ids, err := sw.Apply([]SiteOp{
+		{Kind: OpAdd, P: geom.Pt(4000.125, 4000.75)},
+		{Kind: OpMove, ID: 7, P: geom.Pt(8000.5, 1000.5)},
+	})
+	if !errors.Is(err, injected) {
+		t.Fatalf("Apply returned %v, want the injected failure", err)
+	}
+	if gen != 2 {
+		t.Fatalf("failed Apply reported generation %d, want the still-published 2", gen)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("failed Apply reported %d applied ops, want 2 (mutations stay)", len(ids))
+	}
+	if !sw.Pending() {
+		t.Fatal("Pending() false after a failed cut")
+	}
+	// The rollback must have closed the dirty window and dropped the
+	// compiler's retained generation state.
+	if sw.comp.patch != nil || sw.comp.inc != nil || sw.comp.prog != nil {
+		t.Fatal("compiler retained state survived the failed cut")
+	}
+	if d, r := sw.maint.BatchDelta(); len(d) != 0 || len(r) != 0 {
+		t.Fatalf("dirty-batch window still open after failed cut: %d dirty, %d removed", len(d), len(r))
+	}
+
+	// An empty Apply finishes the cut: full rebuild, new generation, and
+	// bytes identical to a cold build of the exact same live sites.
+	gen, ids, err = sw.Apply(nil)
+	if err != nil {
+		t.Fatalf("republish Apply: %v", err)
+	}
+	if gen != 3 {
+		t.Fatalf("republish generation = %d, want 3", gen)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("republish applied %d ops, want 0", len(ids))
+	}
+	if sw.Pending() {
+		t.Fatal("Pending() still true after the republish")
+	}
+	if err := sameIndexBytes(sw.Current().Prog, freshProgramFor(t, sw, capacity)); err != nil {
+		t.Fatalf("republished program is not byte-identical to a cold build: %v", err)
+	}
+
+	// Incremental cuts must work again on top of the recovered state.
+	if _, _, err := sw.Apply([]SiteOp{
+		{Kind: OpMove, ID: 11, P: geom.Pt(2500.25, 7500.75)},
+		{Kind: OpRemove, ID: 19},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sameIndexBytes(sw.Current().Prog, freshProgramFor(t, sw, capacity)); err != nil {
+		t.Fatalf("post-recovery incremental cut diverged from a cold build: %v", err)
+	}
+}
+
+// TestApplyPublishFailureRecovery: the same rollback contract when the
+// build succeeds but the publish fails (server already draining). The ops
+// stay applied, Pending() turns true, and once a server is attachable
+// again an empty Apply republishes a byte-exact program.
+func TestApplyPublishFailureRecovery(t *testing.T) {
+	const capacity = 256
+	sites := testutil.RandomSites(testArea, 40, 5002)
+	sw, err := NewSwapper(testArea, sites, capacity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ln, sw.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Bind(srv)
+	srv.Close() // publish target gone: the next Swap fails
+
+	rng := rand.New(rand.NewSource(5003))
+	_, ids, err := sw.Apply([]SiteOp{{Kind: OpAdd, P: geom.Pt(rng.Float64()*10000, rng.Float64()*10000)}})
+	if !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Apply against a closed server returned %v, want ErrServerClosed", err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("failed publish reported %d applied ops, want 1", len(ids))
+	}
+	if !sw.Pending() {
+		t.Fatal("Pending() false after a failed publish")
+	}
+
+	// Detach and republish: the new generation must match a cold build.
+	sw.Bind(nil)
+	gen, _, err := sw.Apply(nil)
+	if err != nil {
+		t.Fatalf("republish Apply: %v", err)
+	}
+	if gen != 2 {
+		t.Fatalf("republish generation = %d, want 2", gen)
+	}
+	if sw.Pending() {
+		t.Fatal("Pending() still true after the republish")
+	}
+	if err := sameIndexBytes(sw.Current().Prog, freshProgramFor(t, sw, capacity)); err != nil {
+		t.Fatalf("republished program is not byte-identical to a cold build: %v", err)
+	}
+}
