@@ -44,6 +44,7 @@ import (
 
 	"airindex/internal/dataset"
 	"airindex/internal/experiment"
+	"airindex/internal/stream"
 )
 
 func main() {
@@ -61,6 +62,14 @@ func main() {
 		shardCnts  = flag.String("shardcounts", "1,2,4,8", "channel counts of the shard sweep (with -figure shards)")
 		sites      = flag.Int("sites", 50000, "site count of the shard sweep's large uniform dataset (with -figure shards)")
 		baselines  = flag.Bool("baselines", false, "also build the serial trian-tree and trap-tree baselines (opt-in: they dominate build time at large N)")
+		contModel  = flag.String("cont-model", "waypoint", "trajectory model of the continuous fleet: waypoint or commuter (with -figure continuous)")
+		contCli    = flag.Int("cont-clients", 4, "moving clients in the continuous fleet (with -figure continuous)")
+		contCyc    = flag.Int("cont-cycles", 60, "broadcast cycles per continuous client (with -figure continuous)")
+		contChurn  = flag.Int("cont-churn", 32, "site operations applied across the continuous run (with -figure continuous)")
+		contK      = flag.Int("cont-k", 4, "standing kNN size of the continuous query (with -figure continuous)")
+		contWin    = flag.Float64("cont-window", 0.05, "standing window extent as a fraction of the area side (with -figure continuous)")
+		contSites  = flag.Int("cont-sites", 10000, "site count of the continuous sweep's uniform dataset (with -figure continuous)")
+		contCap    = flag.Int("cont-capacity", 128, "packet capacity of the continuous sweep in bytes (with -figure continuous)")
 		workers    = flag.Int("workers", 0, "simulation workers per cell (0 = one per CPU); results are identical at any count")
 		buildWkrs  = flag.Int("buildworkers", 0, "D-tree build workers (0 = one per CPU); the built tree is identical at any count")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -121,6 +130,30 @@ func main() {
 			return
 		}
 		fmt.Printf("=== Sharded broadcast fabric, %s, %d B packets ===\n%s\n", d.Name, caps[0], experiment.ShardsTables(ps))
+		return
+	}
+
+	if *figure == "continuous" {
+		d := dataset.LargeUniform(*contSites)
+		q := stream.ContinuousQuery{
+			WindowW: d.Area.W() * *contWin,
+			WindowH: d.Area.H() * *contWin,
+			K:       *contK,
+		}
+		pt, err := experiment.RunContinuous(d, *contCap, *contModel, *contCli, *contCyc, *contChurn, q, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		ps := []experiment.ContinuousPoint{pt}
+		if *jsonOut {
+			emitJSON(map[string]any{"figure": "continuous", "dataset": d.Name, "sites": d.N(), "capacity": *contCap, "points": ps})
+			return
+		}
+		if *csvOut {
+			fmt.Print(experiment.ContinuousCSV(ps))
+			return
+		}
+		fmt.Printf("=== Continuous queries on air, %s, %d B packets ===\n%s\n", d.Name, *contCap, experiment.ContinuousTables(ps))
 		return
 	}
 

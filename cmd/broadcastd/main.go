@@ -40,7 +40,7 @@
 //
 //	broadcastd [-addr :7343] [-dataset hospital] [-capacity 256]
 //	           [-snapshot index.dtsnap] [-snapshot-dir ""] [-shards 1]
-//	           [-slot-duration 0] [-seed 1]
+//	           [-adjacency] [-slot-duration 0] [-seed 1]
 //	           [-loss 0] [-burst 1] [-corrupt 0]
 //	           [-churn 0] [-churn-ops 4] [-write-timeout 30s]
 //	           [-drain-timeout 10s] [-debug-addr ""] [-demo]
@@ -57,6 +57,15 @@
 // SIGINT/SIGTERM drain the queue through final cuts before the broadcast
 // stops. Requires a maintainable index, so it rejects -snapshot and
 // -snapshot-dir, and like -churn it requires an explicit -seed.
+//
+// With -adjacency every index copy is prefixed with the self-describing
+// region-adjacency appendix (neighbor lists + site coordinates), the wire
+// substrate for continuous queries: a moving client caches the appendix
+// once and answers standing window and kNN queries radio-free each cycle,
+// revalidating instead of re-descending. Point-query demos skip the
+// appendix via the length named in packet 0. Works with -churn and -shards;
+// snapshots pin their own layout, so -snapshot/-snapshot-dir reject it
+// (v2 slabs restore the appendix automatically).
 //
 // With -debug-addr the daemon also serves an HTTP debug endpoint:
 // /metrics (the counters and histograms of every shard as JSON), /healthz
@@ -94,25 +103,26 @@ import (
 // validation can reject combinations whose defaults would silently lie
 // (churn without a pinned seed is not reproducible).
 type config struct {
-	addr     string
-	dataset  string
-	n        int
-	capacity int
-	snapshot string
-	snapDir  string
-	shards   int
-	slotDur  time.Duration
-	seed     int64
-	seedSet  bool
-	loss     float64
-	burst    float64
-	corrupt  float64
-	churn    time.Duration
-	churnOps int
-	writeTO  time.Duration
-	drainTO  time.Duration
-	dbgAddr  string
-	demo     bool
+	addr      string
+	dataset   string
+	n         int
+	capacity  int
+	snapshot  string
+	snapDir   string
+	shards    int
+	slotDur   time.Duration
+	seed      int64
+	seedSet   bool
+	loss      float64
+	burst     float64
+	corrupt   float64
+	churn     time.Duration
+	churnOps  int
+	writeTO   time.Duration
+	drainTO   time.Duration
+	dbgAddr   string
+	demo      bool
+	adjacency bool
 
 	ingestAddr   string
 	ingestQueue  int
@@ -168,6 +178,12 @@ func validateConfig(c config) error {
 	}
 	if c.snapDir != "" && c.snapshot != "" {
 		return fmt.Errorf("-snapshot and -snapshot-dir are mutually exclusive")
+	}
+	if c.adjacency && c.snapshot != "" {
+		return fmt.Errorf("-adjacency with -snapshot: the snapshot pins whether the broadcast carries the appendix (v2 slabs restore it automatically); rebuild from -dataset to change it")
+	}
+	if c.adjacency && c.snapDir != "" {
+		return fmt.Errorf("-adjacency with -snapshot-dir: the snapshots pin whether the broadcast carries the appendix (v2 slabs restore it automatically); rebuild from -dataset to change it")
 	}
 	if c.churnOps < 1 {
 		return fmt.Errorf("-churn-ops %d: a churn batch needs at least one site operation", c.churnOps)
@@ -229,6 +245,7 @@ func main() {
 	flag.DurationVar(&cfg.drainTO, "drain-timeout", 10*time.Second, "graceful-shutdown drain budget before stragglers are severed")
 	flag.StringVar(&cfg.dbgAddr, "debug-addr", "", "serve /metrics, /healthz and /trace on this HTTP address (empty = disabled)")
 	flag.BoolVar(&cfg.demo, "demo", false, "run a demo client against the server and exit")
+	flag.BoolVar(&cfg.adjacency, "adjacency", false, "prefix every index copy with the region-adjacency appendix so continuous-query clients answer windows and kNN on air")
 	flag.StringVar(&cfg.ingestAddr, "ingest-addr", "", "accept site add/remove/move batches as JSON POSTs on this HTTP address (empty = disabled; requires -seed)")
 	flag.IntVar(&cfg.ingestQueue, "ingest-queue", 4096, "ingest admission ring capacity in operations (with -ingest-addr)")
 	flag.StringVar(&cfg.ingestPolicy, "ingest-policy", "reject", "ingest overflow policy: reject, block or drop-move (with -ingest-addr)")
@@ -276,9 +293,15 @@ func runSingle(cfg config, ds dataset.Dataset) {
 	var prog *stream.Program
 	srcName, instances := ds.Name, ds.N()
 	switch {
-	case cfg.churn > 0 || cfg.ingestAddr != "":
+	case cfg.churn > 0 || cfg.ingestAddr != "" || cfg.adjacency:
+		// -adjacency routes the static build through the swapper too: its
+		// compiler is the one path that attaches the appendix to the arena.
 		var err error
-		sw, err = stream.NewSwapper(ds.Area, ds.Sites, cfg.capacity, 0)
+		if cfg.adjacency {
+			sw, err = stream.NewSwapperWithAdjacency(ds.Area, ds.Sites, cfg.capacity, 0)
+		} else {
+			sw, err = stream.NewSwapper(ds.Area, ds.Sites, cfg.capacity, 0)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -349,6 +372,13 @@ func runSingle(cfg config, ds dataset.Dataset) {
 	fmt.Printf("broadcastd: %s, %d instances, %d B packets, index %d packets, m=%d, cycle %d slots, listening on %s\n",
 		srcName, instances, cfg.capacity, len(prog.IndexPackets), prog.Sched.M, cycle, ln.Addr())
 	fmt.Printf("broadcastd: rendered cycle cached: %d frames, %.1f KB\n", frames, float64(bytes)/1024)
+	adjPkts := 0
+	if cfg.adjacency {
+		if adjPkts, err = core.AdjacencyPacketCount(prog.IndexPackets[0]); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("broadcastd: adjacency appendix on air: %d packet(s) ahead of each index copy\n", adjPkts)
+	}
 	if spec.Enabled() {
 		fmt.Printf("broadcastd: unreliable channel: %s loss %.2f%% (burst %.1f), corruption %.2f%%, seed %d\n",
 			spec.Model(spec.Seed).Name(), 100*cfg.loss, cfg.burst, 100*cfg.corrupt, cfg.seed)
@@ -386,7 +416,13 @@ func runSingle(cfg config, ds dataset.Dataset) {
 	qrng := rand.New(rand.NewSource(cfg.seed))
 	for q := 0; q < 8; q++ {
 		p := geom.Pt(qrng.Float64()*10000, qrng.Float64()*10000)
-		res, err := client.Query(p)
+		var res stream.Result
+		var err error
+		if cfg.adjacency {
+			res, err = adjacencyPointQuery(client, p)
+		} else {
+			res, err = client.Query(p)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -417,12 +453,43 @@ func runSingle(cfg config, ds dataset.Dataset) {
 	shutdownAll(cfg, stopChurn, pipe, ingestLn, []*stream.Server{srv}, serveErr)
 }
 
+// adjacencyPointQuery runs one point query against a broadcast whose index
+// copies carry the region-adjacency appendix. Packet 0 names the appendix
+// length, so the descent offset is rediscovered on every probe and stays
+// correct across hot swaps that resize the appendix.
+func adjacencyPointQuery(c *stream.Client, p geom.Point) (stream.Result, error) {
+	var res stream.Result
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := c.Probe(&res); err != nil {
+			return res, err
+		}
+		head, err := c.FetchIndexPackets(&res, 0, 1)
+		if errors.Is(err, stream.ErrStaleGeneration) {
+			continue
+		}
+		if err != nil {
+			return res, err
+		}
+		count, err := core.AdjacencyPacketCount(head[0])
+		if err != nil {
+			return res, err
+		}
+		if err := c.QueryResume(p, count, &res); errors.Is(err, stream.ErrStaleGeneration) {
+			continue
+		} else if err != nil {
+			return res, err
+		}
+		return res, nil
+	}
+	return res, fmt.Errorf("query abandoned: broadcast generations outpaced the appendix discovery")
+}
+
 // runSharded serves the S-channel fabric: one listener, program and
 // generation counter per shard, a shared metrics registry with per-shard
 // prefixes, and churn that republishes only the shards a batch touched.
 func runSharded(cfg config, ds dataset.Dataset) {
 	S := cfg.shards
-	opts := fabric.Options{}
+	opts := fabric.Options{Adjacency: cfg.adjacency}
 	var fsw *fabric.Swapper
 	var progs []*stream.Program
 	var dirPackets, channels int
@@ -511,6 +578,9 @@ func runSharded(cfg config, ds dataset.Dataset) {
 
 	fmt.Printf("broadcastd: %s, %d instances, %d B packets, %d shards, directory %d packet(s) replicated on every channel\n",
 		ds.Name, ds.N(), cfg.capacity, channels, dirPackets)
+	if cfg.adjacency {
+		fmt.Printf("broadcastd: adjacency appendix on air behind every channel directory (continuous window/kNN enabled)\n")
+	}
 	for ch, srv := range srvs {
 		prog := progs[ch]
 		fmt.Printf("broadcastd: shard %d on %s: index %d packets, m=%d, cycle %d slots\n",
@@ -546,6 +616,7 @@ func runSharded(cfg config, ds dataset.Dataset) {
 	}
 
 	client := fabric.NewClient(addrs, cfg.capacity)
+	client.Adjacency = cfg.adjacency
 	client.Metrics = stream.NewClientMetrics()
 	client.Traces = traces
 	qrng := rand.New(rand.NewSource(cfg.seed))

@@ -224,6 +224,11 @@ func TestValidateConfig(t *testing.T) {
 		{"zero cut max ops", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true; c.cutMaxOps = 0 }, false},
 		{"zero cut interval", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true; c.cutInterval = 0 }, false},
 		{"unknown ingest policy", func(c *config) { c.ingestAddr = "127.0.0.1:0"; c.seedSet = true; c.ingestPolicy = "yolo" }, false},
+		{"adjacency", func(c *config) { c.adjacency = true }, true},
+		{"adjacency with churn", func(c *config) { c.adjacency = true; c.churn = time.Second; c.seedSet = true }, true},
+		{"adjacency sharded", func(c *config) { c.adjacency = true; c.shards = 3 }, true},
+		{"adjacency with snapshot", func(c *config) { c.adjacency = true; c.snapshot = "index.dtsnap" }, false},
+		{"adjacency with snapshot dir", func(c *config) { c.adjacency = true; c.snapDir = "snaps"; c.shards = 3 }, false},
 	}
 	for _, tc := range cases {
 		cfg := baseConfig()
@@ -300,6 +305,41 @@ func TestShardedDemoEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(s, "hop(s)") {
 		t.Fatalf("no hop accounting in demo output:\n%s", s)
+	}
+}
+
+// TestAdjacencyDemoEndToEnd runs the daemon with -adjacency in both the
+// single-channel and sharded shapes: the appendix must be announced on the
+// air and the demo point queries must still resolve — the one-shot path
+// skips the appendix via the length named in packet 0.
+func TestAdjacencyDemoEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	out, err := exec.Command(bin,
+		"-demo", "-adjacency", "-dataset", "uniform", "-n", "120", "-capacity", "128",
+		"-addr", "127.0.0.1:0").CombinedOutput()
+	if err != nil {
+		t.Fatalf("single-channel daemon: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"adjacency appendix on air", "packet(s) ahead of each index copy", "demo: 8 queries"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("single-channel output missing %q:\n%s", want, s)
+		}
+	}
+	out, err = exec.Command(bin,
+		"-demo", "-adjacency", "-shards", "3", "-dataset", "uniform", "-n", "120", "-capacity", "128",
+		"-addr", "127.0.0.1:0").CombinedOutput()
+	if err != nil {
+		t.Fatalf("sharded daemon: %v\n%s", err, out)
+	}
+	s = string(out)
+	for _, want := range []string{"adjacency appendix on air behind every channel directory", "demo: 8 queries"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("sharded output missing %q:\n%s", want, s)
+		}
 	}
 }
 

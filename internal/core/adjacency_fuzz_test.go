@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"airindex/internal/geom"
+	"airindex/internal/testutil"
+)
+
+// FuzzAdjacencyDecode throws arbitrary byte slabs at the appendix decoder,
+// reassembled into wire packets exactly as a client would hand them over.
+// Decoding may fail, but it must never panic, and any table it accepts must
+// pass the structural validator and answer the walk primitives with ids in
+// range — a hostile appendix on the air must not crash or corrupt a client.
+func FuzzAdjacencyDecode(f *testing.F) {
+	const capacity = 128
+	for _, n := range []int{1, 2, 33} {
+		sub, sites := testutil.RandomVoronoi(f, n, int64(9900+n))
+		adj, err := BuildAdjacency(sub, sub.Area, sites)
+		if err != nil {
+			f.Fatal(err)
+		}
+		pkts, err := adj.EncodePackets(capacity)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bytes.Join(pkts, nil))
+	}
+	f.Add([]byte(adjacencyMagic))
+	f.Add(make([]byte, adjHeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pkts [][]byte
+		for off := 0; off < len(data); off += capacity {
+			end := off + capacity
+			if end > len(data) {
+				end = len(data)
+			}
+			pkts = append(pkts, data[off:end])
+		}
+		a, err := DecodeAdjacency(pkts)
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("decoder accepted a table the validator rejects: %v", err)
+		}
+		n := a.N()
+		if n == 0 {
+			t.Fatal("decoder accepted an empty table")
+		}
+		center := geom.Pt((a.Area.MinX+a.Area.MaxX)/2, (a.Area.MinY+a.Area.MaxY)/2)
+		for _, seed := range []int{0, n - 1} {
+			a.Contains(seed, center)
+			for _, id := range a.KNN(seed, center, 3) {
+				if id < 0 || int(id) >= n {
+					t.Fatalf("KNN returned region %d of %d", id, n)
+				}
+			}
+			for _, id := range a.Window(seed, a.Area) {
+				if id < 0 || int(id) >= n {
+					t.Fatalf("Window returned region %d of %d", id, n)
+				}
+			}
+		}
+	})
+}

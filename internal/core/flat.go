@@ -64,6 +64,11 @@ type FlatTree struct {
 	nodes []FlatNode
 	polys []polySpan
 	pts   []geom.Point // canonical frame
+
+	// adj is the optional region-adjacency table (SetAdjacency) that turns
+	// the broadcast into a continuous-query medium: it is appended to the
+	// snapshot and prefixed to the index packets when present.
+	adj *Adjacency
 }
 
 // flatRef converts a pointer-tree child reference into an arena reference.

@@ -33,6 +33,7 @@ import (
 //	  pnLen       u32   pooled packet->node table length
 //	  crc32c      u32   Castagnoli CRC of the whole slab with this field
 //	                    zeroed, so header corruption is caught too
+//	  adjLen      u32   neighbor-table length (version 2 only; zero pad in v1)
 //	  pad to 64 B
 //	sections, in order, each padded to a 64-byte boundary:
 //	  node records   nodes   x 64 B (CutLo f64, CutHi f64, Left i32,
@@ -45,12 +46,24 @@ import (
 //	  pnIdx          packets+1 x 4 B
 //	  packetNodes    pnLen   x 4 B
 //	  occupied       packets x 4 B
+//
+// Version 2 appends the region-adjacency table (continuous queries on air)
+// as four more sections; an arena without one still writes version 1, byte
+// for byte:
+//
+//	  adjIdx         regions+1 x 4 B (CSR spine)
+//	  adj            adjLen    x 4 B (neighbor region ids)
+//	  sites          regions   x 16 B (X f64, Y f64)
+//	  area           4 x 8 B (MinX, MinY, MaxX, MaxY f64)
+//	  ids            regions   x 4 B (global region ids; identity on a
+//	                 single channel)
 
 const (
-	snapshotMagic   = "DTARENA1"
-	snapshotVersion = 1
-	snapHeaderSize  = 64
-	snapNodeSize    = 64
+	snapshotMagic    = "DTARENA1"
+	snapshotVersion  = 1
+	snapshotVersion2 = 2 // version 1 plus the adjacency sections
+	snapHeaderSize   = 64
+	snapNodeSize     = 64
 )
 
 var snapCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -58,9 +71,11 @@ var snapCRC = crc32.MakeTable(crc32.Castagnoli)
 func alignUp(n int) int { return (n + 63) &^ 63 }
 
 // snapshotSections returns each section's byte offset plus the total size.
-func snapshotSections(nodes, polys, pts, packets, pktsLen, pnLen int) (offs [8]int, total int) {
+// The four adjacency sections (version 2) have zero size in a version-1
+// slab, which leaves every version-1 offset and the total unchanged.
+func snapshotSections(nodes, polys, pts, packets, pktsLen, pnLen, regions, adjLen int, hasAdj bool) (offs [13]int, total int) {
 	at := snapHeaderSize
-	sizes := [8]int{
+	sizes := [13]int{
 		nodes * snapNodeSize,
 		polys * 8,
 		pts * 16,
@@ -69,6 +84,13 @@ func snapshotSections(nodes, polys, pts, packets, pktsLen, pnLen int) (offs [8]i
 		(packets + 1) * 4,
 		pnLen * 4,
 		packets * 4,
+	}
+	if hasAdj {
+		sizes[8] = (regions + 1) * 4
+		sizes[9] = adjLen * 4
+		sizes[10] = regions * 16
+		sizes[11] = 4 * 8
+		sizes[12] = regions * 4
 	}
 	for i, s := range sizes {
 		offs[i] = at
@@ -81,12 +103,19 @@ func snapshotSections(nodes, polys, pts, packets, pktsLen, pnLen int) (offs [8]i
 func (fp *FlatPaged) Snapshot() []byte {
 	ft := fp.Flat
 	nn := len(ft.nodes)
-	offs, total := snapshotSections(nn, len(ft.polys), len(ft.pts), fp.packetCount, len(fp.pkts), len(fp.packetNodes))
+	adj := ft.adj
+	adjLen := 0
+	version := uint32(snapshotVersion)
+	if adj != nil {
+		adjLen = len(adj.Adj)
+		version = snapshotVersion2
+	}
+	offs, total := snapshotSections(nn, len(ft.polys), len(ft.pts), fp.packetCount, len(fp.pkts), len(fp.packetNodes), ft.N, adjLen, adj != nil)
 	out := make([]byte, total)
 	le := binary.LittleEndian
 
 	copy(out[0:8], snapshotMagic)
-	le.PutUint32(out[8:], snapshotVersion)
+	le.PutUint32(out[8:], version)
 	le.PutUint32(out[12:], uint32(fp.Params.PacketCapacity))
 	le.PutUint32(out[16:], uint32(ft.N))
 	le.PutUint32(out[20:], uint32(nn))
@@ -135,6 +164,27 @@ func (fp *FlatPaged) Snapshot() []byte {
 	putInt32s(offs[5], fp.pnIdx)
 	putInt32s(offs[6], fp.packetNodes)
 	putInt32s(offs[7], fp.occupied)
+	if adj != nil {
+		le.PutUint32(out[48:], uint32(adjLen))
+		putInt32s(offs[8], adj.AdjIdx)
+		putInt32s(offs[9], adj.Adj)
+		at = offs[10]
+		for _, s := range adj.Sites {
+			le.PutUint64(out[at:], math.Float64bits(s.X))
+			le.PutUint64(out[at+8:], math.Float64bits(s.Y))
+			at += 16
+		}
+		at = offs[11]
+		for _, v := range [4]float64{adj.Area.MinX, adj.Area.MinY, adj.Area.MaxX, adj.Area.MaxY} {
+			le.PutUint64(out[at:], math.Float64bits(v))
+			at += 8
+		}
+		at = offs[12]
+		for i := 0; i < ft.N; i++ {
+			le.PutUint32(out[at:], uint32(adj.GlobalID(i)))
+			at += 4
+		}
+	}
 
 	le.PutUint32(out[44:], snapChecksum(out))
 	return out
@@ -161,9 +211,11 @@ func LoadSnapshot(data []byte) (*FlatPaged, error) {
 	if string(data[0:8]) != snapshotMagic {
 		return nil, fmt.Errorf("core: bad snapshot magic %q", data[0:8])
 	}
-	if v := le.Uint32(data[8:]); v != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, want %d", v, snapshotVersion)
+	v := le.Uint32(data[8:])
+	if v != snapshotVersion && v != snapshotVersion2 {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d or %d", v, snapshotVersion, snapshotVersion2)
 	}
+	hasAdj := v == snapshotVersion2
 	capacity := int(le.Uint32(data[12:]))
 	regions := int(le.Uint32(data[16:]))
 	nn := int(le.Uint32(data[20:]))
@@ -172,11 +224,15 @@ func LoadSnapshot(data []byte) (*FlatPaged, error) {
 	packets := int(le.Uint32(data[32:]))
 	pktsLen := int(le.Uint32(data[36:]))
 	pnLen := int(le.Uint32(data[40:]))
+	adjLen := 0
+	if hasAdj {
+		adjLen = int(le.Uint32(data[48:]))
+	}
 
 	// Bound every count by what the slab could possibly hold before doing
 	// size arithmetic or allocating.
 	maxAny := len(data) / 4
-	for _, c := range []int{nn, npolys, npts, packets, pktsLen, pnLen} {
+	for _, c := range []int{nn, npolys, npts, packets, pktsLen, pnLen, adjLen} {
 		if c < 0 || c > maxAny {
 			return nil, fmt.Errorf("core: snapshot count %d exceeds slab", c)
 		}
@@ -187,7 +243,12 @@ func LoadSnapshot(data []byte) (*FlatPaged, error) {
 	if regions < 0 || regions >= 1<<31 {
 		return nil, fmt.Errorf("core: snapshot region count %d out of range", regions)
 	}
-	offs, total := snapshotSections(nn, npolys, npts, packets, pktsLen, pnLen)
+	if hasAdj && regions > maxAny {
+		// Version 2 allocates per-region adjacency pools, so the region
+		// count itself must fit the slab.
+		return nil, fmt.Errorf("core: snapshot region count %d exceeds slab", regions)
+	}
+	offs, total := snapshotSections(nn, npolys, npts, packets, pktsLen, pnLen, regions, adjLen, hasAdj)
 	if len(data) != total {
 		return nil, fmt.Errorf("core: snapshot is %d bytes, header implies %d", len(data), total)
 	}
@@ -243,6 +304,42 @@ func LoadSnapshot(data []byte) (*FlatPaged, error) {
 	fp.pnIdx = getInt32s(offs[5], packets+1)
 	fp.packetNodes = getInt32s(offs[6], pnLen)
 	fp.occupied = getInt32s(offs[7], packets)
+	if hasAdj {
+		adj := &Adjacency{
+			AdjIdx: getInt32s(offs[8], regions+1),
+			Adj:    getInt32s(offs[9], adjLen),
+			Sites:  make([]geom.Point, regions),
+		}
+		at = offs[10]
+		for i := range adj.Sites {
+			adj.Sites[i].X = math.Float64frombits(le.Uint64(data[at:]))
+			adj.Sites[i].Y = math.Float64frombits(le.Uint64(data[at+8:]))
+			at += 16
+		}
+		at = offs[11]
+		adj.Area.MinX = math.Float64frombits(le.Uint64(data[at:]))
+		adj.Area.MinY = math.Float64frombits(le.Uint64(data[at+8:]))
+		adj.Area.MaxX = math.Float64frombits(le.Uint64(data[at+16:]))
+		adj.Area.MaxY = math.Float64frombits(le.Uint64(data[at+24:]))
+		adj.IDs = getInt32s(offs[12], regions)
+		identity := true
+		for i, id := range adj.IDs {
+			if id != int32(i) {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			adj.IDs = nil // single-channel tables round-trip to their built form
+		}
+		if len(adj.Adj) == 0 {
+			adj.Adj = nil // a neighborless table round-trips to its built form too
+		}
+		if err := adj.Validate(); err != nil {
+			return nil, fmt.Errorf("core: snapshot adjacency: %w", err)
+		}
+		ft.adj = adj
+	}
 
 	if err := fp.validate(); err != nil {
 		return nil, err

@@ -14,8 +14,12 @@ import (
 // panicking or walking out of bounds.
 func FuzzFlatSnapshot(f *testing.F) {
 	for _, n := range []int{1, 4, 40} {
-		sub, _ := testutil.RandomVoronoi(f, n, int64(300+n))
+		sub, sites := testutil.RandomVoronoi(f, n, int64(300+n))
 		tree, err := Build(sub)
+		if err != nil {
+			f.Fatal(err)
+		}
+		adj, err := BuildAdjacency(sub, sub.Area, sites)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -25,6 +29,13 @@ func FuzzFlatSnapshot(f *testing.F) {
 				f.Fatal(err)
 			}
 			f.Add(paged.Flatten().Snapshot())
+			// The same arena with the adjacency table attached seeds the
+			// version-2 layout.
+			fp := paged.Flatten()
+			if err := fp.Flat.SetAdjacency(adj); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(fp.Snapshot())
 		}
 	}
 	f.Add([]byte(snapshotMagic))
@@ -44,6 +55,25 @@ func FuzzFlatSnapshot(f *testing.F) {
 			for _, pk := range trace {
 				if pk < 0 || pk >= fp.IndexPackets() {
 					t.Fatalf("loaded snapshot traced out-of-range packet %d", pk)
+				}
+			}
+		}
+		// A loaded version-2 table passed its validation: every adjacency
+		// walk must stay in bounds and terminate.
+		if adj := fp.Flat.Adjacency(); adj != nil && adj.N() == fp.Flat.N && adj.N() > 0 {
+			center := adj.Area.Center()
+			for _, seed := range []int{0, adj.N() - 1} {
+				adj.Contains(seed, center)
+				for _, id := range adj.KNN(seed, center, 3) {
+					if id < 0 || int(id) >= adj.N() {
+						t.Fatalf("loaded adjacency walked to out-of-range region %d", id)
+					}
+				}
+				w := geom.Rect{MinX: center.X - 100, MinY: center.Y - 100, MaxX: center.X + 100, MaxY: center.Y + 100}
+				for _, id := range adj.Window(seed, w) {
+					if id < 0 || int(id) >= adj.N() {
+						t.Fatalf("loaded adjacency windowed out-of-range region %d", id)
+					}
 				}
 			}
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"airindex/internal/geom"
@@ -150,6 +151,122 @@ func TestSnapshotRejectsDamage(t *testing.T) {
 		bad[rng.Intn(len(bad))] ^= 1 << rng.Intn(8)
 		if _, err := LoadSnapshot(bad); err == nil {
 			t.Fatalf("trial %d: corrupted snapshot loaded", trial)
+		}
+	}
+}
+
+// buildFlatPagedV2 builds an arena carrying the region-adjacency table, the
+// shape that snapshots as version 2.
+func buildFlatPagedV2(t testing.TB, n, capacity int, seed int64) *FlatPaged {
+	t.Helper()
+	sub, sites := testutil.RandomVoronoi(t, n, seed)
+	tree, err := Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err := tree.Page(wire.DTreeParams(capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := paged.Flatten()
+	adj, err := BuildAdjacency(sub, sub.Area, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Flat.SetAdjacency(adj); err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestSnapshotV2RoundTrip: an adjacency-carrying arena snapshots as version
+// 2 and restores table, packets and queries exactly; an adjacency-free
+// arena keeps writing version 1 byte for byte.
+func TestSnapshotV2RoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		n, capacity int
+	}{{1, 256}, {25, 64}, {90, 512}} {
+		fp := buildFlatPagedV2(t, tc.n, tc.capacity, int64(70+tc.n))
+		// A sharded channel's table carries non-identity global ids; they
+		// must survive the slab too.
+		fp.Flat.Adjacency().IDs = make([]int32, tc.n)
+		for i := range fp.Flat.Adjacency().IDs {
+			fp.Flat.Adjacency().IDs[i] = int32(7 + i*2)
+		}
+		data := fp.Snapshot()
+		if v := int(data[8]); v != snapshotVersion2 {
+			t.Fatalf("n=%d: adjacency arena wrote snapshot version %d, want %d", tc.n, v, snapshotVersion2)
+		}
+		got, err := LoadSnapshot(data)
+		if err != nil {
+			t.Fatalf("n=%d cap=%d: load: %v", tc.n, tc.capacity, err)
+		}
+		if !reflect.DeepEqual(got.Flat.Adjacency(), fp.Flat.Adjacency()) {
+			t.Fatalf("n=%d cap=%d: adjacency table differs after round trip", tc.n, tc.capacity)
+		}
+		wantPk, err := fp.EncodePackets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPk, err := got.EncodePackets()
+		if err != nil {
+			t.Fatalf("n=%d cap=%d: encode after load: %v", tc.n, tc.capacity, err)
+		}
+		if len(gotPk) != len(wantPk) {
+			t.Fatalf("n=%d cap=%d: %d packets after load, want %d", tc.n, tc.capacity, len(gotPk), len(wantPk))
+		}
+		for k := range gotPk {
+			if !bytes.Equal(gotPk[k], wantPk[k]) {
+				t.Fatalf("n=%d cap=%d: packet %d differs after v2 round trip", tc.n, tc.capacity, k)
+			}
+		}
+	}
+	// Without a table the format byte must not move: restarts from old
+	// snapshots keep working.
+	_, v1 := buildFlatPaged(t, 25, 64, 95)
+	if v := int(v1.Snapshot()[8]); v != snapshotVersion {
+		t.Fatalf("adjacency-free arena wrote snapshot version %d, want %d", v, snapshotVersion)
+	}
+}
+
+// TestSnapshotV2RejectsDamage: the slab checksum covers the adjacency
+// sections, so truncation and bit flips anywhere — including inside the new
+// sections — are rejected, and a structurally plausible slab whose table
+// breaks the adjacency invariants fails the table validation.
+func TestSnapshotV2RejectsDamage(t *testing.T) {
+	fp := buildFlatPagedV2(t, 40, 128, 13)
+	data := fp.Snapshot()
+	for _, cut := range []int{len(data) - 1, len(data) - 17, len(data) / 2} {
+		if _, err := LoadSnapshot(data[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes should fail", cut)
+		}
+	}
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 300; trial++ {
+		bad := append([]byte(nil), data...)
+		bad[rng.Intn(len(bad))] ^= 1 << rng.Intn(8)
+		if _, err := LoadSnapshot(bad); err == nil {
+			t.Fatalf("trial %d: corrupted v2 snapshot loaded", trial)
+		}
+	}
+	// Re-snapshot a deliberately asymmetric table: the slab is then
+	// internally consistent (fresh checksum), so only the adjacency
+	// validation can catch it.
+	if len(fp.Flat.adj.Adj) > 1 {
+		row0 := fp.Flat.adj.Neighbors(0)
+		if len(row0) > 0 {
+			old := row0[0]
+			for cand := int32(0); int(cand) < fp.Flat.N; cand++ {
+				if cand == old || cand == 0 || fp.Flat.adj.hasNeighbor(int(cand), 0) {
+					continue
+				}
+				row0[0] = cand
+				if _, err := LoadSnapshot(fp.Snapshot()); err == nil {
+					t.Fatal("snapshot with an asymmetric adjacency table loaded")
+				}
+				row0[0] = old
+				break
+			}
 		}
 	}
 }

@@ -65,6 +65,13 @@ func (t *Tree) SearchRect(w geom.Rect) []int {
 	return out
 }
 
+// RegionIntersectsRect reports whether a region polygon and a query window
+// share any point (boundary touches included) — the exact membership test
+// window-query oracles score air answers against.
+func RegionIntersectsRect(pg geom.Polygon, w geom.Rect) bool {
+	return regionIntersectsRect(pg, w)
+}
+
 // regionIntersectsRect reports whether the polygon and rectangle share any
 // point (boundary touches included).
 func regionIntersectsRect(pg geom.Polygon, w geom.Rect) bool {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"airindex/internal/core"
 	"airindex/internal/geom"
 	"airindex/internal/obs"
 	"airindex/internal/stream"
@@ -25,6 +26,15 @@ type Client struct {
 	dial     func(ch int) (*stream.Client, error)
 	clients  []*stream.Client
 	entry    int
+
+	// Adjacency declares that the fabric's index copies carry a region-
+	// adjacency appendix between the directory and each shard tree
+	// (Options.Adjacency). Like the packet capacity, it is a broadcast
+	// format parameter the receiver is configured with: when set, queries
+	// read the appendix head to learn the per-channel prefix length before
+	// descending. The appendix itself stays self-describing, so the length
+	// is rediscovered from the air on every query and every epoch restart.
+	Adjacency bool
 
 	// Metrics and Traces, when set before the first query, are attached to
 	// every per-channel stream client as it is dialed; they record per-leg
@@ -170,14 +180,52 @@ func (c *Client) QueryFrom(p geom.Point, entry int) (Result, error) {
 		dirTune := leg.TuneIndex
 		target := dir.Route(p)
 
+		// Adjacency fabrics: the shard leg discovers the per-channel
+		// appendix length from the wire every time (it changes across
+		// generations), so the whole leg — discovery, descent, download —
+		// restarts from a fresh probe when a swap lands under any phase.
+		adjLeg := func(cli *stream.Client, res *stream.Result) error {
+			head, err := cli.FetchIndexPackets(res, d, d+1)
+			if err != nil {
+				return err
+			}
+			a, err := core.AdjacencyPacketCount(head[0])
+			if err != nil {
+				return fmt.Errorf("fabric: no adjacency appendix behind the directory: %w", err)
+			}
+			bucket, err := cli.LocateShifted(p, d+a, res)
+			if err != nil {
+				return err
+			}
+			res.Bucket = bucket
+			_, err = cli.FetchBucket(bucket, res)
+			return err
+		}
+
 		if target == entry {
 			// The entry channel owns the point: continue the descent in the
 			// same index copy, right behind the directory.
-			err := sc.QueryResume(p, d, &leg)
+			var err error
+			if c.Adjacency {
+				err = adjLeg(sc, &leg)
+			} else {
+				err = sc.QueryResume(p, d, &leg)
+			}
+			if err != nil && c.Adjacency {
+				if stale := c.retryRouting(&fres, &leg, err); stale {
+					continue
+				}
+				return fres, err
+			}
 			c.mergeLeg(&fres, &leg, dirTune)
 			fres.Latency += leg.Latency
 			if err != nil {
 				return fres, err
+			}
+			if c.Adjacency {
+				// The hand-driven leg never passes through Query's finish,
+				// so fold it into the metrics here.
+				c.Metrics.Observe(&leg)
 			}
 		} else {
 			// Hop: close out the entry leg (its probe and directory read
@@ -190,11 +238,26 @@ func (c *Client) QueryFrom(p geom.Point, entry int) (Result, error) {
 				return fres, err
 			}
 			var hop stream.Result
-			err = tc.QueryShifted(p, d, &hop)
-			c.mergeLeg(&fres, &hop, 0)
-			fres.Latency += hop.Latency
-			if err != nil {
-				return fres, err
+			if c.Adjacency {
+				if err = tc.Probe(&hop); err == nil {
+					err = adjLeg(tc, &hop)
+				}
+				if err != nil {
+					if stale := c.retryRouting(&fres, &hop, err); stale {
+						continue
+					}
+					return fres, err
+				}
+				c.mergeLeg(&fres, &hop, 0)
+				fres.Latency += hop.Latency
+				c.Metrics.Observe(&hop)
+			} else {
+				err = tc.QueryShifted(p, d, &hop)
+				c.mergeLeg(&fres, &hop, 0)
+				fres.Latency += hop.Latency
+				if err != nil {
+					return fres, err
+				}
 			}
 			leg = hop
 		}

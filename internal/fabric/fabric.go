@@ -110,6 +110,69 @@ type Options struct {
 	// BuildWorkers bounds the per-shard D-tree build parallelism; <= 0
 	// uses the core default.
 	BuildWorkers int
+	// Adjacency attaches a region-adjacency table to every shard arena and
+	// splices its self-describing appendix between the directory and the
+	// tree in every index copy, making each channel a continuous-query
+	// medium (stream.Continuous, fabric.Continuous). The table carries the
+	// global data-instance ids, so hopping clients union per-shard answers
+	// and break kNN ties in the global numbering without bucket downloads.
+	Adjacency bool
+	// SiteOf resolves a global data-instance id to its site location while
+	// compiling adjacency tables. Build, NewSwapper and RestoreSnapshotDir
+	// fill it in from their site source when left nil.
+	SiteOf func(globalID int) (geom.Point, error)
+}
+
+// siteOfSlice is the SiteOf for identity-numbered site slices (Build,
+// RestoreSnapshotDir).
+func siteOfSlice(sites []geom.Point) func(int) (geom.Point, error) {
+	return func(id int) (geom.Point, error) {
+		if id < 0 || id >= len(sites) {
+			return geom.Point{}, fmt.Errorf("fabric: global id %d outside %d sites", id, len(sites))
+		}
+		return sites[id], nil
+	}
+}
+
+// shardAdjacencyPackets attaches the shard's adjacency table to its arena
+// when the options ask for one (skipped when the arena already carries a
+// table, e.g. restored from a v2 snapshot) and returns the appendix packets
+// to splice between the directory and the tree — nil when the broadcast
+// carries no table.
+func shardAdjacencyPackets(flat *core.FlatPaged, sub *region.Subdivision, rect geom.Rect, ids []int, capacity int, opts Options) ([][]byte, error) {
+	if opts.Adjacency && flat.Flat.Adjacency() == nil {
+		if opts.SiteOf == nil {
+			return nil, fmt.Errorf("fabric: Options.Adjacency requires SiteOf")
+		}
+		sites := make([]geom.Point, len(ids))
+		for i, id := range ids {
+			p, err := opts.SiteOf(id)
+			if err != nil {
+				return nil, err
+			}
+			sites[i] = p
+		}
+		adj, err := core.BuildAdjacency(sub, rect, sites)
+		if err != nil {
+			return nil, err
+		}
+		gids := make([]int32, len(ids))
+		for i, id := range ids {
+			gids[i] = int32(id)
+		}
+		adj.IDs = gids
+		if err := adj.Validate(); err != nil {
+			return nil, err
+		}
+		if err := flat.Flat.SetAdjacency(adj); err != nil {
+			return nil, err
+		}
+	}
+	adj := flat.Flat.Adjacency()
+	if adj == nil {
+		return nil, nil
+	}
+	return adj.EncodePackets(capacity)
 }
 
 // Build partitions the sites into S shards and compiles the whole fabric
@@ -117,6 +180,9 @@ type Options struct {
 // program per shard. S = 1 degenerates to a single channel that still
 // carries a one-leaf directory.
 func Build(area geom.Rect, sites []geom.Point, S, capacity int, opts Options) (*Fabric, error) {
+	if opts.Adjacency && opts.SiteOf == nil {
+		opts.SiteOf = siteOfSlice(sites)
+	}
 	sub, err := voronoi.Subdivision(area, sites)
 	if err != nil {
 		return nil, err
@@ -211,6 +277,10 @@ func compileShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion,
 		return nil, fmt.Errorf("fabric: shard %d paging: %w", ch, err)
 	}
 	flat := paged.Flatten()
+	adjPkts, err := shardAdjacencyPackets(flat, sub, rect, ids, capacity, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d adjacency: %w", ch, err)
+	}
 	treePkts, err := flat.EncodePackets()
 	if err != nil {
 		return nil, fmt.Errorf("fabric: shard %d encoding: %w", ch, err)
@@ -219,8 +289,9 @@ func compileShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion,
 	if err != nil {
 		return nil, err
 	}
-	indexPkts := make([][]byte, 0, len(dirPkts)+len(treePkts))
+	indexPkts := make([][]byte, 0, len(dirPkts)+len(adjPkts)+len(treePkts))
 	indexPkts = append(indexPkts, dirPkts...)
+	indexPkts = append(indexPkts, adjPkts...)
 	indexPkts = append(indexPkts, treePkts...)
 	bucketPackets := params.DataBucketPackets()
 	if bucketPackets > stream.MaxBucketPackets {

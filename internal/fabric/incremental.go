@@ -99,6 +99,10 @@ func (c *shardCompiler) finish(tree *core.Tree, sub *region.Subdivision, clips [
 		prevFlat = c.prev.Flat
 	}
 	flat := paged.FlattenPatched(prevFlat)
+	adjPkts, err := shardAdjacencyPackets(flat, sub, c.rect, ids, c.capacity, c.opts)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d adjacency: %w", c.ch, err)
+	}
 	treePkts, err := flat.EncodePackets()
 	if err != nil {
 		return nil, fmt.Errorf("fabric: shard %d encoding: %w", c.ch, err)
@@ -107,8 +111,9 @@ func (c *shardCompiler) finish(tree *core.Tree, sub *region.Subdivision, clips [
 	if err != nil {
 		return nil, err
 	}
-	indexPkts := make([][]byte, 0, len(dirPkts)+len(treePkts))
+	indexPkts := make([][]byte, 0, len(dirPkts)+len(adjPkts)+len(treePkts))
 	indexPkts = append(indexPkts, dirPkts...)
+	indexPkts = append(indexPkts, adjPkts...)
 	indexPkts = append(indexPkts, treePkts...)
 	bucketPackets := params.DataBucketPackets()
 	if bucketPackets > stream.MaxBucketPackets {

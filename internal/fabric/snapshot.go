@@ -52,6 +52,9 @@ func (f *Fabric) WriteSnapshotDir(dir string) error {
 // Restored shards carry no *core.Tree or *core.Paged — only the flat arena
 // that serving and packet encoding need.
 func RestoreSnapshotDir(area geom.Rect, sites []geom.Point, S int, dir string, opts Options) (*Fabric, error) {
+	if opts.Adjacency && opts.SiteOf == nil {
+		opts.SiteOf = siteOfSlice(sites)
+	}
 	sub, err := voronoi.Subdivision(area, sites)
 	if err != nil {
 		return nil, err
@@ -112,6 +115,10 @@ func restoreShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion,
 		return nil, fmt.Errorf("fabric: shard %d snapshot does not match the clipped site set: %w", ch, err)
 	}
 	capacity := fp.Params.PacketCapacity
+	adjPkts, err := shardAdjacencyPackets(fp, sub, rect, ids, capacity, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d adjacency: %w", ch, err)
+	}
 	treePkts, err := fp.EncodePackets()
 	if err != nil {
 		return nil, fmt.Errorf("fabric: shard %d encoding: %w", ch, err)
@@ -120,8 +127,9 @@ func restoreShard(dir *Directory, ch int, rect geom.Rect, clips []clippedRegion,
 	if err != nil {
 		return nil, err
 	}
-	indexPkts := make([][]byte, 0, len(dirPkts)+len(treePkts))
+	indexPkts := make([][]byte, 0, len(dirPkts)+len(adjPkts)+len(treePkts))
 	indexPkts = append(indexPkts, dirPkts...)
+	indexPkts = append(indexPkts, adjPkts...)
 	indexPkts = append(indexPkts, treePkts...)
 	bucketPackets := fp.Params.DataBucketPackets()
 	if bucketPackets > stream.MaxBucketPackets {

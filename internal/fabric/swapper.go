@@ -66,6 +66,12 @@ func NewSwapper(area geom.Rect, sites []geom.Point, S, capacity int, opts Option
 	if err != nil {
 		return nil, err
 	}
+	if opts.Adjacency && opts.SiteOf == nil {
+		// Resolve against the live maintainer: compiles run strictly after a
+		// batch's mutations, so the lookup sees exactly the generation's
+		// sites. Reads are lock-free and the Apply path serializes writers.
+		opts.SiteOf = maint.Site
+	}
 	dir, rects, _, err := Partition(area, sites, S)
 	if err != nil {
 		return nil, err

@@ -154,25 +154,48 @@ func (q *Queue) room(need int) bool {
 	return len(q.buf)-q.n >= need
 }
 
-// dropOldestMove removes the oldest queued Move, preserving the order of
-// everything else. Caller holds mu; reports whether a move was found.
+// dropOldestMove removes one queued Move, preserving the order of
+// everything else. Superseded moves go first — a Move whose site has a
+// younger Move or Remove queued behind it contributes nothing to the final
+// state, so shedding it is free. Only when every queued Move is still live
+// does the policy fall back to the strictly oldest one (genuine data loss,
+// but the oldest position is the stalest). Caller holds mu; reports whether
+// a move was found.
 func (q *Queue) dropOldestMove() bool {
-	for i := 0; i < q.n; i++ {
-		pos := (q.head + i) % len(q.buf)
-		if q.buf[pos].op.Kind != OpMove {
+	victim := -1
+	for i := 0; i < q.n && victim < 0; i++ {
+		op := q.buf[(q.head+i)%len(q.buf)].op
+		if op.Kind != OpMove {
 			continue
 		}
-		// Shift the younger entries down over the gap.
-		for j := i; j < q.n-1; j++ {
-			q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+		for j := i + 1; j < q.n; j++ {
+			later := q.buf[(q.head+j)%len(q.buf)].op
+			if later.ID == op.ID && (later.Kind == OpMove || later.Kind == OpRemove) {
+				victim = i
+				break
+			}
 		}
-		q.buf[(q.head+q.n-1)%len(q.buf)] = entry{}
-		q.n--
-		q.m.DroppedMove.Inc()
-		q.m.QueueDepth.Set(int64(q.n))
-		return true
 	}
-	return false
+	if victim < 0 {
+		for i := 0; i < q.n; i++ {
+			if q.buf[(q.head+i)%len(q.buf)].op.Kind == OpMove {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	// Shift the younger entries down over the gap.
+	for j := victim; j < q.n-1; j++ {
+		q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+	}
+	q.buf[(q.head+q.n-1)%len(q.buf)] = entry{}
+	q.n--
+	q.m.DroppedMove.Inc()
+	q.m.QueueDepth.Set(int64(q.n))
+	return true
 }
 
 // popOne removes and returns the oldest entry, waiting until one arrives,

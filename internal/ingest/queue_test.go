@@ -108,6 +108,48 @@ func TestQueueDropOldestMove(t *testing.T) {
 	}
 }
 
+func TestQueueDropPrefersSupersededMove(t *testing.T) {
+	// Move(7) is superseded by a younger Move(7); the strictly oldest move
+	// (id 1) is still live and must survive the eviction.
+	q := NewQueue(4, DropOldestMove, 0, nil)
+	if err := q.Enqueue(op(OpMove, 1), op(OpMove, 7), op(OpAdd, 0), op(OpMove, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(op(OpRemove, 9)); err != nil {
+		t.Fatalf("enqueue with superseded move = %v, want nil", err)
+	}
+	want := []Op{op(OpMove, 1), op(OpAdd, 0), op(OpMove, 7), op(OpRemove, 9)}
+	for i, w := range want {
+		e, ok := q.popOne(time.Time{})
+		if !ok {
+			t.Fatalf("popOne %d: queue empty", i)
+		}
+		if e.op != w {
+			t.Fatalf("popOne %d = %+v, want %+v", i, e.op, w)
+		}
+	}
+
+	// A Remove behind a Move supersedes it the same way: the move's effect
+	// never reaches the index.
+	q2 := NewQueue(4, DropOldestMove, 0, nil)
+	if err := q2.Enqueue(op(OpMove, 1), op(OpMove, 7), op(OpRemove, 7), op(OpAdd, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Enqueue(op(OpAdd, 2)); err != nil {
+		t.Fatalf("enqueue with remove-superseded move = %v, want nil", err)
+	}
+	want2 := []Op{op(OpMove, 1), op(OpRemove, 7), op(OpAdd, 0), op(OpAdd, 2)}
+	for i, w := range want2 {
+		e, ok := q2.popOne(time.Time{})
+		if !ok {
+			t.Fatalf("popOne %d: queue empty", i)
+		}
+		if e.op != w {
+			t.Fatalf("popOne %d = %+v, want %+v", i, e.op, w)
+		}
+	}
+}
+
 func TestQueueCloseSemantics(t *testing.T) {
 	q := NewQueue(4, Reject, 0, nil)
 	if err := q.Enqueue(op(OpAdd, 0), op(OpMove, 1)); err != nil {

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"airindex/internal/geom"
 )
@@ -99,6 +100,70 @@ func (t *Tree) NearestNeighbors(p geom.Point, k int) []int {
 		for _, e := range child.entries {
 			heap.Push(h, nnItem{minDist2(p, e.Rect), e, child.isLeaf()})
 		}
+	}
+	return out
+}
+
+// KNNSites returns the ids of the k entries whose *sites* are nearest to p,
+// ordered deterministically by (site distance², id). site maps an entry's
+// data id to its generating point, which must lie inside the entry's
+// rectangle so the MBR distance stays a valid lower bound. Unlike
+// NearestNeighbors (rectangle distance, heap-order ties), this is an exact
+// oracle for the broadcast adjacency walk: equal-distance ties break by id.
+func (t *Tree) KNNSites(p geom.Point, k int, site func(int) geom.Point) []int {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	if k > t.size {
+		k = t.size
+	}
+	h := &nnHeap{}
+	push := func(n *node) {
+		for _, e := range n.entries {
+			if n.isLeaf() {
+				heap.Push(h, nnItem{p.Dist2(site(e.Data)), e, true})
+			} else {
+				heap.Push(h, nnItem{minDist2(p, e.Rect), e, false})
+			}
+		}
+	}
+	push(t.root)
+	type cand struct {
+		dist2 float64
+		id    int
+	}
+	var cands []cand
+	// best holds the k smallest site distances seen, ascending; traversal
+	// stops when the heap's lower bound is strictly beyond best[k-1], and
+	// ties at the bound keep flowing so they can lose on id afterwards.
+	best := make([]float64, 0, k)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(nnItem)
+		if len(best) == k && it.dist2 > best[k-1] {
+			break
+		}
+		if !it.leaf {
+			push(it.entry.Child)
+			continue
+		}
+		cands = append(cands, cand{it.dist2, it.entry.Data})
+		if pos := sort.SearchFloat64s(best, it.dist2); pos < k {
+			if len(best) < k {
+				best = append(best, 0)
+			}
+			copy(best[pos+1:], best[pos:])
+			best[pos] = it.dist2
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist2 != cands[j].dist2 {
+			return cands[i].dist2 < cands[j].dist2
+		}
+		return cands[i].id < cands[j].id
+	})
+	out := make([]int, 0, k)
+	for i := 0; i < len(cands) && i < k; i++ {
+		out = append(out, cands[i].id)
 	}
 	return out
 }

@@ -426,9 +426,28 @@ func (c *Client) queryOnce(p geom.Point, res *Result, restart, skip int, resume 
 		}
 	}
 
-	// Index search: feed the D-tree byte decoder from the live stream. The
-	// provider caches parsed packets (client memory); the cache and the
-	// decoder scratch live on the client, reused across queries.
+	bucket, err := c.LocateShifted(p, skip, res)
+	if err != nil {
+		return err
+	}
+	res.Bucket = bucket
+	return c.fetchBucket(bucket, res)
+}
+
+// LocateShifted runs the index-search phase only — the D-tree descent for p
+// over the live stream, with the first skip packets of every index copy
+// treated as foreign — returning the located data bucket without
+// downloading it. The session must be pinned by a preceding Probe; a hot
+// swap surfaces as ErrStaleGeneration. Continuous clients use it to
+// re-descend after a boundary crossing without re-downloading answer
+// buckets they already hold.
+func (c *Client) LocateShifted(p geom.Point, skip int, res *Result) (int, error) {
+	if !c.genPinned {
+		return 0, fmt.Errorf("stream: LocateShifted without a preceding Probe")
+	}
+	// Feed the D-tree byte decoder from the live stream. The provider
+	// caches parsed packets (client memory); the cache and the decoder
+	// scratch live on the client, reused across queries.
 	if c.idxCache == nil {
 		c.idxCache = make(map[int][]byte, 8)
 	} else {
@@ -446,16 +465,30 @@ func (c *Client) queryOnce(p geom.Point, res *Result, restart, skip int, resume 
 		return payload, nil
 	}
 	bucket, _, err := c.loc.Locate(get, c.capacity, p)
-	if err != nil {
-		return err
-	}
-	res.Bucket = bucket
+	return bucket, err
+}
 
-	// Data retrieval: doze until the bucket's first packet, download the
-	// contiguous bucket. The packets-per-bucket count follows from the
-	// capacity (the data instance size is a system parameter, Table 2), so
-	// the client knows when the bucket is complete; an incomplete or
-	// damaged run is discarded and retried on the next cycle.
+// FetchBucket downloads one data bucket from the pinned session with the
+// standard loss recovery, returning its payload as a fresh slice (res.Data
+// is used as scratch and holds the same bytes on success).
+func (c *Client) FetchBucket(bucket int, res *Result) ([]byte, error) {
+	if !c.genPinned {
+		return nil, fmt.Errorf("stream: FetchBucket without a preceding Probe")
+	}
+	res.Data = res.Data[:0]
+	if err := c.fetchBucket(bucket, res); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), res.Data...), nil
+}
+
+// fetchBucket is the data-retrieval phase: doze until the bucket's first
+// packet, download the contiguous bucket into res.Data. The packets-per-
+// bucket count follows from the capacity (the data instance size is a
+// system parameter, Table 2), so the client knows when the bucket is
+// complete; an incomplete or damaged run is discarded and retried on the
+// next cycle.
+func (c *Client) fetchBucket(bucket int, res *Result) error {
 	expect := wire.DTreeParams(c.capacity).DataBucketPackets()
 	collected, attempts := 0, 0
 	wants := func(h Header) bool {

@@ -1,0 +1,444 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"airindex/internal/channel"
+	"airindex/internal/core"
+	"airindex/internal/dataset"
+	"airindex/internal/geom"
+	"airindex/internal/region"
+	"airindex/internal/rstar"
+	"airindex/internal/testutil"
+	"airindex/internal/wire"
+)
+
+// Continuous-query oracle suite. Every cycle of a moving client's standing
+// window/kNN query, answered on air from the D-tree adjacency appendix, is
+// scored against two independent oracles for the exact generation it was
+// answered under: a brute-force scan of the generation's subdivision, and an
+// R*-tree built over the same ground truth. The three must agree bit for
+// bit — under churn, loss, and both client modes.
+
+// oracleWindow is the brute-force window oracle: every region whose polygon
+// meets w, ascending.
+func oracleWindow(sub *region.Subdivision, w geom.Rect) []int32 {
+	var out []int32
+	for i := range sub.Regions {
+		if core.RegionIntersectsRect(sub.Regions[i].Poly, w) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// oracleWindowRStar answers the same window through an R*-tree over region
+// MBRs with an exact polygon filter.
+func oracleWindowRStar(t *testing.T, sub *region.Subdivision, w geom.Rect) []int32 {
+	t.Helper()
+	entries := make([]rstar.Entry, len(sub.Regions))
+	for i := range sub.Regions {
+		entries[i] = rstar.Entry{Rect: sub.Regions[i].Poly.Bounds(), Data: i}
+	}
+	rt, err := rstar.BulkLoadSTR(entries, 8)
+	if err != nil {
+		t.Fatalf("bulk load: %v", err)
+	}
+	var out []int32
+	for _, i := range rt.SearchRect(w) {
+		if core.RegionIntersectsRect(sub.Regions[i].Poly, w) {
+			out = append(out, int32(i))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// oracleKNN is the brute-force kNN oracle: regions by (site dist², index).
+func oracleKNN(sites []geom.Point, p geom.Point, k int) []int32 {
+	idx := make([]int32, len(sites))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da, db := p.Dist2(sites[idx[a]]), p.Dist2(sites[idx[b]])
+		if da != db {
+			return da < db
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// oracleKNNRStar answers the same kNN through an R*-tree over region MBRs
+// with exact site distances at the leaves.
+func oracleKNNRStar(t *testing.T, sub *region.Subdivision, sites []geom.Point, p geom.Point, k int) []int32 {
+	t.Helper()
+	entries := make([]rstar.Entry, len(sub.Regions))
+	for i := range sub.Regions {
+		entries[i] = rstar.Entry{Rect: sub.Regions[i].Poly.Bounds(), Data: i}
+	}
+	rt, err := rstar.BulkLoadSTR(entries, 8)
+	if err != nil {
+		t.Fatalf("bulk load: %v", err)
+	}
+	got := rt.KNNSites(p, k, func(i int) geom.Point { return sites[i] })
+	out := make([]int32, len(got))
+	for i, v := range got {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyOutcome scores one cycle against both oracles for its pinned
+// generation and checks the cached buckets are exactly the answer set with
+// verified payloads. Returns an error so concurrent steppers can report.
+func verifyOutcome(t *testing.T, sw *Swapper, sess *Continuous, q ContinuousQuery, p geom.Point, out CycleOutcome, capacity int) error {
+	g := sw.Generation(out.Generation)
+	if g == nil {
+		return fmt.Errorf("cycle %d at %v: unknown generation %d", out.Cycle, p, out.Generation)
+	}
+	reg := int(out.Region)
+	if reg < 0 || reg >= g.Sub.N() {
+		return fmt.Errorf("cycle %d at %v: region %d out of range (gen %d, %d regions)", out.Cycle, p, reg, out.Generation, g.Sub.N())
+	}
+	if want := g.Sub.Locate(p); reg != want && !g.Sub.Regions[reg].Poly.Contains(p) {
+		return fmt.Errorf("cycle %d at %v: region %d, want %d (gen %d)", out.Cycle, p, reg, want, out.Generation)
+	}
+	if q.WindowW > 0 || q.WindowH > 0 {
+		w := q.Window(p)
+		brute := oracleWindow(g.Sub, w)
+		if !equalIDs(out.Window, brute) {
+			return fmt.Errorf("cycle %d at %v (gen %d): window on air %v, brute oracle %v", out.Cycle, p, out.Generation, out.Window, brute)
+		}
+		if rst := oracleWindowRStar(t, g.Sub, w); !equalIDs(out.Window, rst) {
+			return fmt.Errorf("cycle %d at %v (gen %d): window on air %v, rstar oracle %v", out.Cycle, p, out.Generation, out.Window, rst)
+		}
+	}
+	if q.K > 0 {
+		brute := oracleKNN(g.Sites, p, q.K)
+		if !equalIDs(out.KNN, brute) {
+			return fmt.Errorf("cycle %d at %v (gen %d): knn on air %v, brute oracle %v", out.Cycle, p, out.Generation, out.KNN, brute)
+		}
+		if rst := oracleKNNRStar(t, g.Sub, g.Sites, p, q.K); !equalIDs(out.KNN, rst) {
+			return fmt.Errorf("cycle %d at %v (gen %d): knn on air %v, rstar oracle %v", out.Cycle, p, out.Generation, out.KNN, rst)
+		}
+	}
+	// The cache must hold exactly the answer set's buckets, verified.
+	needed := map[int]bool{reg: true}
+	for _, id := range out.Window {
+		needed[int(id)] = true
+	}
+	for _, id := range out.KNN {
+		needed[int(id)] = true
+	}
+	if got := len(sess.Buckets()); got != len(needed) {
+		return fmt.Errorf("cycle %d: %d cached buckets, want %d", out.Cycle, got, len(needed))
+	}
+	for id := range needed {
+		data, ok := sess.Buckets()[id]
+		if !ok {
+			return fmt.Errorf("cycle %d: answer region %d has no cached bucket", out.Cycle, id)
+		}
+		if err := VerifyStampedData(data, capacity, id); err != nil {
+			return fmt.Errorf("cycle %d: %w", out.Cycle, err)
+		}
+	}
+	if want := float64(out.Res.LastSlot + 1 - out.Res.FirstSlot); out.Res.Latency != want {
+		return fmt.Errorf("cycle %d: latency %v does not span observed frames (%v)", out.Cycle, out.Res.Latency, want)
+	}
+	return nil
+}
+
+// startContinuousServer wires an adjacency-carrying Swapper to a live
+// server.
+func startContinuousServer(t *testing.T, n, capacity int, seed int64) (*Swapper, *Server) {
+	t.Helper()
+	sites := testutil.RandomSites(testArea, n, seed)
+	sw, err := NewSwapperWithAdjacency(testArea, sites, capacity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ln, sw.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Bind(srv)
+	go srv.Serve() //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return sw, srv
+}
+
+// dialContinuous opens a session of the given mode against the server.
+func dialContinuous(t *testing.T, srv *Server, capacity int, mode ContinuousMode, q ContinuousQuery) *Continuous {
+	t.Helper()
+	client, err := Dial(srv.Addr().String(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	sess := NewContinuous(client, mode, q)
+	sess.Metrics = NewContinuousMetrics()
+	return sess
+}
+
+// TestContinuousOracleUnderChurn is the headline acceptance gate: moving
+// clients answer standing window+kNN queries on air while the site
+// population churns underneath them, and every cycle's answer matches both
+// oracles for the generation it pinned.
+func TestContinuousOracleUnderChurn(t *testing.T) {
+	const capacity, n = 256, 50
+	sw, srv := startContinuousServer(t, n, capacity, 7001)
+	q := ContinuousQuery{WindowW: 2500, WindowH: 2000, K: 4}
+
+	// Churn: move/add/remove sites in small batches while clients step.
+	stopChurn := make(chan struct{})
+	churnDone := make(chan error, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(7002))
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopChurn:
+				return
+			default:
+			}
+			live := sw.LiveSiteIDs()
+			ops := []SiteOp{{Kind: OpMove, ID: live[rng.Intn(len(live))],
+				P: geom.Pt(rng.Float64()*10000, rng.Float64()*10000)}}
+			if len(live) < n+5 && rng.Intn(2) == 0 {
+				ops = append(ops, SiteOp{Kind: OpAdd, P: geom.Pt(rng.Float64()*10000, rng.Float64()*10000)})
+			} else if len(live) > n-5 {
+				ops = append(ops, SiteOp{Kind: OpRemove, ID: live[rng.Intn(len(live))]})
+			}
+			if _, _, err := sw.Apply(ops); err != nil {
+				churnDone <- fmt.Errorf("churn batch %d: %w", i, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Two concurrent moving clients: one fast (crosses boundaries), one
+	// slow (mostly revalidates), different models.
+	trajs := []dataset.Trajectory{
+		dataset.RandomWaypoint(testArea, 18, 7003, 400, 900),
+		dataset.Commuter(testArea, 18, 7004, 3, 60, 150, 4),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(trajs))
+	for ti := range trajs {
+		sess := dialContinuous(t, srv, capacity, ModeIncremental, q)
+		wg.Add(1)
+		go func(ti int, sess *Continuous) {
+			defer wg.Done()
+			traj := trajs[ti]
+			for cycle := 0; cycle < traj.Cycles(); cycle++ {
+				p := traj.At(cycle)
+				out, err := sess.Step(p)
+				if err != nil {
+					errs <- fmt.Errorf("client %d cycle %d: %v", ti, cycle, err)
+					return
+				}
+				if err := verifyOutcome(t, sw, sess, q, p, out, capacity); err != nil {
+					errs <- fmt.Errorf("client %d: %w", ti, err)
+					return
+				}
+			}
+		}(ti, sess)
+	}
+	wg.Wait()
+	close(stopChurn)
+	if err := <-churnDone; err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestContinuousRevalidationMatchesFresh pins the revalidation-correctness
+// contract: an incremental session that only re-descends on boundary
+// crossings produces answers bit-identical to a fresh session that
+// re-acquires everything every cycle, at every position of the same
+// trajectory — while paying a fraction of the tuning.
+func TestContinuousRevalidationMatchesFresh(t *testing.T) {
+	const capacity, n = 256, 40
+	sw, srv := startContinuousServer(t, n, capacity, 7101)
+	q := ContinuousQuery{WindowW: 2200, WindowH: 1800, K: 3}
+
+	incr := dialContinuous(t, srv, capacity, ModeIncremental, q)
+	fresh := dialContinuous(t, srv, capacity, ModeFresh, q)
+	traj := dataset.RandomWaypoint(testArea, 24, 7102, 150, 450)
+
+	var incrTuning, freshTuning int
+	for cycle := 0; cycle < traj.Cycles(); cycle++ {
+		p := traj.At(cycle)
+		a, err := incr.Step(p)
+		if err != nil {
+			t.Fatalf("incremental cycle %d: %v", cycle, err)
+		}
+		b, err := fresh.Step(p)
+		if err != nil {
+			t.Fatalf("fresh cycle %d: %v", cycle, err)
+		}
+		if a.Generation != b.Generation {
+			t.Fatalf("cycle %d: sessions pinned different generations %d vs %d with no churn", cycle, a.Generation, b.Generation)
+		}
+		if a.Region != b.Region || !equalIDs(a.Window, b.Window) || !equalIDs(a.KNN, b.KNN) {
+			t.Fatalf("cycle %d at %v: incremental answer (%d %v %v) != fresh answer (%d %v %v)",
+				cycle, p, a.Region, a.Window, a.KNN, b.Region, b.Window, b.KNN)
+		}
+		if err := verifyOutcome(t, sw, incr, q, p, a, capacity); err != nil {
+			t.Fatal(err)
+		}
+		if !b.Refreshed {
+			t.Fatalf("cycle %d: fresh session did not report a full refresh", cycle)
+		}
+		incrTuning += a.Res.TotalTuning()
+		freshTuning += b.Res.TotalTuning()
+	}
+
+	m := incr.Metrics
+	if m.RevalidationHits.Load() == 0 {
+		t.Fatal("incremental session never revalidated from cache")
+	}
+	if got, want := m.RevalidationHits.Load()+m.BoundaryRedescents.Load()+m.FullRefreshes.Load(), m.Cycles.Load(); got != want {
+		t.Fatalf("outcome counters sum to %d, want %d cycles", got, want)
+	}
+	if m.FullRefreshes.Load() != 1 {
+		t.Fatalf("incremental session full-refreshed %d times with no churn, want 1", m.FullRefreshes.Load())
+	}
+	if incrTuning >= freshTuning {
+		t.Fatalf("incremental tuning %d not below fresh tuning %d", incrTuning, freshTuning)
+	}
+	t.Logf("tuning: incremental %d, fresh %d (%.1fx); hits=%d redescents=%d",
+		incrTuning, freshTuning, float64(freshTuning)/float64(incrTuning),
+		m.RevalidationHits.Load(), m.BoundaryRedescents.Load())
+}
+
+// TestContinuousLossy runs a continuous session through fault channels: the
+// session must recover from dropped and corrupted frames and still match
+// the brute oracle every cycle.
+func TestContinuousLossy(t *testing.T) {
+	const capacity, n = 512, 40
+	sub, sites := testutil.RandomVoronoi(t, n, 7203)
+	tree, err := core.Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err := tree.Page(wire.DTreeParams(capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := paged.Flatten()
+	adj, err := core.BuildAdjacency(sub, sub.Area, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Flat.SetAdjacency(adj); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ProgramFromFlat(fp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, spec := range []channel.Spec{
+		{Loss: 0.05, Seed: 7204},
+		{Loss: 0.05, Burst: 4, Seed: 7205},
+		{Corrupt: 0.05, Seed: 7206},
+	} {
+		ch := channel.New(spec.Model(spec.Seed+1), spec.Seed+2, &channel.Stats{})
+		cliEnd, srvEnd := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			prog.Transmit(srvEnd, 11, ch) //nolint:errcheck
+		}()
+		client := NewClient(cliEnd, capacity)
+		q := ContinuousQuery{WindowW: 2400, WindowH: 2000, K: 3}
+		sess := NewContinuous(client, ModeIncremental, q)
+		traj := dataset.RandomWaypoint(sub.Area, 10, spec.Seed, 200, 700)
+		for cycle := 0; cycle < traj.Cycles(); cycle++ {
+			p := traj.At(cycle)
+			out, err := sess.Step(p)
+			if err != nil {
+				t.Fatalf("spec %+v cycle %d: %v", spec, cycle, err)
+			}
+			if want := oracleWindow(sub, q.Window(p)); !equalIDs(out.Window, want) {
+				t.Fatalf("spec %+v cycle %d at %v: window %v, oracle %v", spec, cycle, p, out.Window, want)
+			}
+			if want := oracleKNN(sites, p, q.K); !equalIDs(out.KNN, want) {
+				t.Fatalf("spec %+v cycle %d at %v: knn %v, oracle %v", spec, cycle, p, out.KNN, want)
+			}
+		}
+		cliEnd.Close()
+		srvEnd.Close()
+		<-done
+	}
+}
+
+// TestContinuousPointQueryCoexistence: on an adjacency-carrying broadcast a
+// one-shot client still answers point queries by skipping the appendix with
+// QueryShifted, and the appendix length is discoverable from packet 0.
+func TestContinuousPointQueryCoexistence(t *testing.T) {
+	const capacity, n = 256, 40
+	sw, srv := startContinuousServer(t, n, capacity, 7301)
+	client, err := Dial(srv.Addr().String(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var res Result
+	if err := client.Probe(&res); err != nil {
+		t.Fatal(err)
+	}
+	head, err := client.FetchIndexPackets(&res, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjPkts, err := core.AdjacencyPacketCount(head[0])
+	if err != nil {
+		t.Fatalf("packet 0 does not self-describe the appendix: %v", err)
+	}
+	if adjPkts <= 0 {
+		t.Fatalf("appendix of %d packets", adjPkts)
+	}
+	for _, p := range testutil.QueryPoints(testArea, 12, 7302) {
+		var res Result
+		if err := client.QueryShifted(p, adjPkts, &res); err != nil {
+			t.Fatalf("query %v: %v", p, err)
+		}
+		if err := verifyAgainstGeneration(sw, p, res, capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"airindex/internal/core"
+	"airindex/internal/geom"
 	"airindex/internal/region"
 	"airindex/internal/voronoi"
 	"airindex/internal/wire"
@@ -51,6 +52,10 @@ const incrFullFraction = 0.25
 type incrCompiler struct {
 	capacity int
 	m        int
+	// adjacency makes every compiled arena carry the region-adjacency table
+	// (continuous queries): each cut rebuilds it from the fresh subdivision
+	// and the appendix rides ahead of the tree in every index copy.
+	adjacency bool
 
 	patch *region.Patcher
 	inc   *core.Incremental
@@ -74,12 +79,29 @@ func (c *incrCompiler) reset() {
 
 // finish pages, flattens, assembles, and renders a built tree, patching
 // against the previous generation's arena and frame table when present.
-func (c *incrCompiler) finish(tree *core.Tree) (*Program, *core.FlatPaged, error) {
+// ids maps region index -> stable site id (the Generation.IDs order), used
+// to look the sites up when the arena carries an adjacency table.
+func (c *incrCompiler) finish(tree *core.Tree, maint *voronoi.Maintainer, sub *region.Subdivision, ids []int) (*Program, *core.FlatPaged, error) {
 	paged, err := tree.Page(wire.DTreeParams(c.capacity))
 	if err != nil {
 		return nil, nil, err
 	}
 	fp := paged.FlattenPatched(c.flat)
+	if c.adjacency {
+		sites := make([]geom.Point, len(ids))
+		for i, id := range ids {
+			if sites[i], err = maint.Site(id); err != nil {
+				return nil, nil, err
+			}
+		}
+		adj, err := core.BuildAdjacency(sub, maint.Area(), sites)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := fp.Flat.SetAdjacency(adj); err != nil {
+			return nil, nil, err
+		}
+	}
 	prog, err := ProgramFromFlat(fp, c.m)
 	if err != nil {
 		return nil, nil, err
@@ -122,7 +144,7 @@ func (c *incrCompiler) full(maint *voronoi.Maintainer) (*region.Subdivision, []i
 		c.reset()
 		return nil, nil, nil, nil, err
 	}
-	prog, fp, err := c.finish(tree)
+	prog, fp, err := c.finish(tree, maint, sub, ids)
 	if err != nil {
 		c.reset()
 		return nil, nil, nil, nil, err
@@ -168,7 +190,7 @@ func (c *incrCompiler) incremental(maint *voronoi.Maintainer, dirty, removed []i
 	if err != nil {
 		return nil, nil, nil, nil, cutStats{}, err
 	}
-	prog, fp, err := c.finish(tree)
+	prog, fp, err := c.finish(tree, maint, sub, ids)
 	if err != nil {
 		return nil, nil, nil, nil, cutStats{}, err
 	}

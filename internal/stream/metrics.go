@@ -106,6 +106,12 @@ func (m *ClientMetrics) Registry() *obs.Registry { return m.reg }
 // Snapshot reads every client metric into a JSON-friendly map.
 func (m *ClientMetrics) Snapshot() map[string]any { return m.reg.Snapshot() }
 
+// Observe folds one completed query result into the metrics — for callers
+// that drive the access protocol by hand (Probe/Fetch/Locate, like the
+// fabric's adjacency leg) instead of through Query, which records
+// automatically.
+func (m *ClientMetrics) Observe(res *Result) { m.observe(res) }
+
 // observe folds one completed query result into the metrics; no-op on a
 // nil receiver so untracked clients pay only a nil check.
 func (m *ClientMetrics) observe(res *Result) {

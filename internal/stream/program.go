@@ -44,6 +44,12 @@ func NewDTreeProgram(sub *region.Subdivision, capacity, m int) (*Program, error)
 // ProgramFromFlat assembles a broadcast program from a flat paged index —
 // the shared tail of a fresh compile and a snapshot restore, so both paths
 // put byte-identical cycles on the air.
+//
+// When the arena carries a region-adjacency table (continuous queries), its
+// self-describing appendix packets are prefixed to every index copy: packet
+// 0 names the appendix length, the tree root follows right behind, and a
+// point-query client skips the appendix with QueryShifted. Arenas without a
+// table produce the exact packets they always did.
 func ProgramFromFlat(fp *core.FlatPaged, m int) (*Program, error) {
 	packets, err := fp.EncodePackets()
 	if err != nil {
@@ -51,6 +57,13 @@ func ProgramFromFlat(fp *core.FlatPaged, m int) (*Program, error) {
 	}
 	if len(packets) == 0 {
 		return nil, fmt.Errorf("stream: subdivision of %d regions produced an empty index", fp.Flat.N)
+	}
+	if adj := fp.Flat.Adjacency(); adj != nil {
+		adjPkts, err := adj.EncodePackets(fp.Params.PacketCapacity)
+		if err != nil {
+			return nil, err
+		}
+		packets = append(adjPkts, packets...)
 	}
 	params := fp.Params
 	capacity := params.PacketCapacity

@@ -40,7 +40,11 @@ type Generation struct {
 	Gen  uint32
 	Sub  *region.Subdivision // the subdivision the program indexes
 	IDs  []int               // region index -> stable site id
-	Prog *Program
+	// Sites maps region index -> site location at this generation: the
+	// ground truth continuous-query verifiers score window/kNN answers
+	// against after the maintainer has moved on.
+	Sites []geom.Point
+	Prog  *Program
 	// Flat is the arena the program was rendered from; server-side answer
 	// verification queries it allocation-free, and its snapshot restores
 	// this generation's exact broadcast on another process.
@@ -71,22 +75,55 @@ type Swapper struct {
 // NewSwapper builds the initial program (generation 1) for the given sites.
 // m <= 0 picks the optimal number of index copies per cycle.
 func NewSwapper(area geom.Rect, sites []geom.Point, capacity, m int) (*Swapper, error) {
+	return newSwapper(area, sites, capacity, m, false)
+}
+
+// NewSwapperWithAdjacency is NewSwapper for a continuous-query broadcast:
+// every published generation's arena carries the region-adjacency table, so
+// each cycle leads with the self-describing appendix that moving clients
+// cache and revalidate against (stream.Continuous). Point-query clients use
+// QueryShifted past the appendix.
+func NewSwapperWithAdjacency(area geom.Rect, sites []geom.Point, capacity, m int) (*Swapper, error) {
+	return newSwapper(area, sites, capacity, m, true)
+}
+
+func newSwapper(area geom.Rect, sites []geom.Point, capacity, m int, adjacency bool) (*Swapper, error) {
 	maint, err := voronoi.NewMaintainer(area, sites)
 	if err != nil {
 		return nil, err
 	}
+	comp := newIncrCompiler(capacity, m)
+	comp.adjacency = adjacency
 	sw := &Swapper{
 		capacity: capacity, m: m,
 		maint: maint,
-		comp:  newIncrCompiler(capacity, m),
+		comp:  comp,
 		gens:  make(map[uint32]*Generation),
 	}
 	sub, ids, prog, flat, err := sw.comp.full(maint)
 	if err != nil {
 		return nil, err
 	}
-	sw.remember(&Generation{Gen: 1, Sub: sub, IDs: ids, Prog: prog, Flat: flat})
+	sites, serr := sw.sitesLocked(ids)
+	if serr != nil {
+		return nil, serr
+	}
+	sw.remember(&Generation{Gen: 1, Sub: sub, IDs: ids, Sites: sites, Prog: prog, Flat: flat})
 	return sw, nil
+}
+
+// sitesLocked resolves region-ordered site ids to their current locations;
+// the caller holds mu (or is still constructing the swapper).
+func (sw *Swapper) sitesLocked(ids []int) ([]geom.Point, error) {
+	sites := make([]geom.Point, len(ids))
+	for i, id := range ids {
+		p, err := sw.maint.Site(id)
+		if err != nil {
+			return nil, err
+		}
+		sites[i] = p
+	}
+	return sites, nil
 }
 
 // buildLocked compiles the next program from the maintainer's batch delta —
@@ -97,7 +134,11 @@ func (sw *Swapper) buildLocked(gen uint32, dirty, removed []int) (*Generation, c
 	if err != nil {
 		return nil, st, err
 	}
-	return &Generation{Gen: gen, Sub: sub, IDs: ids, Prog: prog, Flat: flat}, st, nil
+	sites, err := sw.sitesLocked(ids)
+	if err != nil {
+		return nil, st, err
+	}
+	return &Generation{Gen: gen, Sub: sub, IDs: ids, Sites: sites, Prog: prog, Flat: flat}, st, nil
 }
 
 func (sw *Swapper) remember(g *Generation) {
